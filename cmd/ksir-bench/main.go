@@ -1,0 +1,195 @@
+// Command ksir-bench regenerates the paper's tables and figures on the
+// synthetic datasets. Each experiment prints an aligned text table whose
+// rows/series match the corresponding table or figure in the paper; see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	ksir-bench -exp all
+//	ksir-bench -exp fig9 -elements 20000 -queries 200
+//	ksir-bench -exp table6 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/social-streams/ksir/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|all")
+		scale    = flag.String("scale", "default", "preset scale: small|default")
+		elements = flag.Int("elements", 0, "override stream size per dataset")
+		queries  = flag.Int("queries", 0, "override workload size")
+		seed     = flag.Int64("seed", 42, "master seed")
+		out      = flag.String("out", "", "write output to file (default stdout)")
+	)
+	flag.Parse()
+
+	sc := experiments.DefaultScale
+	if *scale == "small" {
+		sc = experiments.SmallScale
+	}
+	if *elements > 0 {
+		sc.Elements = *elements
+	}
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	sc.Seed = *seed
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	lab := experiments.NewLab(sc)
+	start := time.Now()
+	if err := run(lab, strings.ToLower(*exp), w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(w, "total wall time: %v (scale: %d elements, %d queries per dataset)\n",
+		time.Since(start).Round(time.Millisecond), sc.Elements, sc.Queries)
+}
+
+func run(lab *experiments.Lab, exp string, w io.Writer) error {
+	want := func(names ...string) bool {
+		if exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if exp == n {
+				return true
+			}
+		}
+		return false
+	}
+	render := func(tables ...*experiments.Table) error {
+		for _, t := range tables {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if want("table3") {
+		t, err := lab.Table3()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	if want("table5") {
+		t, err := lab.Table5()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	if want("table6") {
+		t, err := lab.Table6()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	if want("fig7", "fig8") {
+		f7, f8, err := lab.EpsSweep([]float64{0.1, 0.2, 0.3, 0.4, 0.5})
+		if err != nil {
+			return err
+		}
+		if exp == "all" || exp == "fig7" {
+			if err := render(f7); err != nil {
+				return err
+			}
+		}
+		if exp == "all" || exp == "fig8" {
+			if err := render(f8); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig9", "fig10", "fig11") {
+		f9, f10, f11, err := lab.KSweep([]int{5, 10, 15, 20, 25})
+		if err != nil {
+			return err
+		}
+		if exp == "all" || exp == "fig9" {
+			if err := render(f9...); err != nil {
+				return err
+			}
+		}
+		if exp == "all" || exp == "fig10" {
+			if err := render(f10...); err != nil {
+				return err
+			}
+		}
+		if exp == "all" || exp == "fig11" {
+			if err := render(f11...); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig12", "fig14") {
+		f12, f14z, err := lab.ZSweep([]int{50, 100, 150, 200, 250})
+		if err != nil {
+			return err
+		}
+		if exp == "all" || exp == "fig12" {
+			if err := render(f12...); err != nil {
+				return err
+			}
+		}
+		if err := render(f14z); err != nil {
+			return err
+		}
+	}
+	if want("latency") {
+		t, err := lab.LatencyProfile()
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	}
+	if want("fig13", "fig14") {
+		f13, f14t, err := lab.TSweep([]float64{6, 12, 18, 24, 30})
+		if err != nil {
+			return err
+		}
+		if exp == "all" || exp == "fig13" {
+			if err := render(f13...); err != nil {
+				return err
+			}
+		}
+		if err := render(f14t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksir-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,208 @@
+// Command ksir-query demonstrates end-to-end k-SIR query processing: it
+// generates (or loads) a synthetic stream, trains a topic model on it,
+// replays the stream through the engine, and answers keyword queries —
+// either the ones passed via -q, or interactively from stdin.
+//
+// Usage:
+//
+//	ksir-query -profile twitter -n 5000 -q "w00042 w00619" -k 5
+//	ksir-query -profile reddit -n 5000            # interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/social-streams/ksir/internal/baselines"
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/dataset"
+	"github.com/social-streams/ksir/internal/experiments"
+	"github.com/social-streams/ksir/internal/jsonl"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "twitter", "dataset shape: aminer|reddit|twitter")
+		n       = flag.Int("n", 5000, "number of elements")
+		z       = flag.Int("z", 20, "number of topics")
+		k       = flag.Int("k", 5, "result size")
+		q       = flag.String("q", "", "space-separated query keywords (empty: interactive)")
+		alg     = flag.String("alg", "mttd", "algorithm: mtts|mttd|topk")
+		seed    = flag.Int64("seed", 1, "seed")
+		in      = flag.String("in", "", "load a JSON-lines stream (ksir-gen output) instead of generating")
+		eta     = flag.Float64("eta", 0, "influence rescale eta (0: profile default)")
+	)
+	flag.Parse()
+
+	var p dataset.Profile
+	switch strings.ToLower(*profile) {
+	case "aminer":
+		p = dataset.AMinerLike(*n)
+	case "reddit":
+		p = dataset.RedditLike(*n)
+	case "twitter":
+		p = dataset.TwitterLike(*n)
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	p.Topics = *z
+	if *eta > 0 {
+		p.Eta = *eta
+	}
+
+	var elems []*stream.Element
+	var docs [][]textproc.WordID
+	var vocab *textproc.Vocabulary
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, dangling, err := jsonl.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if dangling > 0 {
+			fmt.Fprintf(os.Stderr, "warning: dropped %d dangling references\n", dangling)
+		}
+		elems, docs, vocab = loaded.Elements, loaded.Docs, loaded.Vocab
+		if len(elems) == 0 {
+			fatal(fmt.Errorf("empty stream %q", *in))
+		}
+		p.Duration = elems[len(elems)-1].TS
+		fmt.Fprintf(os.Stderr, "loaded %d elements from %s\n", len(elems), *in)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %d elements (%s-like)...\n", p.Elements, p.Name)
+		ds, err := dataset.Generate(p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		elems, docs, vocab = ds.Elements, ds.Docs, ds.Vocab
+	}
+
+	fmt.Fprintf(os.Stderr, "training topic model (z=%d)...\n", *z)
+	start := time.Now()
+	var model *topicmodel.Model
+	var err error
+	if p.Style == dataset.Retweet && p.AvgLen < 10 {
+		model, _, err = topicmodel.TrainBTM(docs, topicmodel.BTMConfig{
+			Topics: *z, VocabSize: vocab.Size(), Iterations: 40, Seed: *seed,
+		})
+	} else {
+		model, _, err = topicmodel.TrainLDA(docs, topicmodel.LDAConfig{
+			Topics: *z, VocabSize: vocab.Size(), Iterations: 40, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	inf := topicmodel.NewInferencer(model, *seed)
+	for i, e := range elems {
+		e.Topics = inf.InferDoc(docs[i])
+	}
+	fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	g, err := core.NewEngine(core.Config{
+		Model:        model,
+		WindowLength: p.Duration/4 + 1,
+		Params:       scoreParams(p),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	buckets, err := stream.Partition(elems, p.Duration/96+1)
+	if err != nil {
+		fatal(err)
+	}
+	for _, b := range buckets {
+		if err := g.Ingest(b.End, b.Elems); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "stream replayed: %d active elements at t=%d\n\n", g.NumActive(), g.Now())
+
+	algorithm := core.MTTD
+	switch strings.ToLower(*alg) {
+	case "mtts":
+		algorithm = core.MTTS
+	case "mttd":
+		algorithm = core.MTTD
+	case "topk":
+		algorithm = core.TopkRep
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	answer := func(keywords []string) {
+		var ids []textproc.WordID
+		for _, kw := range keywords {
+			if id, ok := vocab.ID(kw); ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			fmt.Println("no keyword in vocabulary; try e.g.:", strings.Join(vocab.TopWords(5), " "))
+			return
+		}
+		x := inf.InferDense(ids).Truncate(8, 0.02)
+		start := time.Now()
+		res, err := g.Query(core.Query{K: *k, X: x, Epsilon: 0.1, Algorithm: algorithm})
+		if err != nil {
+			fatal(err)
+		}
+		dur := time.Since(start)
+		fmt.Printf("%s answered in %v: score=%.4f evaluated %d/%d active\n",
+			algorithm, dur.Round(time.Microsecond), res.Score, res.Evaluated, res.ActiveAtQuery)
+		for i, e := range res.Elements {
+			var words []string
+			for _, tc := range e.Doc.Terms {
+				words = append(words, vocab.Word(tc.Word))
+			}
+			fmt.Printf("  %d. e%-6d t=%-8d refs_in=%-3d %s\n",
+				i+1, e.ID, e.TS, g.Window().NumChildren(e.ID), strings.Join(words, " "))
+		}
+		// Contrast with plain top-k relevance.
+		rel := baselines.RelTopK(experiments.Actives(g), x, *k)
+		var relIDs []string
+		for _, e := range rel {
+			relIDs = append(relIDs, fmt.Sprintf("e%d", e.ID))
+		}
+		fmt.Printf("  (REL top-%d would return: %s)\n\n", *k, strings.Join(relIDs, " "))
+	}
+
+	if *q != "" {
+		answer(strings.Fields(*q))
+		return
+	}
+	fmt.Printf("interactive mode — enter keywords (try: %s)\n", strings.Join(vocab.TopWords(5), " "))
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("ksir> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "quit" || line == "exit" {
+			return
+		}
+		answer(strings.Fields(line))
+	}
+}
+
+func scoreParams(p dataset.Profile) score.Params {
+	return score.Params{Lambda: 0.5, Eta: p.Eta}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksir-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command ksir-server serves k-SIR queries over HTTP for a live stream.
+// It loads a trained model (ksir model file) or trains one from a text
+// corpus at startup, then accepts posts and queries:
+//
+//	ksir-server -corpus corpus.txt -topics 50 -addr :8080
+//	ksir-server -model model.bin -addr :8080
+//
+//	curl -XPOST localhost:8080/posts -d '{"id":1,"time":60,"text":"late goal wins the derby"}'
+//	curl -XPOST localhost:8080/flush -d '{"now":120}'
+//	curl -XPOST localhost:8080/query -d '{"k":10,"keywords":["soccer"],"explain":true}'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	"github.com/social-streams/ksir/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "", "load a trained model file (see Model.SaveFile)")
+		corpus    = flag.String("corpus", "", "train from a text file, one document per line")
+		topics    = flag.Int("topics", 50, "topics when training from -corpus")
+		iters     = flag.Int("iters", 100, "Gibbs sweeps when training")
+		btm       = flag.Bool("btm", false, "use the biterm topic model (short texts)")
+		saveModel = flag.String("save-model", "", "after training, save the model here")
+		window    = flag.Duration("window", 24*time.Hour, "sliding window length T")
+		bucket    = flag.Duration("bucket", 15*time.Minute, "batch update interval L")
+		lambda    = flag.Float64("lambda", 0.5, "semantic/influence trade-off")
+		eta       = flag.Float64("eta", 20, "influence rescale")
+	)
+	flag.Parse()
+
+	var model *ksir.Model
+	var err error
+	switch {
+	case *modelPath != "":
+		model, err = ksir.LoadModelFile(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded model: z=%d vocab=%d\n", model.Topics(), model.VocabSize())
+	case *corpus != "":
+		texts, err := readLines(*corpus)
+		if err != nil {
+			fatal(err)
+		}
+		opts := []ksir.ModelOption{
+			ksir.WithTopics(*topics),
+			ksir.WithIterations(*iters),
+		}
+		if *btm {
+			opts = append(opts, ksir.WithBTM())
+		}
+		fmt.Fprintf(os.Stderr, "training on %d documents (z=%d)...\n", len(texts), *topics)
+		start := time.Now()
+		model, err = ksir.TrainModel(texts, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained in %v (vocab=%d)\n",
+			time.Since(start).Round(time.Millisecond), model.VocabSize())
+		if *saveModel != "" {
+			if err := model.SaveFile(*saveModel); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveModel)
+		}
+	default:
+		fatal(fmt.Errorf("need -model or -corpus"))
+	}
+
+	st, err := ksir.New(model, ksir.Options{
+		Window: *window,
+		Bucket: *bucket,
+		Lambda: *lambda,
+		Eta:    *eta,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, server.New(st)); err != nil {
+		fatal(err)
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<22)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksir-server:", err)
+	os.Exit(1)
+}

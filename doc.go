@@ -1,0 +1,25 @@
+// Package ksir implements Semantic and Influence aware k-Representative
+// (k-SIR) queries over social streams, reproducing:
+//
+//	Yanhao Wang, Yuchen Li, Kian-Lee Tan.
+//	"Semantic and Influence aware k-Representative Queries over Social
+//	Streams." EDBT 2019, pp. 181–192.
+//
+// A k-SIR query retrieves, from the elements active in a sliding window
+// over a social stream, a set of k elements that together maximize a
+// monotone submodular representativeness score: a weighted word-coverage
+// semantic score plus a topic-aware, time-critical influence score, both
+// computed against a probabilistic topic model and weighted by the user's
+// query vector over topics.
+//
+// The package exposes the full pipeline:
+//
+//	model, err := ksir.TrainModel(texts, ksir.WithTopics(50))
+//	st, err := ksir.New(model, ksir.Options{Window: 24 * time.Hour})
+//	st.Add(ksir.Post{ID: 1, Time: now, Text: "...", Refs: []int64{...}})
+//	res, err := st.Query(ksir.Query{K: 10, Keywords: []string{"soccer"}})
+//
+// Queries are served in real time by the MTTS ((1/2 − ε)-approximate) and
+// MTTD ((1 − 1/e − ε)-approximate) algorithms over per-topic ranked lists;
+// see internal/core for the algorithms and DESIGN.md for the system map.
+package ksir

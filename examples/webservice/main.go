@@ -1,0 +1,107 @@
+// Webservice: runs the k-SIR HTTP server in-process and drives it as a
+// client would — ingesting posts, flushing buckets, and issuing queries
+// with explanations over REST. This is the many-readers deployment §2
+// motivates; see cmd/ksir-server for the standalone binary.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	"github.com/social-streams/ksir/internal/server"
+)
+
+func main() {
+	// Train the model and start the server in-process.
+	var corpus []string
+	for i := 0; i < 60; i++ {
+		corpus = append(corpus,
+			"goal striker league derby penalty keeper",
+			"dunk rebound playoffs court buzzer triple",
+		)
+	}
+	model, err := ksir.TrainModel(corpus,
+		ksir.WithTopics(2), ksir.WithIterations(40), ksir.WithSeed(1),
+		ksir.WithPriors(0.5, 0.01))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := ksir.New(model, ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(st))
+	defer srv.Close()
+	fmt.Println("server listening at", srv.URL)
+
+	// Ingest a batch of posts over REST.
+	posts := []server.PostRequest{
+		{ID: 1, Time: 60, Text: "late goal wins the derby for the league leaders"},
+		{ID: 2, Time: 120, Text: "what a dunk to open the playoffs"},
+		{ID: 3, Time: 180, Text: "keeper saves the penalty in the derby"},
+		{ID: 4, Time: 240, Text: "rebound and buzzer beater seal the court", Refs: []int64{2}},
+		{ID: 5, Time: 300, Text: "the striker scores again", Refs: []int64{1}},
+	}
+	mustPost(srv.URL+"/posts", posts)
+	mustPost(srv.URL+"/flush", server.FlushRequest{Now: 360})
+
+	// Check stats.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats map[string]any
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	fmt.Printf("stats: %.0f active posts at t=%.0f\n", stats["active"], stats["now"])
+
+	// Query with explanations.
+	body := mustPost(srv.URL+"/query", server.QueryRequest{
+		K: 2, Keywords: []string{"goal", "league"}, Explain: true,
+	})
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nquery 'goal league' → score %.4f (evaluated %d/%d)\n",
+		qr.Score, qr.Evaluated, qr.Active)
+	for i, p := range qr.Posts {
+		fmt.Printf("  %d. [post %d] %s\n", i+1, p.ID, p.Text)
+	}
+	fmt.Println("\nwhy these posts:")
+	for _, ex := range qr.Explain {
+		kind := "semantic"
+		if ex.Influence > ex.Semantic {
+			kind = "influence"
+		}
+		fmt.Printf("  post %d: gain %.4f (%.4f semantic + %.4f influence, mostly %s; %d new words)\n",
+			ex.Post.ID, ex.Gain, ex.Semantic, ex.Influence, kind, ex.NewWords)
+	}
+}
+
+func mustPost(url string, v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d %s", strings.TrimPrefix(url, "http://"), resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}

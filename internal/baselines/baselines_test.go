@@ -1,0 +1,259 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/testutil"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// paperVocab interns the paper's 16 example words in table order so that
+// WordID i corresponds to w_{i+1}.
+func paperVocab() *textproc.Vocabulary {
+	v := textproc.NewVocabulary()
+	for _, w := range papertest.Words {
+		v.Add(w)
+	}
+	return v
+}
+
+// newPaperTFIDF observes the elements' documents into the vocabulary and
+// returns a TF-IDF vectorizer over them.
+func newPaperTFIDF(vocab *textproc.Vocabulary, actives []*stream.Element) *textproc.TFIDF {
+	for _, e := range actives {
+		var ids []textproc.WordID
+		for _, tc := range e.Doc.Terms {
+			for c := int32(0); c < tc.Count; c++ {
+				ids = append(ids, tc.Word)
+			}
+		}
+		vocab.ObserveDoc(ids)
+	}
+	return textproc.NewTFIDF(vocab, len(actives))
+}
+
+func paperSetup(t *testing.T) (*score.Scorer, []*stream.Element) {
+	t.Helper()
+	win, elems := papertest.Window()
+	s, err := score.NewScorer(papertest.Model(), win, score.Params{Lambda: 0.5, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actives []*stream.Element
+	for _, e := range elems {
+		if _, ok := win.Get(e.ID); ok {
+			actives = append(actives, e)
+		}
+	}
+	return s, actives
+}
+
+// CELF on the paper example recovers the optimal pair {e1, e3} for the
+// uniform query (greedy is optimal here).
+func TestCELFPaperExample(t *testing.T) {
+	s, actives := paperSetup(t)
+	res := CELF(s, actives, papertest.QueryUniform(), 2)
+	if len(res.Elements) != 2 {
+		t.Fatalf("result size %d", len(res.Elements))
+	}
+	got := map[stream.ElemID]bool{res.Elements[0].ID: true, res.Elements[1].ID: true}
+	if !got[1] || !got[3] {
+		t.Errorf("CELF = %v, want {e1,e3}", got)
+	}
+	if math.Abs(res.Score-0.65) > 0.02 {
+		t.Errorf("score = %v", res.Score)
+	}
+	if res.Evaluated < len(actives) {
+		t.Errorf("CELF must evaluate every active at least once: %d < %d",
+			res.Evaluated, len(actives))
+	}
+}
+
+// CELF is (1 − 1/e)-approximate; verify against brute force on random
+// instances. (Greedy usually does far better; the bound must always hold.)
+func TestCELFApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	bound := 1 - 1/math.E
+	for trial := 0; trial < 25; trial++ {
+		inst := testutil.NewInstance(rng, testutil.Options{Elements: 10})
+		x := testutil.RandQuery(rng, inst.Topics)
+		k := 2 + rng.Intn(2)
+		opt := testutil.BruteForceOPT(inst.Scorer, inst.Elems, x, k)
+		res := CELF(inst.Scorer, inst.Elems, x, k)
+		if res.Score < bound*opt-1e-9 {
+			t.Errorf("trial %d: CELF %.6f < (1−1/e)·OPT %.6f", trial, res.Score, bound*opt)
+		}
+	}
+}
+
+// SieveStreaming is (1/2 − ε)-approximate.
+func TestSieveStreamingApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const eps = 0.1
+	for trial := 0; trial < 25; trial++ {
+		inst := testutil.NewInstance(rng, testutil.Options{Elements: 10})
+		x := testutil.RandQuery(rng, inst.Topics)
+		k := 2 + rng.Intn(2)
+		opt := testutil.BruteForceOPT(inst.Scorer, inst.Elems, x, k)
+		res := SieveStreaming(inst.Scorer, inst.Elems, x, k, eps)
+		if res.Score < (0.5-eps)*opt-1e-9 {
+			t.Errorf("trial %d: Sieve %.6f < (1/2−ε)·OPT %.6f", trial, res.Score, (0.5-eps)*opt)
+		}
+	}
+}
+
+func TestSieveEvaluatesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	inst := testutil.NewInstance(rng, testutil.Options{Elements: 30})
+	x := testutil.RandQuery(rng, inst.Topics)
+	res := SieveStreaming(inst.Scorer, inst.Elems, x, 5, 0.1)
+	if res.Evaluated != 30 {
+		t.Errorf("Sieve evaluated %d, want 30 (single full pass)", res.Evaluated)
+	}
+}
+
+func TestCELFEmptyInput(t *testing.T) {
+	s, _ := paperSetup(t)
+	res := CELF(s, nil, papertest.QueryUniform(), 3)
+	if len(res.Elements) != 0 || res.Score != 0 {
+		t.Errorf("CELF on empty = %+v", res)
+	}
+	res = SieveStreaming(s, nil, papertest.QueryUniform(), 3, 0.1)
+	if len(res.Elements) != 0 {
+		t.Errorf("Sieve on empty = %+v", res)
+	}
+}
+
+func TestRelTopK(t *testing.T) {
+	_, actives := paperSetup(t)
+	// Query purely on θ2: most relevant by cosine are the θ2-dominant
+	// elements e1 (0.8) and e2 (0.74) — pure direction, e1's vector is
+	// closest to the θ2 axis.
+	x := papertest.QuerySkewed()
+	got := RelTopK(actives, x, 2)
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].ID != 1 {
+		t.Errorf("top relevance = e%d, want e1", got[0].ID)
+	}
+	// k larger than candidates.
+	all := RelTopK(actives, x, 100)
+	if len(all) != len(actives) {
+		t.Errorf("len = %d, want %d", len(all), len(actives))
+	}
+}
+
+func TestTFIDFTopKSyntacticOnly(t *testing.T) {
+	// Build a small TF-IDF space over the paper vocabulary: docs are the
+	// 8 elements.
+	_, actives := paperSetup(t)
+	vocab := paperVocab()
+	tf := newPaperTFIDF(vocab, actives)
+	// Query "nbaplayoffs" (w10, id 9): only e3, e6, e8 contain it (e4
+	// expired). TF-IDF finds those and nothing else.
+	got := TFIDFTopK(actives, tf, []textproc.WordID{9}, 5)
+	want := map[stream.ElemID]bool{3: true, 6: true, 8: true}
+	if len(got) != 3 {
+		t.Fatalf("got %d elements", len(got))
+	}
+	for _, e := range got {
+		if !want[e.ID] {
+			t.Errorf("unexpected e%d", e.ID)
+		}
+	}
+	// The semantic gap of §1: query word "cavs" (w3) does not retrieve e6
+	// even though it is about the same game.
+	got = TFIDFTopK(actives, tf, []textproc.WordID{2}, 5)
+	for _, e := range got {
+		if e.ID == 6 {
+			t.Error("TF-IDF should not retrieve e6 for 'cavs'")
+		}
+	}
+}
+
+func TestDivTopKPrefersDiverseResults(t *testing.T) {
+	_, actives := paperSetup(t)
+	tf := newPaperTFIDF(paperVocab(), actives)
+	// Query {pl, champion} (w11=10, w4=3): e2 and e7 are near-duplicates;
+	// DIV should pick at most one of them plus something diverse (e8 has
+	// w11 too).
+	got := DivTopK(actives, tf, []textproc.WordID{10, 3}, 2, 0.3)
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	both := (got[0].ID == 2 && got[1].ID == 7) || (got[0].ID == 7 && got[1].ID == 2)
+	if both {
+		t.Error("DIV picked the two near-duplicates e2,e7")
+	}
+}
+
+func TestSumblrReturnsClusterRepresentatives(t *testing.T) {
+	_, actives := paperSetup(t)
+	tf := newPaperTFIDF(paperVocab(), actives)
+	// Query word w10 "nbaplayoffs" + w16 "ucl": candidates split into a
+	// basketball cluster {e3,e6,e8} and a soccer cluster {e1,e5}.
+	got := Sumblr(actives, tf, []textproc.WordID{9, 15}, 2, 2, SumblrConfig{Seed: 3})
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+	var hasBasketball, hasSoccer bool
+	for _, e := range got {
+		switch e.ID {
+		case 3, 6, 8:
+			hasBasketball = true
+		case 1, 5:
+			hasSoccer = true
+		}
+	}
+	if !hasBasketball || !hasSoccer {
+		t.Errorf("Sumblr = [%v %v], want one element per cluster", got[0].ID, got[1].ID)
+	}
+}
+
+func TestSumblrNoCandidates(t *testing.T) {
+	_, actives := paperSetup(t)
+	tf := newPaperTFIDF(paperVocab(), actives)
+	if got := Sumblr(actives, tf, nil, 3, 2, SumblrConfig{}); got != nil {
+		t.Errorf("no keywords should yield nil, got %v", got)
+	}
+}
+
+func TestKMeansBasic(t *testing.T) {
+	vecs := [][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}}
+	assign := kmeans(vecs, 2, 1, 20)
+	if assign[0] != assign[1] || assign[2] != assign[3] || assign[0] == assign[2] {
+		t.Errorf("kmeans assign = %v", assign)
+	}
+	// Degenerate inputs.
+	if got := kmeans(nil, 3, 1, 10); len(got) != 0 {
+		t.Error("empty input")
+	}
+	if got := kmeans(vecs, 1, 1, 10); got[0] != 0 || got[3] != 0 {
+		t.Error("k=1 should map all to cluster 0")
+	}
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	got := kmeans(same, 2, 1, 10)
+	if len(got) != 3 {
+		t.Error("identical points")
+	}
+}
+
+func TestLexRankCentrality(t *testing.T) {
+	// A "hub" document similar to both others scores highest.
+	hub := textproc.NewSparseVec(map[int32]float64{0: 1, 1: 1})
+	a := textproc.NewSparseVec(map[int32]float64{0: 1})
+	b := textproc.NewSparseVec(map[int32]float64{1: 1})
+	scores := lexRank([]textproc.SparseVec{hub, a, b}, 0.1, 0.85, 30)
+	if !(scores[0] > scores[1] && scores[0] > scores[2]) {
+		t.Errorf("hub not most central: %v", scores)
+	}
+	if got := lexRank(nil, 0.1, 0.85, 10); len(got) != 0 {
+		t.Error("empty lexrank")
+	}
+}

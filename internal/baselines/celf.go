@@ -1,0 +1,84 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation (§5.1): the submodular-maximization baselines CELF and
+// SieveStreaming used in the efficiency study, and the social-search /
+// summarization comparators TF-IDF, DIV, Sumblr and REL used in the
+// effectiveness study. None of them uses the engine's ranked lists — that
+// contrast is the point of Figures 9–13.
+package baselines
+
+import (
+	"container/heap"
+
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Result is a baseline's answer with its evaluation count (the number of
+// exact score / marginal-gain computations, the cost driver in §5.3).
+type Result struct {
+	Elements  []*stream.Element
+	Score     float64
+	Evaluated int
+}
+
+// CELF is the lazy-greedy algorithm of Leskovec et al. [16]: greedy
+// selection with upper bounds from previous rounds, (1 − 1/e)-approximate —
+// the best possible ratio unless P=NP. It evaluates every active element at
+// least once, which is exactly why it cannot meet real-time latencies
+// (§3.3) and serves as the quality reference in Figures 8 and 11.
+func CELF(s *score.Scorer, actives []*stream.Element, x topicmodel.TopicVec, k int) Result {
+	set := score.NewCandidateSet(s, x)
+	lazy := &lazyHeap{}
+	evaluated := 0
+	for _, e := range actives {
+		gain := s.Score(e, x)
+		evaluated++
+		if gain > 0 {
+			heap.Push(lazy, lazyEntry{elem: e, gain: gain, round: 0})
+		}
+	}
+	for set.Len() < k && lazy.Len() > 0 {
+		top := heap.Pop(lazy).(lazyEntry)
+		if top.round == set.Len() {
+			// Gain is current for this round: greedy-add it.
+			if top.gain <= 0 {
+				break
+			}
+			set.Add(top.elem)
+			continue
+		}
+		// Stale: recompute and push back.
+		gain := set.MarginalGain(top.elem)
+		evaluated++
+		if gain > 0 {
+			heap.Push(lazy, lazyEntry{elem: top.elem, gain: gain, round: set.Len()})
+		}
+	}
+	return Result{Elements: set.Members(), Score: set.Value(), Evaluated: evaluated}
+}
+
+type lazyEntry struct {
+	elem  *stream.Element
+	gain  float64
+	round int // |S| when this gain was computed
+}
+
+type lazyHeap []lazyEntry
+
+func (h lazyHeap) Len() int { return len(h) }
+func (h lazyHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].elem.ID < h[j].elem.ID
+}
+func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

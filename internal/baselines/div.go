@@ -1,0 +1,79 @@
+package baselines
+
+import (
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// divCand is one query-relevant element with its TF-IDF vector.
+type divCand struct {
+	e   *stream.Element
+	vec textproc.SparseVec
+	rel float64
+}
+
+// DivTopK is the Diversity-aware Top-k Keyword Query of Chen & Cong [9]:
+// it greedily maximizes score(q,S) = λ·Σ_{e∈S} rel(q,e) + (1−λ)·div(S),
+// where rel is TF-IDF cosine relevance and div(S) is the average pairwise
+// dissimilarity of the result set. The paper follows [9] with λ = 0.3.
+func DivTopK(actives []*stream.Element, tf *textproc.TFIDF, keywords []textproc.WordID, k int, lambda float64) []*stream.Element {
+	qv := tf.Vectorize(textproc.NewDocument(keywords))
+	cands := make([]divCand, 0, len(actives))
+	for _, e := range actives {
+		v := tf.Vectorize(e.Doc)
+		if rel := v.Cosine(qv); rel > 0 {
+			cands = append(cands, divCand{e, v, rel})
+		}
+	}
+	var selected []divCand
+	used := make(map[stream.ElemID]bool)
+	for len(selected) < k && len(selected) < len(cands) {
+		bestIdx := -1
+		var bestScore float64
+		for i, c := range cands {
+			if used[c.e.ID] {
+				continue
+			}
+			s := divObjective(selected, c, lambda)
+			if bestIdx == -1 || s > bestScore ||
+				(s == bestScore && c.e.ID < cands[bestIdx].e.ID) {
+				bestIdx, bestScore = i, s
+			}
+		}
+		if bestIdx == -1 {
+			break
+		}
+		selected = append(selected, cands[bestIdx])
+		used[cands[bestIdx].e.ID] = true
+	}
+	out := make([]*stream.Element, len(selected))
+	for i, c := range selected {
+		out[i] = c.e
+	}
+	return out
+}
+
+// divObjective evaluates score(q, S ∪ {c}): λ·Σ rel + (1−λ)·div where div
+// is the mean pairwise dissimilarity (1 − cosine) over the extended set.
+func divObjective(selected []divCand, c divCand, lambda float64) float64 {
+	relSum := c.rel
+	for _, s := range selected {
+		relSum += s.rel
+	}
+	n := len(selected) + 1
+	var div float64
+	if n > 1 {
+		var dissim float64
+		var pairs int
+		for i := 0; i < len(selected); i++ {
+			for j := i + 1; j < len(selected); j++ {
+				dissim += 1 - selected[i].vec.Cosine(selected[j].vec)
+				pairs++
+			}
+			dissim += 1 - selected[i].vec.Cosine(c.vec)
+			pairs++
+		}
+		div = dissim / float64(pairs)
+	}
+	return lambda*relSum + (1-lambda)*div
+}

@@ -1,0 +1,74 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/testutil"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// plainGreedy is the textbook greedy [22]: recompute every marginal gain
+// each round and take the max.
+func plainGreedy(s *score.Scorer, actives []*stream.Element, x topicmodel.TopicVec, k int) []*stream.Element {
+	set := score.NewCandidateSet(s, x)
+	for set.Len() < k {
+		var best *stream.Element
+		var bestGain float64
+		for _, e := range actives {
+			if set.Contains(e.ID) {
+				continue
+			}
+			g := set.MarginalGain(e)
+			if g > bestGain || (g == bestGain && best != nil && e.ID < best.ID) {
+				best, bestGain = e, g
+			}
+		}
+		if best == nil || bestGain <= 0 {
+			break
+		}
+		set.Add(best)
+	}
+	return set.Members()
+}
+
+// CELF's lazy evaluation is an optimization, not an approximation: it must
+// select exactly the same value as plain greedy on every instance.
+func TestCELFEquivalentToPlainGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		inst := testutil.NewInstance(rng, testutil.Options{Elements: 15})
+		x := testutil.RandQuery(rng, inst.Topics)
+		k := 1 + rng.Intn(5)
+		want := plainGreedy(inst.Scorer, inst.Elems, x, k)
+		got := CELF(inst.Scorer, inst.Elems, x, k)
+		wantScore := inst.Scorer.SetScore(want, x)
+		if math.Abs(got.Score-wantScore) > 1e-9 {
+			t.Fatalf("trial %d: CELF score %.9f != greedy %.9f (k=%d)",
+				trial, got.Score, wantScore, k)
+		}
+		if len(got.Elements) != len(want) {
+			t.Fatalf("trial %d: CELF |S|=%d, greedy |S|=%d", trial, len(got.Elements), len(want))
+		}
+	}
+}
+
+// CELF must also never evaluate more than greedy: it is an optimization.
+func TestCELFEvaluatesLessThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	inst := testutil.NewInstance(rng, testutil.Options{Elements: 40})
+	x := testutil.RandQuery(rng, inst.Topics)
+	const k = 5
+	res := CELF(inst.Scorer, inst.Elems, x, k)
+	// Plain greedy would evaluate n·k = 200 gains; CELF's lazy bound is
+	// n + (re-evaluations), far below.
+	if res.Evaluated >= 40*k {
+		t.Errorf("CELF evaluated %d ≥ plain greedy's %d", res.Evaluated, 40*k)
+	}
+	if res.Evaluated < 40 {
+		t.Errorf("CELF must evaluate every element at least once: %d", res.Evaluated)
+	}
+}

@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+)
+
+// kmeans clusters dense vectors into at most k clusters with k-means++
+// seeding and Lloyd iterations. It returns the cluster assignment per
+// vector. Deterministic for a given seed.
+func kmeans(vecs [][]float64, k int, seed int64, maxIter int) []int {
+	n := len(vecs)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(vecs[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), vecs[first]...))
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, v := range vecs {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(v, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total == 0 {
+			break // all points coincide with centroids
+		}
+		r := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, d := range dist {
+			acc += d
+			if r < acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), vecs[pick]...))
+	}
+	k = len(centroids)
+
+	// Lloyd iterations.
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vecs {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(v, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centroids {
+			for j := 0; j < dim; j++ {
+				centroids[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, v := range vecs {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				centroids[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package baselines
+
+import "github.com/social-streams/ksir/internal/textproc"
+
+// lexRank computes LexRank centrality scores (Erkan & Radev) over the
+// cosine-similarity graph of the given TF-IDF vectors: PageRank on the
+// row-normalized adjacency of pairs with similarity ≥ threshold.
+func lexRank(vecs []textproc.SparseVec, threshold, damping float64, iters int) []float64 {
+	n := len(vecs)
+	scores := make([]float64, n)
+	if n == 0 {
+		return scores
+	}
+	adj := make([][]float64, n)
+	degree := make([]float64, n)
+	for i := 0; i < n; i++ {
+		adj[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			var sim float64
+			if i == j {
+				sim = 1
+			} else if j < i {
+				sim = adj[j][i]
+			} else {
+				sim = vecs[i].Cosine(vecs[j])
+			}
+			if sim >= threshold {
+				adj[i][j] = sim
+				degree[i] += sim
+			}
+		}
+	}
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for j := 0; j < n; j++ {
+			next[j] = (1 - damping) / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			if degree[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if adj[i][j] > 0 {
+					next[j] += damping * scores[i] * adj[i][j] / degree[i]
+				}
+			}
+		}
+		copy(scores, next)
+	}
+	return scores
+}

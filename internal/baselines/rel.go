@@ -1,0 +1,40 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// RelTopK is the Top-k Relevance Query of Zhang et al. [39]: it measures
+// the relevance of an element to the query by the cosine similarity of
+// their topic vectors and returns the k most relevant elements. It captures
+// semantics (unlike TF-IDF) but not representativeness — near-duplicate
+// highly relevant elements crowd the result (§1, §5.2 "low coverage").
+func RelTopK(actives []*stream.Element, x topicmodel.TopicVec, k int) []*stream.Element {
+	type scored struct {
+		e   *stream.Element
+		rel float64
+	}
+	all := make([]scored, 0, len(actives))
+	for _, e := range actives {
+		if rel := e.Topics.Cosine(x); rel > 0 {
+			all = append(all, scored{e, rel})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rel != all[j].rel {
+			return all[i].rel > all[j].rel
+		}
+		return all[i].e.ID < all[j].e.ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]*stream.Element, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].e
+	}
+	return out
+}

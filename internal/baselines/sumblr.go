@@ -1,0 +1,140 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// SumblrConfig carries the clustering/ranking knobs of Shou et al. [27];
+// the defaults mirror that paper's settings as §5.1 prescribes.
+type SumblrConfig struct {
+	Seed       int64
+	KMeansIter int     // Lloyd iterations (default 20)
+	LexThresh  float64 // LexRank similarity threshold (default 0.1)
+	LexDamping float64 // LexRank damping factor (default 0.85)
+	LexIter    int     // LexRank power iterations (default 30)
+}
+
+func (c *SumblrConfig) fill() {
+	if c.KMeansIter == 0 {
+		c.KMeansIter = 20
+	}
+	if c.LexThresh == 0 {
+		c.LexThresh = 0.1
+	}
+	if c.LexDamping == 0 {
+		c.LexDamping = 0.85
+	}
+	if c.LexIter == 0 {
+		c.LexIter = 30
+	}
+}
+
+// Sumblr adapts the continuous tweet-stream summarizer of Shou et al. [27]
+// to query processing the way §5.1 does: the elements containing at least
+// one query keyword become candidates, the candidates are clustered with
+// k-means into k content clusters, and LexRank picks the most central
+// element of each cluster as the summary sentence. Clusters are emitted
+// largest-first; if fewer than k non-empty clusters exist, remaining slots
+// are filled with the globally highest-LexRank leftovers.
+func Sumblr(actives []*stream.Element, tf *textproc.TFIDF, keywords []textproc.WordID, k int, topics int, cfg SumblrConfig) []*stream.Element {
+	cfg.fill()
+	kw := make(map[textproc.WordID]struct{}, len(keywords))
+	for _, w := range keywords {
+		kw[w] = struct{}{}
+	}
+	var cands []*stream.Element
+	for _, e := range actives {
+		for _, tc := range e.Doc.Terms {
+			if _, ok := kw[tc.Word]; ok {
+				cands = append(cands, e)
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+
+	// Cluster on dense topic vectors (content representation).
+	dense := make([][]float64, len(cands))
+	for i, e := range cands {
+		v := make([]float64, topics)
+		for j, tp := range e.Topics.Topics {
+			v[tp] = e.Topics.Probs[j]
+		}
+		dense[i] = v
+	}
+	assign := kmeans(dense, k, cfg.Seed, cfg.KMeansIter)
+
+	// LexRank centrality over the TF-IDF similarity graph of candidates.
+	vecs := make([]textproc.SparseVec, len(cands))
+	for i, e := range cands {
+		vecs[i] = tf.Vectorize(e.Doc)
+	}
+	central := lexRank(vecs, cfg.LexThresh, cfg.LexDamping, cfg.LexIter)
+
+	// Pick the most central element per cluster, largest clusters first.
+	type cluster struct {
+		size int
+		best int // candidate index
+	}
+	byCluster := make(map[int]*cluster)
+	for i := range cands {
+		c, ok := byCluster[assign[i]]
+		if !ok {
+			byCluster[assign[i]] = &cluster{size: 1, best: i}
+			continue
+		}
+		c.size++
+		if central[i] > central[c.best] ||
+			(central[i] == central[c.best] && cands[i].ID < cands[c.best].ID) {
+			c.best = i
+		}
+	}
+	clusters := make([]*cluster, 0, len(byCluster))
+	for _, c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].size != clusters[j].size {
+			return clusters[i].size > clusters[j].size
+		}
+		return cands[clusters[i].best].ID < cands[clusters[j].best].ID
+	})
+
+	picked := make(map[int]bool)
+	var out []*stream.Element
+	for _, c := range clusters {
+		if len(out) == k {
+			break
+		}
+		out = append(out, cands[c.best])
+		picked[c.best] = true
+	}
+	if len(out) < k {
+		// Fill remaining slots with the highest-centrality leftovers.
+		rest := make([]int, 0, len(cands))
+		for i := range cands {
+			if !picked[i] {
+				rest = append(rest, i)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			if central[rest[a]] != central[rest[b]] {
+				return central[rest[a]] > central[rest[b]]
+			}
+			return cands[rest[a]].ID < cands[rest[b]].ID
+		})
+		for _, i := range rest {
+			if len(out) == k {
+				break
+			}
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// TFIDFTopK is the classic keyword-based Top-k Keyword Query (§5.1): it
+// vectorizes elements and the keyword query with log-normalized TF-IDF
+// weights and returns the k elements with the highest cosine similarity.
+// It captures only syntactic overlap — the "soccer" example of §1 shows how
+// it misses semantically relevant elements.
+func TFIDFTopK(actives []*stream.Element, tf *textproc.TFIDF, keywords []textproc.WordID, k int) []*stream.Element {
+	qv := tf.Vectorize(textproc.NewDocument(keywords))
+	type scored struct {
+		e   *stream.Element
+		rel float64
+	}
+	all := make([]scored, 0, len(actives))
+	for _, e := range actives {
+		if rel := tf.Vectorize(e.Doc).Cosine(qv); rel > 0 {
+			all = append(all, scored{e, rel})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rel != all[j].rel {
+			return all[i].rel > all[j].rel
+		}
+		return all[i].e.ID < all[j].e.ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]*stream.Element, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].e
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The ablation knobs must not change result quality — only cost. MTTS with
+// early termination disabled is the same sieve over the same elements in
+// the same order, just without stopping; visited-marking off re-feeds
+// duplicates that every candidate ignores via Contains.
+func TestAblationFlagsPreserveQuality(t *testing.T) {
+	g, x := skewedEngine(t, 800)
+	base, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTerm, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS,
+		DisableEarlyTermination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMark, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS,
+		DisableVisitedMarking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without early termination the sieve sees MORE elements, so its score
+	// can only match or improve; with duplicates it must be identical.
+	if noTerm.Score < base.Score-1e-9 {
+		t.Errorf("no-early-termination score %.6f < base %.6f", noTerm.Score, base.Score)
+	}
+	if math.Abs(noMark.Score-base.Score) > 1e-9 {
+		t.Errorf("no-visited-marking changed the result: %.6f vs %.6f", noMark.Score, base.Score)
+	}
+}
+
+func TestAblationFlagsIncreaseCost(t *testing.T) {
+	g, x := skewedEngine(t, 800)
+	base, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTerm, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS,
+		DisableEarlyTermination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early termination is the pruning mechanism: disabling it must drain
+	// the query topics' lists completely (every distinct element with mass
+	// on a query topic gets evaluated — the index still spares the other
+	// topics' elements, which is the ranked lists' own contribution).
+	distinct := make(map[int64]struct{})
+	for _, topic := range []int{0, 1} {
+		for _, item := range g.ListItems(topic) {
+			distinct[int64(item.ID)] = struct{}{}
+		}
+	}
+	if noTerm.Evaluated != len(distinct) {
+		t.Errorf("no-early-termination evaluated %d, want all %d query-topic elements",
+			noTerm.Evaluated, len(distinct))
+	}
+	if base.Evaluated >= noTerm.Evaluated {
+		t.Errorf("base evaluated %d, ablated %d — pruning bought nothing",
+			base.Evaluated, noTerm.Evaluated)
+	}
+
+	// Visited-marking dedupes multi-topic elements: without it, the lists
+	// feed at least as many tuples.
+	noMark, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTS,
+		DisableVisitedMarking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noMark.Retrieved < base.Retrieved {
+		t.Errorf("no-marking retrieved %d < base %d", noMark.Retrieved, base.Retrieved)
+	}
+}
+
+func TestAblationMTTD(t *testing.T) {
+	g, x := skewedEngine(t, 800)
+	base, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noTerm, err := g.Query(Query{K: 5, X: x, Epsilon: 0.1, Algorithm: MTTD,
+		DisableEarlyTermination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MTTD without the retrieve bound pulls the whole index into its
+	// buffer up front; quality must not suffer.
+	if noTerm.Score < base.Score-1e-9 {
+		t.Errorf("ablated MTTD score %.6f < base %.6f", noTerm.Score, base.Score)
+	}
+	if noTerm.Retrieved < base.Retrieved {
+		t.Errorf("ablated MTTD retrieved %d < base %d", noTerm.Retrieved, base.Retrieved)
+	}
+}

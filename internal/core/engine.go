@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: the k-SIR query
+// engine of §4 — per-topic ranked-list maintenance over the sliding window
+// (Algorithm 1) and the two real-time approximation algorithms MTTS
+// (Algorithm 2, (1/2 − ε)-approximate) and MTTD (Algorithm 3,
+// (1 − 1/e − ε)-approximate).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/social-streams/ksir/internal/rankedlist"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Model is the trained topic model used as the scoring oracle.
+	Model *topicmodel.Model
+	// WindowLength is T, the sliding-window length in stream time units.
+	WindowLength stream.Time
+	// Params are the scoring trade-offs λ and η.
+	Params score.Params
+}
+
+// Stats aggregates maintenance counters for the scalability experiments
+// (Figure 14 reports update time per arriving element).
+type Stats struct {
+	ElementsIngested int64
+	Buckets          int64
+	UpdateTime       time.Duration // total wall time spent in Ingest
+	ListUpserts      int64
+	ListDeletes      int64
+}
+
+// UpdateTimePerElement returns the average maintenance time per arriving
+// element (the Figure 14 metric).
+func (s Stats) UpdateTimePerElement() time.Duration {
+	if s.ElementsIngested == 0 {
+		return 0
+	}
+	return s.UpdateTime / time.Duration(s.ElementsIngested)
+}
+
+// Engine is the k-SIR query processor (Figure 4): it owns the active window,
+// one ranked list per topic, and the scorer. Ingest is serialized; queries
+// may run concurrently with each other between ingests.
+type Engine struct {
+	mu     sync.RWMutex
+	cfg    Config
+	win    *stream.ActiveWindow
+	scorer *score.Scorer
+	lists  []*rankedlist.List
+	stats  Stats
+}
+
+// NewEngine validates the configuration and returns an empty engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: config needs a topic model")
+	}
+	if cfg.WindowLength <= 0 {
+		return nil, fmt.Errorf("core: window length must be positive, got %d", cfg.WindowLength)
+	}
+	win := stream.NewActiveWindow(cfg.WindowLength)
+	scorer, err := score.NewScorer(cfg.Model, win, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([]*rankedlist.List, cfg.Model.Z)
+	for i := range lists {
+		lists[i] = rankedlist.New()
+	}
+	return &Engine{cfg: cfg, win: win, scorer: scorer, lists: lists}, nil
+}
+
+// Window exposes the active window for read-only use by baselines and
+// metrics. Callers must not mutate it.
+func (g *Engine) Window() *stream.ActiveWindow { return g.win }
+
+// Scorer exposes the scorer for baselines that evaluate the same objective.
+func (g *Engine) Scorer() *score.Scorer { return g.scorer }
+
+// NumActive returns n_t.
+func (g *Engine) NumActive() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.win.NumActive()
+}
+
+// Now returns the current stream time.
+func (g *Engine) Now() stream.Time {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.win.Now()
+}
+
+// Stats returns a copy of the maintenance counters.
+func (g *Engine) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats
+}
+
+// Ingest advances the window to now with one bucket of elements and
+// maintains the ranked lists (Algorithm 1): new elements are inserted into
+// the lists of every topic they have mass on; parents gaining references are
+// rescored and repositioned; expired elements are deleted.
+func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	start := time.Now()
+
+	cs, err := g.win.Advance(now, batch)
+	if err != nil {
+		return err
+	}
+	g.scorer.OnChange(cs)
+
+	// Expired first: an element can expire in the same advance it was
+	// (re-)inserted only if it entered already out of window, in which case
+	// it must not linger in the lists.
+	for _, e := range cs.Expired {
+		for _, topic := range e.Topics.Topics {
+			if g.lists[topic].Delete(e.ID) {
+				g.stats.ListDeletes++
+			}
+		}
+	}
+	expired := make(map[stream.ElemID]struct{}, len(cs.Expired))
+	for _, e := range cs.Expired {
+		expired[e.ID] = struct{}{}
+	}
+	for _, e := range cs.Inserted {
+		if _, gone := expired[e.ID]; gone {
+			continue
+		}
+		g.upsert(e)
+	}
+	for _, e := range cs.Updated {
+		if _, gone := expired[e.ID]; gone {
+			continue
+		}
+		g.upsert(e)
+	}
+
+	g.stats.ElementsIngested += int64(len(batch))
+	g.stats.Buckets++
+	g.stats.UpdateTime += time.Since(start)
+	return nil
+}
+
+// upsert recomputes δ_i(e) on every topic of e and repositions its tuples.
+func (g *Engine) upsert(e *stream.Element) {
+	te, _ := g.win.LastRef(e.ID)
+	for _, topic := range e.Topics.Topics {
+		g.lists[topic].Upsert(e.ID, g.scorer.TopicScore(e, topic), te)
+		g.stats.ListUpserts++
+	}
+}
+
+// ListLen returns the size of RL_i (for tests and diagnostics).
+func (g *Engine) ListLen(topic int) int { return g.lists[topic].Len() }
+
+// ListItems returns RL_i's tuples in ranked order (for tests/diagnostics).
+func (g *Engine) ListItems(topic int) []rankedlist.Item { return g.lists[topic].Items() }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+// paperEngine builds an engine with the paper's example parameters
+// (λ=0.5, η=2, T=4) and ingests the eight elements one per time unit.
+func paperEngine(t *testing.T) *Engine {
+	t.Helper()
+	g, err := NewEngine(Config{
+		Model:        papertest.Model(),
+		WindowLength: 4,
+		Params:       score.Params{Lambda: 0.5, Eta: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range papertest.Elements() {
+		if err := g.Ingest(e.TS, []*stream.Element{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Model: nil, WindowLength: 4}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewEngine(Config{Model: papertest.Model(), WindowLength: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+	bad := score.Params{Lambda: 2, Eta: 1}
+	if _, err := NewEngine(Config{Model: papertest.Model(), WindowLength: 4, Params: bad}); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+// Figure 5: the ranked lists at t=8. RL1 = e3,e6,e8,e2,{e7,e1},e5 with
+// scores 0.65,0.48,0.17,0.10,0.06,0.06,0.05; RL2 = e1,e2,e5,e7,e8,e6,e3
+// with scores 0.56,0.48,0.27,0.18,0.16,0.13,0.03.
+func TestFigure5RankedLists(t *testing.T) {
+	g := paperEngine(t)
+	if g.ListLen(0) != 7 || g.ListLen(1) != 7 {
+		t.Fatalf("list sizes = %d, %d; want 7, 7 (e4 expired)", g.ListLen(0), g.ListLen(1))
+	}
+
+	rl2 := g.ListItems(1)
+	wantOrder := []stream.ElemID{1, 2, 5, 7, 8, 6, 3}
+	wantScore := []float64{0.56, 0.48, 0.27, 0.18, 0.16, 0.13, 0.03}
+	for i, item := range rl2 {
+		if item.ID != wantOrder[i] {
+			t.Errorf("RL2[%d] = e%d, want e%d", i, item.ID, wantOrder[i])
+		}
+		if math.Abs(item.Score-wantScore[i]) > 0.011 {
+			t.Errorf("RL2[%d] score = %.4f, want %.2f", i, item.Score, wantScore[i])
+		}
+	}
+
+	rl1 := g.ListItems(0)
+	// e7 and e1 tie at ~0.06 (0.0563 vs 0.0565); assert the unambiguous
+	// positions and the score values.
+	wantScore1 := []float64{0.65, 0.48, 0.17, 0.10, 0.06, 0.06, 0.05}
+	for i, item := range rl1 {
+		if math.Abs(item.Score-wantScore1[i]) > 0.011 {
+			t.Errorf("RL1[%d] (e%d) score = %.4f, want %.2f", i, item.ID, item.Score, wantScore1[i])
+		}
+	}
+	for i, want := range []stream.ElemID{3, 6, 8, 2} {
+		if rl1[i].ID != want {
+			t.Errorf("RL1[%d] = e%d, want e%d", i, rl1[i].ID, want)
+		}
+	}
+	if rl1[6].ID != 5 {
+		t.Errorf("RL1 tail = e%d, want e5", rl1[6].ID)
+	}
+}
+
+// Last-referred timestamps in the tuples (Algorithm 1: t_e updates when a
+// reference arrives).
+func TestRankedListLastRef(t *testing.T) {
+	g := paperEngine(t)
+	wantTe := map[stream.ElemID]stream.Time{
+		1: 5, 2: 8, 3: 8, 5: 5, 6: 8, 7: 7, 8: 8,
+	}
+	for _, item := range g.ListItems(1) {
+		if item.LastRef != wantTe[item.ID] {
+			t.Errorf("t_e(e%d) = %d, want %d", item.ID, item.LastRef, wantTe[item.ID])
+		}
+	}
+}
+
+func TestIngestExpiryRemovesFromLists(t *testing.T) {
+	g := paperEngine(t)
+	for _, topic := range []int{0, 1} {
+		for _, item := range g.ListItems(topic) {
+			if item.ID == 4 {
+				t.Errorf("expired e4 still in RL%d", topic+1)
+			}
+		}
+	}
+	// Drain completely: advance far beyond the window.
+	if err := g.Ingest(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.ListLen(0) != 0 || g.ListLen(1) != 0 {
+		t.Errorf("lists not drained: %d, %d", g.ListLen(0), g.ListLen(1))
+	}
+	if g.NumActive() != 0 {
+		t.Errorf("active = %d", g.NumActive())
+	}
+}
+
+func TestIngestErrorPropagates(t *testing.T) {
+	g := paperEngine(t)
+	if err := g.Ingest(1, nil); err == nil {
+		t.Error("backwards time accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := paperEngine(t)
+	st := g.Stats()
+	if st.ElementsIngested != 8 {
+		t.Errorf("ElementsIngested = %d", st.ElementsIngested)
+	}
+	if st.Buckets != 8 {
+		t.Errorf("Buckets = %d", st.Buckets)
+	}
+	if st.ListUpserts == 0 {
+		t.Error("no upserts recorded")
+	}
+	if st.UpdateTimePerElement() < 0 {
+		t.Error("negative update time")
+	}
+	if (Stats{}).UpdateTimePerElement() != 0 {
+		t.Error("zero-division guard failed")
+	}
+}
+
+func TestEngineNow(t *testing.T) {
+	g := paperEngine(t)
+	if g.Now() != 8 {
+		t.Errorf("Now = %d", g.Now())
+	}
+	if g.NumActive() != 7 {
+		t.Errorf("NumActive = %d", g.NumActive())
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/testutil"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// celfOnWindow runs lazy greedy directly on the engine's current window as
+// the quality reference.
+func celfOnWindow(g *Engine, x topicmodel.TopicVec, k int) float64 {
+	set := score.NewCandidateSet(g.Scorer(), x)
+	var actives []*stream.Element
+	g.Window().ForEachActive(func(e *stream.Element) { actives = append(actives, e) })
+	for set.Len() < k {
+		var best *stream.Element
+		var bestGain float64
+		for _, e := range actives {
+			if set.Contains(e.ID) {
+				continue
+			}
+			if gain := set.MarginalGain(e); gain > bestGain {
+				best, bestGain = e, gain
+			}
+		}
+		if best == nil || bestGain <= 0 {
+			break
+		}
+		set.Add(best)
+	}
+	return set.Value()
+}
+
+// Mid-stream consistency: as the window slides (arrivals, expiries,
+// resurrections), MTTS/MTTD answered against the live ranked lists must
+// stay within their guarantees of the greedy reference at every point.
+func TestMidStreamQueryConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const n, T, k, eps = 300, 40, 4, 0.1
+	m := testutil.RandModel(rng, 4, 30)
+	g, err := NewEngine(Config{
+		Model:        m,
+		WindowLength: T,
+		Params:       score.Params{Lambda: 0.5, Eta: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := testutil.RandQuery(rng, 4)
+	checked := 0
+	for i := 1; i <= n; i++ {
+		e := testutil.RandElement(rng, i, 4, 30, 2)
+		if err := g.Ingest(e.TS, []*stream.Element{e}); err != nil {
+			t.Fatal(err)
+		}
+		if i%25 != 0 {
+			continue
+		}
+		checked++
+		greedy := celfOnWindow(g, x, k)
+		ts, err := g.Query(Query{K: k, X: x, Epsilon: eps, Algorithm: MTTS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := g.Query(Query{K: k, X: x, Epsilon: eps, Algorithm: MTTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// greedy ≤ OPT, so the theorems imply both bounds relative to it:
+		// MTTS ≥ (1/2−ε)·OPT ≥ (1/2−ε)·greedy, and likewise for MTTD.
+		if ts.Score < (0.5-eps)*greedy-1e-9 {
+			t.Errorf("t=%d: MTTS %.6f < (1/2−ε)·greedy %.6f", g.Now(), ts.Score, greedy)
+		}
+		if td.Score < (1-1/math.E-eps)*greedy-1e-9 {
+			t.Errorf("t=%d: MTTD %.6f < (1−1/e−ε)·greedy %.6f", g.Now(), td.Score, greedy)
+		}
+		// Results only contain currently active elements.
+		for _, res := range []Result{ts, td} {
+			for _, e := range res.Elements {
+				if _, ok := g.Window().Get(e.ID); !ok {
+					t.Fatalf("t=%d: result holds inactive e%d", g.Now(), e.ID)
+				}
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d checkpoints exercised", checked)
+	}
+}
+
+// MTTD must stop exactly at k even when the admitting round would admit
+// more elements.
+func TestMTTDStopsAtK(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	g, x := randEngine(t, rng, 30)
+	for k := 1; k <= 6; k++ {
+		res, err := g.Query(Query{K: k, X: x, Epsilon: 0.1, Algorithm: MTTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Elements) > k {
+			t.Errorf("k=%d: returned %d", k, len(res.Elements))
+		}
+	}
+}
+
+// Monotonicity in k: a larger k can only improve the MTTD score.
+func TestMTTDScoreMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	g, x := randEngine(t, rng, 25)
+	var prev float64
+	for k := 1; k <= 8; k++ {
+		res, err := g.Query(Query{K: k, X: x, Epsilon: 0.1, Algorithm: MTTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score < prev-1e-9 {
+			t.Errorf("score dropped from %.6f to %.6f at k=%d", prev, res.Score, k)
+		}
+		prev = res.Score
+	}
+}

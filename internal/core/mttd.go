@@ -1,0 +1,110 @@
+package core
+
+import (
+	"container/heap"
+
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+// mttd implements Algorithm 3 (Multi-Topic ThresholdDescend).
+//
+// It keeps a single candidate S and a buffer E′ of retrieved elements keyed
+// by lazily cached marginal gains. Evaluation proceeds in rounds with
+// geometrically descending thresholds τ; in each round, the retrieve step
+// pulls every element whose ranked-list upper bound reaches τ, then the
+// buffer is drained CELF-style: the max cached gain is recomputed and the
+// element admitted if its true gain still reaches τ. The loop stops when S
+// is full or τ descends below τ′ = f(S,x)·ε/k. Theorem 4.4: the result is
+// (1 − 1/e − ε)-approximate.
+func (g *Engine) mttd(q Query) Result {
+	tr := newTraversalOpt(g, q.X, !q.DisableVisitedMarking)
+	eps := q.Epsilon
+	k := q.K
+
+	s := score.NewCandidateSet(g.scorer, q.X)
+	buf := &gainHeap{}
+	evaluated := 0
+
+	tau := tr.ub() // τ starts at the global upper bound (line 3)
+	tauEnd := 0.0
+	for tau >= tauEnd && tau > 0 {
+		// retrieve(τ): pull elements whose upper bound reaches τ (lines
+		// 13–19). Their cached key is the exact singleton score δ(e, x),
+		// an upper bound on any future marginal gain.
+		for q.DisableEarlyTermination || tr.ub() >= tau {
+			e, ok := tr.pop()
+			if !ok {
+				break
+			}
+			delta := g.scorer.Score(e, q.X)
+			evaluated++
+			heap.Push(buf, gainEntry{elem: e, gain: delta})
+		}
+
+		// Evaluation round (lines 6–10): lazy-greedy drain at threshold τ.
+		for buf.Len() > 0 && (*buf)[0].gain >= tau {
+			top := heap.Pop(buf).(gainEntry)
+			if s.Contains(top.elem.ID) {
+				continue
+			}
+			gain := s.MarginalGain(top.elem)
+			evaluated++
+			if gain >= tau {
+				s.Add(top.elem)
+				if s.Len() == k {
+					return g.mttdResult(q, s, tr, evaluated)
+				}
+			} else if gain > 0 {
+				heap.Push(buf, gainEntry{elem: top.elem, gain: gain})
+			}
+		}
+
+		// Descend (line 11). τ′ > 0 once anything scored, guaranteeing
+		// termination; if nothing has positive score the buffer is empty
+		// and the traversal exhausted, so we stop explicitly.
+		tauEnd = s.Value() * eps / float64(k)
+		tau *= 1 - eps
+		if buf.Len() == 0 && tr.exhausted() {
+			break
+		}
+	}
+	return g.mttdResult(q, s, tr, evaluated)
+}
+
+func (g *Engine) mttdResult(q Query, s *score.CandidateSet, tr *traversal, evaluated int) Result {
+	return Result{
+		Elements:      s.Members(),
+		Score:         s.Value(),
+		Evaluated:     evaluated,
+		Retrieved:     tr.retrieved,
+		ActiveAtQuery: g.win.NumActive(),
+	}
+}
+
+// gainEntry is one buffered element with its lazily cached marginal gain.
+type gainEntry struct {
+	elem *stream.Element
+	gain float64
+}
+
+// gainHeap is a max-heap over cached gains (ties broken by ID for
+// determinism).
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].elem.ID < h[j].elem.ID
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

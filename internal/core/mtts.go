@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+
+	"github.com/social-streams/ksir/internal/score"
+)
+
+// sieveCand is one threshold candidate S_ϕ with ϕ = (1+ε)^j and its
+// admission threshold ϕ/2k cached (computing pow in the per-element loop
+// is measurably expensive).
+type sieveCand struct {
+	j         int
+	threshold float64
+	set       *score.CandidateSet
+}
+
+// mtts implements Algorithm 2 (Multi-Topic ThresholdStream).
+//
+// It maintains SieveStreaming-style candidates S_ϕ for geometric threshold
+// estimates ϕ = (1+ε)^j of OPT, feeds them elements best-score-first from
+// the ranked lists, and stops as soon as the upper bound UB(x) of every
+// unevaluated element falls below the minimum admission threshold TH of the
+// unfilled candidates. Theorem 4.2: the best candidate is (1/2 − ε)-optimal.
+func (g *Engine) mtts(q Query) Result {
+	tr := newTraversalOpt(g, q.X, !q.DisableVisitedMarking)
+	eps := q.Epsilon
+	k := float64(q.K)
+	logBase := math.Log(1 + eps)
+
+	var cands []sieveCand // sorted by j ascending
+	var deltaMax float64
+	evaluated := 0
+
+	th := 0.0 // minimum admission threshold among unfilled candidates
+	ub := tr.ub()
+	for q.DisableEarlyTermination || ub >= th {
+		e, ok := tr.pop()
+		if !ok {
+			break
+		}
+		delta := g.scorer.Score(e, q.X)
+		evaluated++
+
+		if delta > deltaMax {
+			deltaMax = delta
+			// Re-anchor Φ to [δmax, 2k·δmax] (line 8), dropping candidates
+			// that fell out of range (line 9) and creating the new ones.
+			jLo := int(math.Ceil(math.Log(deltaMax) / logBase))
+			jHi := int(math.Floor(math.Log(2*k*deltaMax) / logBase))
+			old := cands
+			cands = make([]sieveCand, 0, jHi-jLo+1)
+			oi := 0
+			for j := jLo; j <= jHi; j++ {
+				for oi < len(old) && old[oi].j < j {
+					oi++
+				}
+				if oi < len(old) && old[oi].j == j {
+					cands = append(cands, old[oi])
+					continue
+				}
+				cands = append(cands, sieveCand{
+					j:         j,
+					threshold: math.Pow(1+eps, float64(j)) / (2 * k),
+					set:       score.NewCandidateSet(g.scorer, q.X),
+				})
+			}
+		}
+
+		// Each candidate decides independently (lines 10–12); the δ(e,x) ≥
+		// ϕ/2k filter spares the marginal-gain computation for the
+		// higher-threshold candidates. TH (line 14) falls out of the same
+		// pass: the smallest admission threshold of any unfilled candidate.
+		th = math.Inf(1)
+		for i := range cands {
+			c := &cands[i]
+			if c.set.Len() < q.K {
+				if delta >= c.threshold && c.set.MarginalGain(e) >= c.threshold {
+					c.set.Add(e)
+				}
+				if c.set.Len() < q.K && c.threshold < th {
+					th = c.threshold
+				}
+			}
+		}
+		if len(cands) == 0 {
+			th = 0
+		}
+		ub = tr.ub()
+	}
+
+	// Return the candidate with the maximum score (line 15).
+	var best *score.CandidateSet
+	for i := range cands {
+		if best == nil || cands[i].set.Value() > best.Value() {
+			best = cands[i].set
+		}
+	}
+	res := Result{
+		Evaluated:     evaluated,
+		Retrieved:     tr.retrieved,
+		ActiveAtQuery: g.win.NumActive(),
+	}
+	if best != nil {
+		res.Elements = best.Members()
+		res.Score = best.Value()
+	}
+	return res
+}

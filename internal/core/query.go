@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Algorithm selects the k-SIR processing algorithm.
+type Algorithm int
+
+const (
+	// MTTS is Multi-Topic ThresholdStream (Algorithm 2): evaluates each
+	// active element at most once, (1/2 − ε)-approximate.
+	MTTS Algorithm = iota
+	// MTTD is Multi-Topic ThresholdDescend (Algorithm 3): buffers retrieved
+	// elements for re-evaluation, (1 − 1/e − ε)-approximate.
+	MTTD
+	// TopkRep returns the k elements with the highest individual scores
+	// δ(e, x) — the Top-k Representative baseline of §5.3, only
+	// 1/k-approximate because word and influence overlaps are ignored.
+	TopkRep
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case MTTS:
+		return "MTTS"
+	case MTTD:
+		return "MTTD"
+	case TopkRep:
+		return "TopkRep"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Query is a k-SIR query q_t(k, x).
+type Query struct {
+	// K bounds the result size.
+	K int
+	// X is the query vector over topics, normalized to sum to 1.
+	X topicmodel.TopicVec
+	// Epsilon is the approximation parameter ε ∈ (0,1) of MTTS/MTTD
+	// (default 0.1, the paper's default).
+	Epsilon float64
+	// Algorithm selects the processing algorithm (default MTTS).
+	Algorithm Algorithm
+
+	// Ablation knobs (DESIGN.md §5). Production queries leave both false;
+	// the ablation benches flip them to measure what each mechanism buys.
+	//
+	// DisableEarlyTermination ignores the UB(x) < TH cutoff so the
+	// traversal drains every ranked list (the algorithm degenerates to an
+	// index-ordered SieveStreaming / full threshold descend).
+	DisableEarlyTermination bool
+	// DisableVisitedMarking skips cross-list deduplication, so an element
+	// with mass on several query topics is retrieved and evaluated once
+	// per list rather than once per query.
+	DisableVisitedMarking bool
+}
+
+func (q *Query) validate() error {
+	if q.K <= 0 {
+		return fmt.Errorf("core: query k must be positive, got %d", q.K)
+	}
+	if q.X.Len() == 0 {
+		return fmt.Errorf("core: query vector is empty")
+	}
+	if q.Epsilon == 0 {
+		q.Epsilon = 0.1
+	}
+	if q.Epsilon < 0 || q.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon must be in (0,1), got %v", q.Epsilon)
+	}
+	return nil
+}
+
+// Result is the answer to a k-SIR query plus the processing counters used
+// by the efficiency experiments.
+type Result struct {
+	// Elements is the result set S, in the order the algorithm added them.
+	Elements []*stream.Element
+	// Score is f(S, x).
+	Score float64
+	// Evaluated counts elements whose exact score or marginal gain was
+	// computed at least once — the numerator of Figure 10's ratio.
+	Evaluated int
+	// Retrieved counts tuples pulled from the ranked lists.
+	Retrieved int
+	// ActiveAtQuery is n_t when the query ran (Figure 10's denominator).
+	ActiveAtQuery int
+}
+
+// IDs returns the result element IDs in selection order.
+func (r Result) IDs() []stream.ElemID {
+	ids := make([]stream.ElemID, len(r.Elements))
+	for i, e := range r.Elements {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Query processes a k-SIR query against the current window state. It is
+// safe to call concurrently from multiple goroutines; Ingest is blocked
+// while queries run.
+func (g *Engine) Query(q Query) (Result, error) {
+	if err := q.validate(); err != nil {
+		return Result{}, err
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	switch q.Algorithm {
+	case MTTS:
+		return g.mtts(q), nil
+	case MTTD:
+		return g.mttd(q), nil
+	case TopkRep:
+		return g.topkRep(q), nil
+	default:
+		return Result{}, fmt.Errorf("core: unknown algorithm %d", int(q.Algorithm))
+	}
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Example 4.1: MTTS with ε=0.3 on q8(2, (0.5,0.5)) returns {e1, e3} after
+// evaluating only 4 elements (e3, e1, e6, e2).
+func TestExample41MTTS(t *testing.T) {
+	g := paperEngine(t)
+	res, err := g.Query(Query{K: 2, X: papertest.QueryUniform(), Epsilon: 0.3, Algorithm: MTTS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, res, 1, 3)
+	if math.Abs(res.Score-0.65) > 0.02 {
+		t.Errorf("score = %v, want 0.65", res.Score)
+	}
+	if res.Evaluated != 4 {
+		t.Errorf("evaluated %d elements, paper's walkthrough evaluates 4", res.Evaluated)
+	}
+	if res.ActiveAtQuery != 7 {
+		t.Errorf("ActiveAtQuery = %d", res.ActiveAtQuery)
+	}
+}
+
+// Example 4.3: MTTD with ε=0.3 on the same query also returns {e1, e3},
+// retrieving only e3, e1, e6, e2 from the lists.
+func TestExample43MTTD(t *testing.T) {
+	g := paperEngine(t)
+	res, err := g.Query(Query{K: 2, X: papertest.QueryUniform(), Epsilon: 0.3, Algorithm: MTTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, res, 1, 3)
+	if math.Abs(res.Score-0.65) > 0.02 {
+		t.Errorf("score = %v, want 0.65", res.Score)
+	}
+}
+
+// Example 3.4's second query: x2 = (0.1, 0.9) prefers θ2; the optimum is
+// {e1, e2}. MTTD should find it.
+func TestSkewedQueryMTTD(t *testing.T) {
+	g := paperEngine(t)
+	res, err := g.Query(Query{K: 2, X: papertest.QuerySkewed(), Epsilon: 0.1, Algorithm: MTTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, res, 1, 2)
+	if math.Abs(res.Score-0.94) > 0.02 {
+		t.Errorf("score = %v, want 0.94", res.Score)
+	}
+}
+
+func TestTopkRepReturnsHighestIndividualScores(t *testing.T) {
+	g := paperEngine(t)
+	x := papertest.QueryUniform()
+	res, err := g.Query(Query{K: 2, X: x, Algorithm: TopkRep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individual scores: δ(e3,x)=0.34, δ(e1,x)=0.31, δ(e6,x)=0.30, ... so
+	// top-2 is {e3, e1} (which here coincides with the optimum set).
+	assertIDs(t, res, 1, 3)
+	if res.Elements[0].ID != 3 {
+		t.Errorf("first element = e%d, want e3 (highest δ)", res.Elements[0].ID)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	g := paperEngine(t)
+	x := papertest.QueryUniform()
+	if _, err := g.Query(Query{K: 0, X: x}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := g.Query(Query{K: 2}); err == nil {
+		t.Error("empty query vector accepted")
+	}
+	if _, err := g.Query(Query{K: 2, X: x, Epsilon: 1.5}); err == nil {
+		t.Error("epsilon ≥ 1 accepted")
+	}
+	if _, err := g.Query(Query{K: 2, X: x, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestQueryOnEmptyEngine(t *testing.T) {
+	g, err := NewEngine(Config{
+		Model:        papertest.Model(),
+		WindowLength: 4,
+		Params:       score.Params{Lambda: 0.5, Eta: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{MTTS, MTTD, TopkRep} {
+		res, err := g.Query(Query{K: 3, X: papertest.QueryUniform(), Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Elements) != 0 || res.Score != 0 {
+			t.Errorf("%v on empty engine returned %v", alg, res.IDs())
+		}
+	}
+}
+
+func TestKLargerThanActive(t *testing.T) {
+	g := paperEngine(t)
+	res, err := g.Query(Query{K: 50, X: papertest.QueryUniform(), Algorithm: MTTD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Elements) > 7 {
+		t.Errorf("returned %d elements with only 7 active", len(res.Elements))
+	}
+	if len(res.Elements) < 5 {
+		t.Errorf("returned only %d elements; nearly all actives contribute", len(res.Elements))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, tc := range []struct {
+		a    Algorithm
+		want string
+	}{{MTTS, "MTTS"}, {MTTD, "MTTD"}, {TopkRep, "TopkRep"}} {
+		if tc.a.String() != tc.want {
+			t.Errorf("String() = %q", tc.a.String())
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm has empty String()")
+	}
+}
+
+// --- approximation-guarantee property tests ---
+
+// randEngine builds an engine over a random instance and returns it with
+// the active elements.
+func randEngine(t *testing.T, rng *rand.Rand, n int) (*Engine, topicmodel.TopicVec) {
+	t.Helper()
+	const z, v = 4, 30
+	m := &topicmodel.Model{Z: z, V: v, Phi: make([]float64, z*v), PTopic: make([]float64, z)}
+	for i := 0; i < z; i++ {
+		var sum float64
+		for w := 0; w < v; w++ {
+			m.Phi[i*v+w] = rng.Float64()
+			sum += m.Phi[i*v+w]
+		}
+		for w := 0; w < v; w++ {
+			m.Phi[i*v+w] /= sum
+		}
+		m.PTopic[i] = 1.0 / z
+	}
+	g, err := NewEngine(Config{
+		Model:        m,
+		WindowLength: stream.Time(n + 1),
+		Params:       score.Params{Lambda: 0.5, Eta: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		nw := 1 + rng.Intn(5)
+		ids := make([]textproc.WordID, nw)
+		for j := range ids {
+			ids[j] = textproc.WordID(rng.Intn(v))
+		}
+		dense := make([]float64, z)
+		kk := 1 + rng.Intn(2)
+		for j := 0; j < kk; j++ {
+			dense[rng.Intn(z)] += rng.Float64()
+		}
+		var sum float64
+		for _, d := range dense {
+			sum += d
+		}
+		for j := range dense {
+			dense[j] /= sum
+		}
+		e := &stream.Element{
+			ID:     stream.ElemID(i + 1),
+			TS:     stream.Time(i + 1),
+			Doc:    textproc.NewDocument(ids),
+			Topics: topicmodel.NewTopicVec(dense),
+		}
+		for r := 0; r < rng.Intn(3) && i > 0; r++ {
+			e.Refs = append(e.Refs, stream.ElemID(1+rng.Intn(i)))
+		}
+		if err := g.Ingest(e.TS, []*stream.Element{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qd := make([]float64, z)
+	var qs float64
+	for j := range qd {
+		qd[j] = rng.Float64()
+		qs += qd[j]
+	}
+	for j := range qd {
+		qd[j] /= qs
+	}
+	return g, topicmodel.NewTopicVec(qd)
+}
+
+// bruteForceOPT enumerates all subsets of size ≤ k to find the optimum.
+func bruteForceOPT(g *Engine, x topicmodel.TopicVec, k int) float64 {
+	var elems []*stream.Element
+	g.Window().ForEachActive(func(e *stream.Element) { elems = append(elems, e) })
+	var best float64
+	var rec func(start int, cur []*stream.Element)
+	rec = func(start int, cur []*stream.Element) {
+		if v := g.Scorer().SetScore(cur, x); v > best {
+			best = v
+		}
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < len(elems); i++ {
+			rec(i+1, append(cur, elems[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+// Theorem 4.2: MTTS is (1/2 − ε)-approximate.
+func TestMTTSApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const eps = 0.1
+	for trial := 0; trial < 25; trial++ {
+		g, x := randEngine(t, rng, 10)
+		k := 2 + rng.Intn(2)
+		opt := bruteForceOPT(g, x, k)
+		res, err := g.Query(Query{K: k, X: x, Epsilon: eps, Algorithm: MTTS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score < (0.5-eps)*opt-1e-9 {
+			t.Errorf("trial %d: MTTS %.6f < (1/2−ε)·OPT = %.6f (OPT %.6f, k=%d)",
+				trial, res.Score, (0.5-eps)*opt, opt, k)
+		}
+	}
+}
+
+// Theorem 4.4: MTTD is (1 − 1/e − ε)-approximate.
+func TestMTTDApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const eps = 0.1
+	bound := 1 - 1/math.E - eps
+	for trial := 0; trial < 25; trial++ {
+		g, x := randEngine(t, rng, 10)
+		k := 2 + rng.Intn(2)
+		opt := bruteForceOPT(g, x, k)
+		res, err := g.Query(Query{K: k, X: x, Epsilon: eps, Algorithm: MTTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score < bound*opt-1e-9 {
+			t.Errorf("trial %d: MTTD %.6f < (1−1/e−ε)·OPT = %.6f (OPT %.6f, k=%d)",
+				trial, res.Score, bound*opt, opt, k)
+		}
+	}
+}
+
+// MTTD's result should be at least as good as MTTS's on average; assert it
+// never does much worse on random instances.
+func TestMTTDQualityVsMTTS(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var sumTS, sumTD float64
+	for trial := 0; trial < 20; trial++ {
+		g, x := randEngine(t, rng, 20)
+		ts, err := g.Query(Query{K: 3, X: x, Epsilon: 0.1, Algorithm: MTTS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td, err := g.Query(Query{K: 3, X: x, Epsilon: 0.1, Algorithm: MTTD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumTS += ts.Score
+		sumTD += td.Score
+	}
+	if sumTD < 0.95*sumTS {
+		t.Errorf("MTTD total %.4f much worse than MTTS %.4f", sumTD, sumTS)
+	}
+}
+
+// Result sets never exceed k and never contain duplicates or inactive
+// elements.
+func TestResultWellFormedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		g, x := randEngine(t, rng, 15)
+		k := 1 + rng.Intn(5)
+		for _, alg := range []Algorithm{MTTS, MTTD, TopkRep} {
+			res, err := g.Query(Query{K: k, X: x, Epsilon: 0.2, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Elements) > k {
+				t.Errorf("%v returned %d > k=%d elements", alg, len(res.Elements), k)
+			}
+			seen := make(map[stream.ElemID]bool)
+			for _, e := range res.Elements {
+				if seen[e.ID] {
+					t.Errorf("%v returned duplicate e%d", alg, e.ID)
+				}
+				seen[e.ID] = true
+				if _, ok := g.Window().Get(e.ID); !ok {
+					t.Errorf("%v returned inactive e%d", alg, e.ID)
+				}
+			}
+			// Score must equal the direct evaluation of the returned set.
+			direct := g.Scorer().SetScore(res.Elements, x)
+			if math.Abs(direct-res.Score) > 1e-9 {
+				t.Errorf("%v score %.9f != direct %.9f", alg, res.Score, direct)
+			}
+		}
+	}
+}
+
+func assertIDs(t *testing.T, res Result, want ...stream.ElemID) {
+	t.Helper()
+	if len(res.Elements) != len(want) {
+		t.Fatalf("result = %v, want %v", res.IDs(), want)
+	}
+	have := make(map[stream.ElemID]bool)
+	for _, e := range res.Elements {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("result = %v, want %v", res.IDs(), want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"github.com/social-streams/ksir/internal/rankedlist"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// traversal implements the ranked-list traversal of §4.1: it walks the lists
+// of every topic the query has mass on, in decreasing order of topic-wise
+// score, yielding each element at most once (visited marking) and exposing
+// the upper-bound score UB(x) = Σ_i x_i·δ_i(e^(i)) of all unvisited
+// elements.
+//
+// The list tuples hold δ values that are exact except for influence lost to
+// children that expired after the last rescore; those stale values can only
+// overestimate, so UB(x) remains a valid upper bound (which is all the
+// algorithms need) while per-element evaluation always recomputes the exact
+// current score.
+type traversal struct {
+	win     *stream.ActiveWindow
+	topics  []int32   // query topics with x_i > 0
+	weights []float64 // corresponding x_i
+	iters   []*rankedlist.Iterator
+	cur     []rankedlist.Item
+	has     []bool
+	visited map[stream.ElemID]struct{}
+	// markVisited enables cross-list deduplication (§4.1); the ablation
+	// benches disable it to measure what it buys.
+	markVisited bool
+	// retrieved counts tuples pulled off the lists (Fig 10 bookkeeping).
+	retrieved int
+}
+
+// newTraversal positions a traversal at the head of each relevant list
+// (the RL_i.first calls of Algorithms 2 and 3, line 2).
+func newTraversal(g *Engine, x topicmodel.TopicVec) *traversal {
+	return newTraversalOpt(g, x, true)
+}
+
+func newTraversalOpt(g *Engine, x topicmodel.TopicVec, markVisited bool) *traversal {
+	tr := &traversal{
+		win:         g.win,
+		visited:     make(map[stream.ElemID]struct{}),
+		markVisited: markVisited,
+	}
+	for i, topic := range x.Topics {
+		if x.Probs[i] <= 0 {
+			continue
+		}
+		it := g.lists[topic].Iter()
+		tr.topics = append(tr.topics, topic)
+		tr.weights = append(tr.weights, x.Probs[i])
+		tr.iters = append(tr.iters, it)
+		tr.cur = append(tr.cur, rankedlist.Item{})
+		tr.has = append(tr.has, false)
+	}
+	for i := range tr.iters {
+		tr.advance(i)
+	}
+	return tr
+}
+
+// advance moves list i's cursor to its next unvisited tuple.
+func (tr *traversal) advance(i int) {
+	for {
+		item, ok := tr.iters[i].Next()
+		if !ok {
+			tr.has[i] = false
+			return
+		}
+		tr.retrieved++
+		if _, seen := tr.visited[item.ID]; seen {
+			continue
+		}
+		tr.cur[i] = item
+		tr.has[i] = true
+		return
+	}
+}
+
+// skipVisited re-validates all cursors after new visited marks.
+func (tr *traversal) skipVisited() {
+	for i := range tr.cur {
+		if !tr.has[i] {
+			continue
+		}
+		if _, seen := tr.visited[tr.cur[i].ID]; seen {
+			tr.advance(i)
+		}
+	}
+}
+
+// ub returns UB(x), the upper bound on δ(e, x) of any unvisited element.
+// It is 0 when every list is exhausted.
+func (tr *traversal) ub() float64 {
+	tr.skipVisited()
+	var s float64
+	for i := range tr.cur {
+		if tr.has[i] {
+			s += tr.weights[i] * tr.cur[i].Score
+		}
+	}
+	return s
+}
+
+// exhausted reports whether all lists have run out of unvisited tuples.
+func (tr *traversal) exhausted() bool {
+	tr.skipVisited()
+	for i := range tr.has {
+		if tr.has[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pop removes and returns the element e^(i*) with the maximum
+// x_i·δ_i(e^(i)) across the cursors, marking it visited everywhere
+// (Algorithm 2 line 5 / Algorithm 3 line 16).
+func (tr *traversal) pop() (*stream.Element, bool) {
+	tr.skipVisited()
+	best := -1
+	var bestVal float64
+	for i := range tr.cur {
+		if !tr.has[i] {
+			continue
+		}
+		if v := tr.weights[i] * tr.cur[i].Score; best == -1 || v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	id := tr.cur[best].ID
+	if tr.markVisited {
+		tr.visited[id] = struct{}{}
+	}
+	tr.advance(best)
+	e, ok := tr.win.Get(id)
+	if !ok {
+		// The lists never hold inactive elements while the engine lock is
+		// respected; treat a miss as exhaustion of this tuple.
+		return tr.pop()
+	}
+	return e, true
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// QuerySpec is one generated k-SIR query: the keywords (for the
+// keyword-based comparators), the inferred topic vector (for the
+// vector-based methods) and the timestamp at which it should be issued.
+type QuerySpec struct {
+	Keywords []textproc.WordID
+	X        topicmodel.TopicVec
+	At       stream.Time
+}
+
+// GenerateQueries builds a workload the way §5.1 prescribes: each query
+// draws 1–5 words from the vocabulary (frequency-weighted, so queries hit
+// real content the way user queries do), infers the query vector from the
+// keywords as a pseudo-document, and gets a random timestamp in [1, tn].
+// Query vectors are truncated to their top 5 topics with p ≥ 0.05 and
+// renormalized: user queries are topically focused, and d (the non-zero
+// entries) directly scales both the evaluation cost and the looseness of
+// the ranked-list upper bound (§4.2).
+func GenerateQueries(n int, d *Dataset, inf *topicmodel.Inferencer, seed int64) []QuerySpec {
+	rng := rand.New(rand.NewSource(seed))
+	sampler := newFreqSampler(d.Vocab)
+	tn := d.Profile.Duration
+	queries := make([]QuerySpec, 0, n)
+	for len(queries) < n {
+		nw := 1 + rng.Intn(5)
+		kws := make([]textproc.WordID, nw)
+		for j := range kws {
+			kws[j] = sampler.draw(rng)
+		}
+		x := inf.InferDense(kws).Truncate(5, 0.05)
+		if x.Len() == 0 {
+			continue // all-unknown keywords; redraw
+		}
+		queries = append(queries, QuerySpec{
+			Keywords: kws,
+			X:        x,
+			At:       1 + stream.Time(rng.Int63n(int64(tn))),
+		})
+	}
+	// Sort by timestamp so the harness can interleave them with the stream.
+	sort.Slice(queries, func(i, j int) bool { return queries[i].At < queries[j].At })
+	return queries
+}
+
+// freqSampler draws words proportionally to corpus frequency via the alias
+// of a cumulative table + binary search.
+type freqSampler struct {
+	cum   []int64
+	total int64
+}
+
+func newFreqSampler(v *textproc.Vocabulary) *freqSampler {
+	s := &freqSampler{cum: make([]int64, v.Size())}
+	var run int64
+	for i := 0; i < v.Size(); i++ {
+		run += v.Freq(textproc.WordID(i)) + 1 // +1 smoothing: unseen words stay drawable
+		s.cum[i] = run
+	}
+	s.total = run
+	return s
+}
+
+func (s *freqSampler) draw(rng *rand.Rand) textproc.WordID {
+	r := rng.Int63n(s.total)
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return textproc.WordID(lo)
+}

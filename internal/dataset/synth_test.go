@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+func TestGenerateShapeMatchesProfile(t *testing.T) {
+	for _, mk := range []func(int) Profile{AMinerLike, RedditLike, TwitterLike} {
+		p := mk(3000)
+		ds, err := Generate(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ds.ComputeStats()
+		if st.Elements != 3000 {
+			t.Errorf("%s: elements = %d", p.Name, st.Elements)
+		}
+		if math.Abs(st.AvgLen-p.AvgLen)/p.AvgLen > 0.15 {
+			t.Errorf("%s: avg len = %.2f, want ≈%.1f", p.Name, st.AvgLen, p.AvgLen)
+		}
+		if math.Abs(st.AvgRefs-p.AvgRefs)/p.AvgRefs > 0.30 {
+			t.Errorf("%s: avg refs = %.2f, want ≈%.2f", p.Name, st.AvgRefs, p.AvgRefs)
+		}
+	}
+}
+
+func TestGenerateValidStream(t *testing.T) {
+	ds, err := Generate(TwitterLike(2000), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	for i, e := range ds.Elements {
+		if int64(e.TS) < prev {
+			t.Fatalf("timestamps out of order at %d", i)
+		}
+		prev = int64(e.TS)
+		for _, r := range e.Refs {
+			if r >= e.ID {
+				t.Fatalf("e%d references non-earlier e%d", e.ID, r)
+			}
+		}
+		if e.Doc.Len == 0 {
+			t.Fatalf("e%d has empty doc", e.ID)
+		}
+	}
+	// True topic vectors are distributions.
+	for i, tv := range ds.TrueTopics {
+		if tv.Len() == 0 || math.Abs(tv.Sum()-1) > 1e-9 {
+			t.Fatalf("element %d true topics %+v", i, tv)
+		}
+		if tv.Len() > 2 {
+			t.Fatalf("element %d has %d topics, generator promises ≤2", i, tv.Len())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(RedditLike(500), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(RedditLike(500), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Elements {
+		if a.Elements[i].TS != b.Elements[i].TS ||
+			a.Elements[i].Doc.Len != b.Elements[i].Doc.Len ||
+			len(a.Elements[i].Refs) != len(b.Elements[i].Refs) {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Profile{}, 1); err == nil {
+		t.Error("empty profile accepted")
+	}
+	bad := Profile{Elements: 10, Vocab: 20, Topics: 50, AvgLen: 3, Duration: 100}
+	if _, err := Generate(bad, 1); err == nil {
+		t.Error("vocab too small for topics accepted")
+	}
+}
+
+func TestRetweetRefsAreRecent(t *testing.T) {
+	p := TwitterLike(4000)
+	p.AvgRefs = 1.5
+	ds, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gaps []float64
+	for _, e := range ds.Elements {
+		for _, r := range e.Refs {
+			gaps = append(gaps, float64(e.ID)-float64(r))
+		}
+	}
+	med := median(gaps)
+	// Retweet style: median reference gap well under 10% of the stream.
+	if med > 0.1*float64(p.Elements) {
+		t.Errorf("retweet median gap = %.0f of %d elements", med, p.Elements)
+	}
+}
+
+func TestCitationRefsReachThePast(t *testing.T) {
+	p := AMinerLike(4000)
+	ds, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gaps []float64
+	for _, e := range ds.Elements {
+		for _, r := range e.Refs {
+			gaps = append(gaps, float64(e.ID)-float64(r))
+		}
+	}
+	med := median(gaps)
+	// Citation style reaches much further back than retweets.
+	if med < 0.05*float64(p.Elements) {
+		t.Errorf("citation median gap = %.0f, too recent", med)
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestGenerateQueries(t *testing.T) {
+	ds, err := Generate(TwitterLike(2000), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := topicmodel.TrainLDA(ds.Docs[:500], topicmodel.LDAConfig{
+		Topics: 10, VocabSize: ds.Vocab.Size(), Iterations: 20, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := topicmodel.NewInferencer(m, 5)
+	qs := GenerateQueries(50, ds, inf, 11)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	var prev int64
+	for i, q := range qs {
+		if len(q.Keywords) < 1 || len(q.Keywords) > 5 {
+			t.Errorf("query %d has %d keywords", i, len(q.Keywords))
+		}
+		if q.X.Len() == 0 || q.X.Len() > 8 {
+			t.Errorf("query %d vector has %d topics", i, q.X.Len())
+		}
+		if math.Abs(q.X.Sum()-1) > 1e-9 {
+			t.Errorf("query %d vector sums to %v", i, q.X.Sum())
+		}
+		if int64(q.At) < prev {
+			t.Errorf("queries not time-sorted at %d", i)
+		}
+		prev = int64(q.At)
+	}
+}
+
+func TestProfileScaling(t *testing.T) {
+	full := AMinerLike(0) // 0 keeps full size
+	small := AMinerLike(1000)
+	if small.Elements != 1000 {
+		t.Errorf("Elements = %d", small.Elements)
+	}
+	if small.Vocab >= full.Vocab {
+		t.Error("vocab did not shrink")
+	}
+	if small.Vocab < 200 {
+		t.Error("vocab below floor")
+	}
+	if small.AvgLen != full.AvgLen || small.AvgRefs != full.AvgRefs {
+		t.Error("shape parameters must not change with scale")
+	}
+}

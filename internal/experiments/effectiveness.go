@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/social-streams/ksir/internal/baselines"
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/dataset"
+	"github.com/social-streams/ksir/internal/judge"
+	"github.com/social-streams/ksir/internal/metrics"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// effectivenessMethods is the Table 5/6 comparison set in paper order.
+var effectivenessMethods = []string{"TF-IDF", "DIV", "Sumblr", "REL", "k-SIR"}
+
+// runMethods produces each comparator's result set for one query against
+// the engine's current window. k-SIR uses MTTD, as §5.1 prescribes.
+func runMethods(g *core.Engine, env *Env, q dataset.QuerySpec, k int) ([]judge.ResultSet, error) {
+	actives := Actives(g)
+	tfidf := baselines.TFIDFTopK(actives, env.TFIDF, q.Keywords, k)
+	div := baselines.DivTopK(actives, env.TFIDF, q.Keywords, k, 0.3)
+	sumblr := baselines.Sumblr(actives, env.TFIDF, q.Keywords, k, env.Model.Z,
+		baselines.SumblrConfig{Seed: env.scale.Seed})
+	rel := baselines.RelTopK(actives, q.X, k)
+	res, err := g.Query(core.Query{K: k, X: q.X, Epsilon: 0.1, Algorithm: core.MTTD})
+	if err != nil {
+		return nil, err
+	}
+	return []judge.ResultSet{
+		{Method: "TF-IDF", Elements: tfidf},
+		{Method: "DIV", Elements: div},
+		{Method: "Sumblr", Elements: sumblr},
+		{Method: "REL", Elements: rel},
+		{Method: "k-SIR", Elements: res.Elements},
+	}, nil
+}
+
+// Table5 reproduces the user study: 20 trending-topic queries per dataset,
+// result sets of 5 elements, a simulated panel of evaluators ranking each
+// method on representativeness and impact (ranks mapped to 1–5), and mean
+// pairwise weighted kappa for agreement. See DESIGN.md §3 for the
+// human-panel substitution.
+func (l *Lab) Table5() (*Table, error) {
+	const k = 5
+	// The paper uses 20 human-judged queries; simulated judges are cheap,
+	// so run twice as many to damp rank-flip noise on close calls.
+	const queriesPerDataset = 40
+	t := &Table{
+		Title:  "Table 5: results for (simulated) user study",
+		Header: append([]string{"Dataset", "Aspect"}, effectivenessMethods...),
+	}
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, err
+		}
+		g, err := env.NewEngine(0)
+		if err != nil {
+			return nil, err
+		}
+		// Trending-topic queries: frequent topical words, issued against
+		// the final window state (the paper picks 20 trending topics).
+		queries := trendingQueries(env, queriesPerDataset)
+		if err := env.Replay(g, nil); err != nil {
+			return nil, err
+		}
+		actives := Actives(g)
+		var xs []topicmodel.TopicVec
+		var sets [][]judge.ResultSet
+		for _, q := range queries {
+			rs, err := runMethods(g, env, q, k)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, q.X)
+			sets = append(sets, rs)
+		}
+		panel := judge.NewPanel(3, 0.08, env.scale.Seed+7)
+		study, err := panel.RunStudy(g.Window(), actives, xs, sets)
+		if err != nil {
+			return nil, err
+		}
+		reprRow := []string{name, "Represent."}
+		impactRow := []string{"", "Impact"}
+		for _, m := range effectivenessMethods {
+			s := study.PerMethod[m]
+			reprRow = append(reprRow, fmtF(s.Representativeness, 2))
+			impactRow = append(impactRow, fmtF(s.Impact, 2))
+		}
+		t.Rows = append(t.Rows, reprRow, impactRow)
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: kappa(represent)=%.2f kappa(impact)=%.2f",
+			name, study.KappaRepresent, study.KappaImpact))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: k-SIR highest on both aspects in all datasets (4.3-4.9); Sumblr second; TF-IDF/DIV/REL low",
+		"scores are simulated-judge rankings mapped to 1..5 — see DESIGN.md for the substitution rationale")
+	return t, nil
+}
+
+// trendingQueries builds queries from the most frequent topical words
+// (excluding the generator's background slice, which plays the role of
+// common words).
+func trendingQueries(env *Env, n int) []dataset.QuerySpec {
+	top := env.Data.Vocab.TopWords(n * 6)
+	var queries []dataset.QuerySpec
+	for i := 0; i+3 <= len(top) && len(queries) < n; i += 3 {
+		var kws []textproc.WordID
+		for j := i; j < i+3; j++ {
+			if id, ok := env.Data.Vocab.ID(top[j]); ok {
+				kws = append(kws, id)
+			}
+		}
+		x := env.Inf.InferDense(kws).Truncate(8, 0.02)
+		if x.Len() == 0 {
+			continue
+		}
+		queries = append(queries, dataset.QuerySpec{Keywords: kws, X: x, At: env.Profile.Duration})
+	}
+	return queries
+}
+
+// Table6 reproduces the quantitative effectiveness analysis: average
+// coverage and normalized influence of each method's result sets over a
+// sample of workload queries.
+func (l *Lab) Table6() (*Table, error) {
+	const k = 10
+	t := &Table{
+		Title:  "Table 6: results for quantitative analysis",
+		Header: append([]string{"Dataset", "Metric"}, effectivenessMethods...),
+	}
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, err
+		}
+		g, err := env.NewEngine(0)
+		if err != nil {
+			return nil, err
+		}
+		cov := make(map[string]float64)
+		infl := make(map[string]float64)
+		count := 0
+		err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+			sets, err := runMethods(g, env, q, k)
+			if err != nil {
+				return err
+			}
+			actives := Actives(g)
+			for _, rs := range sets {
+				cov[rs.Method] += metrics.Coverage(actives, rs.Elements, q.X, metrics.TopicSim)
+				infl[rs.Method] += metrics.Influence(g.Window(), rs.Elements, k)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		covRow := []string{name, "Coverage"}
+		inflRow := []string{"", "Influence"}
+		for _, m := range effectivenessMethods {
+			c, f := 0.0, 0.0
+			if count > 0 {
+				c, f = cov[m]/float64(count), infl[m]/float64(count)
+			}
+			covRow = append(covRow, fmtF(c, 4))
+			inflRow = append(inflRow, fmtF(f, 4))
+		}
+		t.Rows = append(t.Rows, covRow, inflRow)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: k-SIR best coverage everywhere; k-SIR and Sumblr dominate influence (only they model it); k-SIR > Sumblr")
+	return t, nil
+}
+
+// Table3 reports the generated datasets' statistics in the paper's format.
+func (l *Lab) Table3() (*Table, error) {
+	t := &Table{
+		Title:  "Table 3: statistics of (synthetic) datasets",
+		Header: []string{"Dataset", "Elements", "Vocabulary", "AvgLen", "AvgRefs"},
+	}
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, err
+		}
+		st := env.Data.ComputeStats()
+		t.AddRow(name, fmt.Sprint(st.Elements), fmt.Sprint(st.VocabSize),
+			fmtF(st.AvgLen, 1), fmtF(st.AvgRefs, 2))
+	}
+	t.Notes = append(t.Notes,
+		"full-size shape (Table 3): avg len 49.2/8.6/5.1, avg refs 3.68/0.85/0.62; vocabulary scales sublinearly with stream size")
+	return t, nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/social-streams/ksir/internal/baselines"
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/dataset"
+)
+
+// agg accumulates per-method measurements across a workload.
+type agg struct {
+	total     time.Duration
+	score     float64
+	evaluated int64
+	active    int64
+	count     int
+}
+
+func (a *agg) add(dur time.Duration, score float64, evaluated, active int) {
+	a.total += dur
+	a.score += score
+	a.evaluated += int64(evaluated)
+	a.active += int64(active)
+	a.count++
+}
+
+func (a *agg) avgMS() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return float64(a.total.Nanoseconds()) / float64(a.count)
+}
+
+func (a *agg) avgScore() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.score / float64(a.count)
+}
+
+func (a *agg) evalRatio() float64 {
+	if a.active == 0 {
+		return 0
+	}
+	return float64(a.evaluated) / float64(a.active)
+}
+
+// timeEngineQuery runs one engine algorithm and records it.
+func timeEngineQuery(g *core.Engine, q dataset.QuerySpec, k int, eps float64,
+	alg core.Algorithm, a *agg) error {
+	start := time.Now()
+	res, err := g.Query(core.Query{K: k, X: q.X, Epsilon: eps, Algorithm: alg})
+	if err != nil {
+		return err
+	}
+	a.add(time.Since(start), res.Score, res.Evaluated, res.ActiveAtQuery)
+	return nil
+}
+
+// timeCELF and timeSieve include materializing the active set: the
+// index-free baselines must touch every active element either way.
+func timeCELF(g *core.Engine, q dataset.QuerySpec, k int, a *agg) {
+	start := time.Now()
+	actives := Actives(g)
+	res := baselines.CELF(g.Scorer(), actives, q.X, k)
+	a.add(time.Since(start), res.Score, res.Evaluated, len(actives))
+}
+
+func timeSieve(g *core.Engine, q dataset.QuerySpec, k int, eps float64, a *agg) {
+	start := time.Now()
+	actives := Actives(g)
+	res := baselines.SieveStreaming(g.Scorer(), actives, q.X, k, eps)
+	a.add(time.Since(start), res.Score, res.Evaluated, len(actives))
+}
+
+// EpsSweep reproduces Figures 7 and 8: MTTS/MTTD query time and result
+// score as ε varies (k and z at their defaults). It returns one table per
+// figure, each with one row per ε and one column pair per dataset.
+func (l *Lab) EpsSweep(epss []float64) (fig7, fig8 *Table, err error) {
+	const k = 10
+	fig7 = &Table{Title: "Figure 7: query time (ms) with varying eps",
+		Header: []string{"eps"}}
+	fig8 = &Table{Title: "Figure 8: score with varying eps",
+		Header: []string{"eps"}}
+	type cell struct{ mtts, mttd agg }
+	results := make(map[string]map[float64]*cell)
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, nil, err
+		}
+		fig7.Header = append(fig7.Header, name+"/MTTS", name+"/MTTD")
+		fig8.Header = append(fig8.Header, name+"/MTTS", name+"/MTTD")
+		g, err := env.NewEngine(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		byEps := make(map[float64]*cell)
+		for _, e := range epss {
+			byEps[e] = &cell{}
+		}
+		err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+			for _, e := range epss {
+				c := byEps[e]
+				if err := timeEngineQuery(g, q, k, e, core.MTTS, &c.mtts); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, e, core.MTTD, &c.mttd); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results[name] = byEps
+	}
+	for _, e := range epss {
+		r7 := []string{fmtF(e, 1)}
+		r8 := []string{fmtF(e, 1)}
+		for _, name := range DatasetNames() {
+			c := results[name][e]
+			r7 = append(r7, fmtMS(c.mtts.avgMS()), fmtMS(c.mttd.avgMS()))
+			r8 = append(r8, fmtF(c.mtts.avgScore(), 4), fmtF(c.mttd.avgScore(), 4))
+		}
+		fig7.Rows = append(fig7.Rows, r7)
+		fig8.Rows = append(fig8.Rows, r8)
+	}
+	fig7.Notes = append(fig7.Notes,
+		"paper shape: MTTS time drops steeply as eps grows (fewer candidates); MTTD is flat or slightly rising")
+	fig8.Notes = append(fig8.Notes,
+		"paper shape: both scores decrease mildly with eps; quality loss <= 5% vs CELF even at eps=0.5")
+	return fig7, fig8, nil
+}
+
+// methodNames is the Figure 9/11 legend order.
+var methodNames = []string{"CELF", "MTTD", "MTTS", "TopkRep", "Sieve"}
+
+// KSweep reproduces Figures 9, 10 and 11: per-dataset query time, evaluated
+// ratio, and score as k varies for all five processing methods.
+func (l *Lab) KSweep(ks []int) (fig9, fig10, fig11 []*Table, err error) {
+	const eps = 0.1
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		g, err := env.NewEngine(0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		byK := make(map[int]map[string]*agg)
+		for _, k := range ks {
+			byK[k] = make(map[string]*agg)
+			for _, m := range methodNames {
+				byK[k][m] = &agg{}
+			}
+		}
+		err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+			for _, k := range ks {
+				a := byK[k]
+				if err := timeEngineQuery(g, q, k, eps, core.MTTS, a["MTTS"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.MTTD, a["MTTD"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.TopkRep, a["TopkRep"]); err != nil {
+					return err
+				}
+				timeCELF(g, q, k, a["CELF"])
+				timeSieve(g, q, k, eps, a["Sieve"])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+
+		t9 := &Table{Title: fmt.Sprintf("Figure 9 (%s): query time (ms) with varying k", name),
+			Header: []string{"k", "CELF", "MTTD", "MTTS", "TopkRep", "Sieve"}}
+		t10 := &Table{Title: fmt.Sprintf("Figure 10 (%s): ratio of evaluated elements with varying k", name),
+			Header: []string{"k", "MTTD", "MTTS"}}
+		t11 := &Table{Title: fmt.Sprintf("Figure 11 (%s): score with varying k", name),
+			Header: []string{"k", "CELF", "MTTD", "MTTS", "TopkRep", "Sieve"}}
+		for _, k := range ks {
+			a := byK[k]
+			t9.AddRow(fmt.Sprint(k),
+				fmtMS(a["CELF"].avgMS()), fmtMS(a["MTTD"].avgMS()), fmtMS(a["MTTS"].avgMS()),
+				fmtMS(a["TopkRep"].avgMS()), fmtMS(a["Sieve"].avgMS()))
+			t10.AddRow(fmt.Sprint(k), fmtPct(a["MTTD"].evalRatio()), fmtPct(a["MTTS"].evalRatio()))
+			t11.AddRow(fmt.Sprint(k),
+				fmtF(a["CELF"].avgScore(), 4), fmtF(a["MTTD"].avgScore(), 4), fmtF(a["MTTS"].avgScore(), 4),
+				fmtF(a["TopkRep"].avgScore(), 4), fmtF(a["Sieve"].avgScore(), 4))
+		}
+		t9.Notes = append(t9.Notes,
+			"paper shape: MTTS/MTTD at least one order of magnitude faster than CELF/Sieve; time grows with k")
+		t10.Notes = append(t10.Notes,
+			"paper shape: ratios grow near-linearly with k and stay small; MTTD's ratio exceeds MTTS's")
+		t11.Notes = append(t11.Notes,
+			"paper shape: MTTD ~= CELF (>99%); MTTS >= 95% of CELF; Sieve below both; TopkRep lowest and degrading with k")
+		fig9 = append(fig9, t9)
+		fig10 = append(fig10, t10)
+		fig11 = append(fig11, t11)
+	}
+	return fig9, fig10, fig11, nil
+}
+
+// ZSweep reproduces Figure 12 (query time vs number of topics z) and the
+// z-half of Figure 14 (update time per element vs z). Each z retrains the
+// topic model, as the paper does.
+func (l *Lab) ZSweep(zs []int) (fig12 []*Table, fig14z *Table, err error) {
+	const k, eps = 10, 0.1
+	fig14z = &Table{Title: "Figure 14 (left): update time (ms/element) with varying z",
+		Header: append([]string{"z"}, DatasetNames()...)}
+	upd := make(map[string]map[int]float64)
+	for _, name := range DatasetNames() {
+		upd[name] = make(map[int]float64)
+		t12 := &Table{Title: fmt.Sprintf("Figure 12 (%s): query time (ms) with varying z", name),
+			Header: []string{"z", "CELF", "MTTD", "MTTS", "TopkRep", "Sieve"}}
+		for _, z := range zs {
+			env, err := l.Env(name, z)
+			if err != nil {
+				return nil, nil, err
+			}
+			g, err := env.NewEngine(0)
+			if err != nil {
+				return nil, nil, err
+			}
+			accs := make(map[string]*agg)
+			for _, m := range methodNames {
+				accs[m] = &agg{}
+			}
+			err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+				if err := timeEngineQuery(g, q, k, eps, core.MTTS, accs["MTTS"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.MTTD, accs["MTTD"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.TopkRep, accs["TopkRep"]); err != nil {
+					return err
+				}
+				timeCELF(g, q, k, accs["CELF"])
+				timeSieve(g, q, k, eps, accs["Sieve"])
+				return nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			t12.AddRow(fmt.Sprint(z),
+				fmtMS(accs["CELF"].avgMS()), fmtMS(accs["MTTD"].avgMS()), fmtMS(accs["MTTS"].avgMS()),
+				fmtMS(accs["TopkRep"].avgMS()), fmtMS(accs["Sieve"].avgMS()))
+			upd[name][z] = float64(g.Stats().UpdateTimePerElement().Nanoseconds())
+		}
+		t12.Notes = append(t12.Notes,
+			"paper shape: MTTS/MTTD query time drops as z grows (fewer elements per topic list)")
+		fig12 = append(fig12, t12)
+	}
+	for _, z := range zs {
+		row := []string{fmt.Sprint(z)}
+		for _, name := range DatasetNames() {
+			row = append(row, fmtMS(upd[name][z]))
+		}
+		fig14z.AddRow(row...)
+	}
+	fig14z.Notes = append(fig14z.Notes,
+		"paper shape: update time grows with z (more ranked lists) but stays well under 0.3ms/element")
+	return fig12, fig14z, nil
+}
+
+// TSweep reproduces Figure 13 (query time vs window length T) and the
+// T-half of Figure 14 (update time per element vs T).
+func (l *Lab) TSweep(hours []float64) (fig13 []*Table, fig14t *Table, err error) {
+	const k, eps = 10, 0.1
+	fig14t = &Table{Title: "Figure 14 (right): update time (ms/element) with varying T",
+		Header: append([]string{"T(h)"}, DatasetNames()...)}
+	upd := make(map[string]map[float64]float64)
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, nil, err
+		}
+		upd[name] = make(map[float64]float64)
+		t13 := &Table{Title: fmt.Sprintf("Figure 13 (%s): query time (ms) with varying T", name),
+			Header: []string{"T(h)", "CELF", "MTTD", "MTTS", "TopkRep", "Sieve"}}
+		for _, h := range hours {
+			T := env.windowFor(h)
+			g, err := env.NewEngine(T)
+			if err != nil {
+				return nil, nil, err
+			}
+			saveL := env.BucketL
+			env.BucketL = T / 96
+			if env.BucketL < 1 {
+				env.BucketL = 1
+			}
+			accs := make(map[string]*agg)
+			for _, m := range methodNames {
+				accs[m] = &agg{}
+			}
+			err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+				if err := timeEngineQuery(g, q, k, eps, core.MTTS, accs["MTTS"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.MTTD, accs["MTTD"]); err != nil {
+					return err
+				}
+				if err := timeEngineQuery(g, q, k, eps, core.TopkRep, accs["TopkRep"]); err != nil {
+					return err
+				}
+				timeCELF(g, q, k, accs["CELF"])
+				timeSieve(g, q, k, eps, accs["Sieve"])
+				return nil
+			})
+			env.BucketL = saveL
+			if err != nil {
+				return nil, nil, err
+			}
+			t13.AddRow(fmtF(h, 0),
+				fmtMS(accs["CELF"].avgMS()), fmtMS(accs["MTTD"].avgMS()), fmtMS(accs["MTTS"].avgMS()),
+				fmtMS(accs["TopkRep"].avgMS()), fmtMS(accs["Sieve"].avgMS()))
+			upd[name][h] = float64(g.Stats().UpdateTimePerElement().Nanoseconds())
+		}
+		t13.Notes = append(t13.Notes,
+			"paper shape: all methods slow down as T grows (more active elements); MTTS/MTTD stay far ahead")
+		fig13 = append(fig13, t13)
+	}
+	for _, h := range hours {
+		row := []string{fmtF(h, 0)}
+		for _, name := range DatasetNames() {
+			row = append(row, fmtMS(upd[name][h]))
+		}
+		fig14t.AddRow(row...)
+	}
+	fig14t.Notes = append(fig14t.Notes,
+		"paper shape: update time rises with T but stays well under 0.3ms/element")
+	return fig13, fig14t, nil
+}

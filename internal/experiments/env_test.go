@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestEstimateEtaMatchesRanges(t *testing.T) {
+	l := tinyLab()
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eta := env.Params.Eta
+		if eta < 1 {
+			t.Errorf("%s: eta = %v below floor", name, eta)
+		}
+		// Sanity ceiling: the 95th-percentile influence mass can't exceed
+		// the total reference count times 1.0 probability products.
+		if eta > 1e4 {
+			t.Errorf("%s: eta = %v absurdly large", name, eta)
+		}
+	}
+}
+
+func TestWindowForPreservesFraction(t *testing.T) {
+	l := tinyLab()
+	env, err := l.Env("Twitter", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w24 := env.windowFor(24)
+	w6 := env.windowFor(6)
+	// 6h window must be ~1/4 of the 24h window.
+	ratio := float64(w6) / float64(w24)
+	if ratio < 0.2 || ratio > 0.3 {
+		t.Errorf("6h/24h window ratio = %v, want ~0.25", ratio)
+	}
+	if w6 < 1 {
+		t.Errorf("window collapsed to %d", w6)
+	}
+	// Window occupancy sanity: ingesting the full stream leaves roughly
+	// elements×(24h/12d) in the window for the Twitter profile.
+	g, err := env.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Replay(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(g.NumActive()) / float64(len(env.Data.Elements))
+	if frac < 0.03 || frac > 0.35 {
+		t.Errorf("window holds %.1f%% of the stream, want ~8%%+refs", frac*100)
+	}
+}

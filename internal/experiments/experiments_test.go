@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/dataset"
+)
+
+// tinyScale keeps the full pipeline (generate → train → infer → replay)
+// fast enough for unit tests.
+var tinyScale = Scale{Elements: 800, Queries: 8, TopicIters: 10, Seed: 7, WindowHours: 24}
+
+func tinyLab() *Lab { return NewLab(tinyScale) }
+
+func TestEnvConstruction(t *testing.T) {
+	l := tinyLab()
+	env, err := l.Env("Twitter", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Model.Z != 10 {
+		t.Errorf("Z = %d", env.Model.Z)
+	}
+	if len(env.Queries) != tinyScale.Queries {
+		t.Errorf("queries = %d", len(env.Queries))
+	}
+	if env.WindowT <= 0 || env.BucketL <= 0 {
+		t.Errorf("window %d bucket %d", env.WindowT, env.BucketL)
+	}
+	// Elements must have inferred topic vectors.
+	withTopics := 0
+	for _, e := range env.Data.Elements {
+		if e.Topics.Len() > 0 {
+			withTopics++
+		}
+	}
+	if withTopics < len(env.Data.Elements)*9/10 {
+		t.Errorf("only %d/%d elements have topics", withTopics, len(env.Data.Elements))
+	}
+	// Cache hit returns the same env.
+	again, err := l.Env("Twitter", 10)
+	if err != nil || again != env {
+		t.Error("env not cached")
+	}
+	if _, err := l.Env("Nope", 10); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestReplayVisitsAllQueries(t *testing.T) {
+	l := tinyLab()
+	env, err := l.Env("Reddit", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := env.NewEngine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = env.Replay(g, func(_ *core.Engine, _ dataset.QuerySpec) error {
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(env.Queries) {
+		t.Errorf("handled %d of %d queries", seen, len(env.Queries))
+	}
+	if g.NumActive() == 0 {
+		t.Error("window empty after replay")
+	}
+}
+
+func TestEpsSweepSmoke(t *testing.T) {
+	l := tinyLab()
+	fig7, fig8, err := l.EpsSweep([]float64{0.1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Rows) != 2 || len(fig8.Rows) != 2 {
+		t.Fatalf("rows: %d, %d", len(fig7.Rows), len(fig8.Rows))
+	}
+	// 1 + 3 datasets × 2 methods columns.
+	if len(fig7.Header) != 7 {
+		t.Errorf("fig7 header = %v", fig7.Header)
+	}
+	assertRendering(t, fig7)
+	// Scores must be positive and non-increasing in eps for MTTD
+	// (allowing small noise: just check positivity here).
+	for _, row := range fig8.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v < 0 {
+				t.Errorf("bad score cell %q", cell)
+			}
+		}
+	}
+}
+
+func TestKSweepSmoke(t *testing.T) {
+	l := tinyLab()
+	fig9, fig10, fig11, err := l.KSweep([]int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig9) != 3 || len(fig10) != 3 || len(fig11) != 3 {
+		t.Fatalf("tables per figure: %d/%d/%d", len(fig9), len(fig10), len(fig11))
+	}
+	for _, tab := range fig10 {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if !strings.HasSuffix(cell, "%") {
+					t.Errorf("ratio cell %q not a percentage", cell)
+				}
+			}
+		}
+	}
+	// MTTD's score should be >= 99% of CELF's on every row of fig11
+	// (the paper's headline quality claim) — at tiny scale allow 95%.
+	for _, tab := range fig11 {
+		for _, row := range tab.Rows {
+			celf, _ := strconv.ParseFloat(row[1], 64)
+			mttd, _ := strconv.ParseFloat(row[2], 64)
+			if celf > 0 && mttd < 0.95*celf {
+				t.Errorf("%s row %s: MTTD %.4f << CELF %.4f", tab.Title, row[0], mttd, celf)
+			}
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	l := tinyLab()
+	tab, err := l.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	assertRendering(t, tab)
+}
+
+func TestTable6Smoke(t *testing.T) {
+	l := tinyLab()
+	tab, err := l.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 datasets × 2 metric rows
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// k-SIR column (last) coverage should not be the worst of the row.
+	for i := 0; i < len(tab.Rows); i += 2 {
+		row := tab.Rows[i]
+		ksir, _ := strconv.ParseFloat(row[len(row)-1], 64)
+		if ksir <= 0 {
+			t.Errorf("k-SIR coverage %v on %s", ksir, row[0])
+		}
+	}
+	assertRendering(t, tab)
+}
+
+func TestTable5Smoke(t *testing.T) {
+	l := tinyLab()
+	tab, err := l.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Scores are on the 1..5 scale.
+	for _, row := range tab.Rows {
+		for _, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v < 1 || v > 5 {
+				t.Errorf("score cell %q out of 1..5", cell)
+			}
+		}
+	}
+	assertRendering(t, tab)
+}
+
+func assertRendering(t *testing.T, tab *Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), tab.Title) {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"github.com/social-streams/ksir/internal/baselines"
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/dataset"
+)
+
+// LatencyProfile is an extension beyond the paper's averaged timings: tail
+// latencies (p50/p95/p99) per method at the default parameters. Real-time
+// serving is a tail-latency game — a method with a good mean but a bad p99
+// still misses the paper's "each query should be processed in real-time"
+// requirement (§2).
+func (l *Lab) LatencyProfile() (*Table, error) {
+	const k, eps = 10, 0.1
+	t := &Table{
+		Title:  "Extension: query latency percentiles (ms) at defaults (k=10, eps=0.1, z=50)",
+		Header: []string{"Dataset", "Method", "p50", "p95", "p99", "max"},
+	}
+	for _, name := range DatasetNames() {
+		env, err := l.Env(name, 50)
+		if err != nil {
+			return nil, err
+		}
+		g, err := env.NewEngine(0)
+		if err != nil {
+			return nil, err
+		}
+		samples := map[string][]float64{}
+		record := func(m string, d time.Duration) {
+			samples[m] = append(samples[m], float64(d.Nanoseconds()))
+		}
+		err = env.Replay(g, func(g *core.Engine, q dataset.QuerySpec) error {
+			for _, alg := range []core.Algorithm{core.MTTS, core.MTTD, core.TopkRep} {
+				start := time.Now()
+				if _, err := g.Query(core.Query{K: k, X: q.X, Epsilon: eps, Algorithm: alg}); err != nil {
+					return err
+				}
+				record(alg.String(), time.Since(start))
+			}
+			start := time.Now()
+			actives := Actives(g)
+			baselines.CELF(g.Scorer(), actives, q.X, k)
+			record("CELF", time.Since(start))
+			start = time.Now()
+			actives = Actives(g)
+			baselines.SieveStreaming(g.Scorer(), actives, q.X, k, eps)
+			record("Sieve", time.Since(start))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range []string{"CELF", "MTTD", "MTTS", "TopkRep", "Sieve"} {
+			xs := samples[m]
+			sort.Float64s(xs)
+			label := ""
+			if i == 0 {
+				label = name
+			}
+			t.AddRow(label, m,
+				fmtMS(quantileSorted(xs, 0.50)),
+				fmtMS(quantileSorted(xs, 0.95)),
+				fmtMS(quantileSorted(xs, 0.99)),
+				fmtMS(quantileSorted(xs, 1.0)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"extension experiment (not in the paper): tail latencies of the Figure 9 methods at default parameters")
+	return t, nil
+}
+
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

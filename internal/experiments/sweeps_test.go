@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestZSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains topic models")
+	}
+	l := tinyLab()
+	fig12, fig14z, err := l.ZSweep([]int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig12) != 3 {
+		t.Fatalf("fig12 tables = %d", len(fig12))
+	}
+	for _, tab := range fig12 {
+		if len(tab.Rows) != 2 {
+			t.Errorf("%s rows = %d", tab.Title, len(tab.Rows))
+		}
+	}
+	if len(fig14z.Rows) != 2 {
+		t.Errorf("fig14z rows = %d", len(fig14z.Rows))
+	}
+	// Update times must be positive.
+	for _, row := range fig14z.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v <= 0 {
+				t.Errorf("update time cell %q", cell)
+			}
+		}
+	}
+	assertRendering(t, fig14z)
+}
+
+func TestTSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple stream replays")
+	}
+	l := tinyLab()
+	fig13, fig14t, err := l.TSweep([]float64{6, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig13) != 3 {
+		t.Fatalf("fig13 tables = %d", len(fig13))
+	}
+	for _, tab := range fig13 {
+		if len(tab.Rows) != 2 {
+			t.Errorf("%s rows = %d", tab.Title, len(tab.Rows))
+		}
+		// Larger T ⇒ more actives ⇒ CELF must not get faster by much;
+		// just check cells parse as non-negative numbers.
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if v, err := strconv.ParseFloat(cell, 64); err != nil || v < 0 {
+					t.Errorf("cell %q", cell)
+				}
+			}
+		}
+	}
+	if len(fig14t.Rows) != 2 {
+		t.Errorf("fig14t rows = %d", len(fig14t.Rows))
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one rendered experiment result: a titled grid with a header row,
+// mirroring the tables and figure-series of the paper.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes holds free-form commentary (e.g., the paper's reported shape
+	// for comparison).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		sep := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			sep[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// fmtMS renders a duration in milliseconds with two decimals.
+func fmtMS(nanos float64) string { return fmt.Sprintf("%.3f", nanos/1e6) }
+
+// fmtF renders a float with the given decimals.
+func fmtF(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}
+
+// fmtPct renders a ratio as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

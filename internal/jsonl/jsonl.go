@@ -1,0 +1,113 @@
+// Package jsonl reads and writes social streams as JSON lines, the
+// interchange format of the ksir-gen / ksir-query tools:
+//
+//	{"id":17,"ts":912,"words":["w00042","w00619"],"refs":[3]}
+//
+// Words are plain strings; vocabularies are rebuilt on read. Lines must be
+// ordered by ts (the stream contract).
+package jsonl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// Elem is the wire form of one element.
+type Elem struct {
+	ID    int64    `json:"id"`
+	TS    int64    `json:"ts"`
+	Words []string `json:"words"`
+	Refs  []int64  `json:"refs,omitempty"`
+}
+
+// Write encodes elements to w, one JSON object per line. The words of each
+// element are resolved through vocab.
+func Write(w io.Writer, elems []*stream.Element, docs [][]textproc.WordID, vocab *textproc.Vocabulary) error {
+	if len(elems) != len(docs) {
+		return fmt.Errorf("jsonl: %d elements but %d docs", len(elems), len(docs))
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range elems {
+		je := Elem{ID: int64(e.ID), TS: int64(e.TS)}
+		for _, wid := range docs[i] {
+			je.Words = append(je.Words, vocab.Word(wid))
+		}
+		for _, r := range e.Refs {
+			je.Refs = append(je.Refs, int64(r))
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("jsonl: encoding element %d: %w", e.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Result is a decoded stream: elements (without topic vectors — those are
+// assigned by the caller's inference step), token docs, and the vocabulary
+// interned from the words encountered.
+type Result struct {
+	Elements []*stream.Element
+	Docs     [][]textproc.WordID
+	Vocab    *textproc.Vocabulary
+}
+
+// Read decodes a JSON-lines stream, validating ordering and reference
+// sanity (refs must point to already-seen IDs; danglers are dropped with a
+// count returned in the error-free case).
+func Read(r io.Reader) (*Result, int, error) {
+	res := &Result{Vocab: textproc.NewVocabulary()}
+	seen := make(map[int64]struct{})
+	dangling := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	var prevTS int64
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je Elem
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, 0, fmt.Errorf("jsonl: line %d: %w", line, err)
+		}
+		if je.TS < prevTS {
+			return nil, 0, fmt.Errorf("jsonl: line %d: ts %d before %d", line, je.TS, prevTS)
+		}
+		if _, dup := seen[je.ID]; dup {
+			return nil, 0, fmt.Errorf("jsonl: line %d: duplicate id %d", line, je.ID)
+		}
+		prevTS = je.TS
+		seen[je.ID] = struct{}{}
+		ids := make([]textproc.WordID, len(je.Words))
+		for i, w := range je.Words {
+			ids[i] = res.Vocab.Add(w)
+		}
+		res.Vocab.ObserveDoc(ids)
+		e := &stream.Element{
+			ID:  stream.ElemID(je.ID),
+			TS:  stream.Time(je.TS),
+			Doc: textproc.NewDocument(ids),
+		}
+		for _, ref := range je.Refs {
+			if _, ok := seen[ref]; !ok {
+				dangling++
+				continue
+			}
+			e.Refs = append(e.Refs, stream.ElemID(ref))
+		}
+		res.Elements = append(res.Elements, e)
+		res.Docs = append(res.Docs, ids)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("jsonl: %w", err)
+	}
+	return res, dangling, nil
+}

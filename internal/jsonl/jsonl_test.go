@@ -1,0 +1,97 @@
+package jsonl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/dataset"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ds, err := dataset.Generate(dataset.TwitterLike(300), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ds.Elements, ds.Docs, ds.Vocab); err != nil {
+		t.Fatal(err)
+	}
+	res, dangling, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dangling != 0 {
+		t.Errorf("dangling = %d", dangling)
+	}
+	if len(res.Elements) != len(ds.Elements) {
+		t.Fatalf("got %d elements, want %d", len(res.Elements), len(ds.Elements))
+	}
+	for i, e := range res.Elements {
+		orig := ds.Elements[i]
+		if e.ID != orig.ID || e.TS != orig.TS {
+			t.Fatalf("element %d header mismatch", i)
+		}
+		if e.Doc.Len != orig.Doc.Len || e.Doc.Distinct() != orig.Doc.Distinct() {
+			t.Fatalf("element %d doc mismatch", i)
+		}
+		if len(e.Refs) != len(orig.Refs) {
+			t.Fatalf("element %d refs mismatch", i)
+		}
+	}
+	// Vocabulary frequencies rebuilt consistently for words in use.
+	if res.Vocab.Size() == 0 {
+		t.Error("empty vocab after read")
+	}
+}
+
+func TestWriteLengthMismatch(t *testing.T) {
+	ds, err := dataset.Generate(dataset.TwitterLike(50), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ds.Elements, ds.Docs[:10], ds.Vocab); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{"id":1,"ts":`},
+		{"out of order", "{\"id\":1,\"ts\":5,\"words\":[\"a\"]}\n{\"id\":2,\"ts\":3,\"words\":[\"b\"]}"},
+		{"duplicate id", "{\"id\":1,\"ts\":1,\"words\":[\"a\"]}\n{\"id\":1,\"ts\":2,\"words\":[\"b\"]}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestReadDanglingRefsDropped(t *testing.T) {
+	in := "{\"id\":1,\"ts\":1,\"words\":[\"a\"]}\n" +
+		"{\"id\":2,\"ts\":2,\"words\":[\"b\"],\"refs\":[1,99]}\n"
+	res, dangling, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dangling != 1 {
+		t.Errorf("dangling = %d, want 1", dangling)
+	}
+	if len(res.Elements[1].Refs) != 1 || res.Elements[1].Refs[0] != 1 {
+		t.Errorf("refs = %v", res.Elements[1].Refs)
+	}
+}
+
+func TestReadEmptyAndBlankLines(t *testing.T) {
+	res, dangling, err := Read(strings.NewReader("\n\n"))
+	if err != nil || dangling != 0 || len(res.Elements) != 0 {
+		t.Errorf("blank input: %v %d %d", err, dangling, len(res.Elements))
+	}
+}

@@ -1,0 +1,105 @@
+package judge
+
+import (
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+func setup(t *testing.T) (*stream.ActiveWindow, []*stream.Element, map[stream.ElemID]*stream.Element) {
+	t.Helper()
+	win, elems := papertest.Window()
+	var actives []*stream.Element
+	byID := make(map[stream.ElemID]*stream.Element)
+	for _, e := range elems {
+		if _, ok := win.Get(e.ID); ok {
+			actives = append(actives, e)
+			byID[e.ID] = e
+		}
+	}
+	return win, actives, byID
+}
+
+func TestJudgeQueryRanksClearWinner(t *testing.T) {
+	win, actives, byID := setup(t)
+	x := papertest.QueryUniform()
+	sets := []ResultSet{
+		{Method: "good", Elements: []*stream.Element{byID[1], byID[3]}}, // optimum: covers both topics, referenced
+		{Method: "bad", Elements: []*stream.Element{byID[7]}},           // tiny, unreferenced
+	}
+	p := NewPanel(3, 0.01, 1) // near-noiseless judges
+	repr, impact := p.JudgeQuery(win, actives, sets, x)
+	if len(repr) != 3 || len(impact) != 3 {
+		t.Fatalf("judge counts: %d, %d", len(repr), len(impact))
+	}
+	for j := 0; j < 3; j++ {
+		if repr[j][0] <= repr[j][1] {
+			t.Errorf("judge %d ranked bad set as more representative: %v", j, repr[j])
+		}
+		if impact[j][0] <= impact[j][1] {
+			t.Errorf("judge %d ranked bad set as higher impact: %v", j, impact[j])
+		}
+	}
+}
+
+func TestRunStudyAggregates(t *testing.T) {
+	win, actives, byID := setup(t)
+	queries := []topicmodel.TopicVec{papertest.QueryUniform(), papertest.QueryUniform()}
+	sets := [][]ResultSet{
+		{
+			{Method: "ksir", Elements: []*stream.Element{byID[1], byID[3]}},
+			{Method: "rel", Elements: []*stream.Element{byID[7]}},
+		},
+		{
+			{Method: "ksir", Elements: []*stream.Element{byID[1], byID[3]}},
+			{Method: "rel", Elements: []*stream.Element{byID[5]}},
+		},
+	}
+	p := NewPanel(3, 0.01, 2)
+	res, err := p.RunStudy(win, actives, queries, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, ok := res.PerMethod["ksir"]
+	if !ok {
+		t.Fatal("ksir missing from results")
+	}
+	rl := res.PerMethod["rel"]
+	if ks.Representativeness <= rl.Representativeness {
+		t.Errorf("ksir repr %.2f should beat rel %.2f", ks.Representativeness, rl.Representativeness)
+	}
+	if ks.Impact <= rl.Impact {
+		t.Errorf("ksir impact %.2f should beat rel %.2f", ks.Impact, rl.Impact)
+	}
+	// Scores live on the 1..n_methods scale (2 methods → [1,2]).
+	for m, s := range res.PerMethod {
+		if s.Representativeness < 1 || s.Representativeness > 2 {
+			t.Errorf("%s repr score %v out of scale", m, s.Representativeness)
+		}
+	}
+	// Low noise → strong agreement.
+	if res.KappaRepresent < 0.5 {
+		t.Errorf("kappa(repr) = %v, want strong agreement", res.KappaRepresent)
+	}
+}
+
+func TestRunStudyEmpty(t *testing.T) {
+	win, actives, _ := setup(t)
+	p := NewPanel(3, 0.1, 3)
+	res, err := p.RunStudy(win, actives, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerMethod) != 0 {
+		t.Errorf("empty study produced %v", res.PerMethod)
+	}
+}
+
+func TestPanelMinimumJudges(t *testing.T) {
+	p := NewPanel(0, 0.1, 4)
+	if p.judgesPerQuery < 2 {
+		t.Error("panel must have at least 2 judges for kappa")
+	}
+}

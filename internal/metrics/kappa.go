@@ -1,0 +1,73 @@
+package metrics
+
+import "fmt"
+
+// WeightedKappa computes Cohen's linearly weighted kappa [10] between two
+// raters over an ordinal scale with `levels` categories (1-based ratings).
+// It returns 1 for perfect agreement, 0 for chance-level agreement. Both
+// rating slices must have equal length; ratings must lie in [1, levels].
+func WeightedKappa(a, b []int, levels int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: rating slices differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("metrics: no ratings")
+	}
+	n := float64(len(a))
+	// Observed and marginal distributions.
+	obs := make([][]float64, levels)
+	for i := range obs {
+		obs[i] = make([]float64, levels)
+	}
+	margA := make([]float64, levels)
+	margB := make([]float64, levels)
+	for i := range a {
+		if a[i] < 1 || a[i] > levels || b[i] < 1 || b[i] > levels {
+			return 0, fmt.Errorf("metrics: rating out of range at %d: (%d, %d)", i, a[i], b[i])
+		}
+		obs[a[i]-1][b[i]-1]++
+		margA[a[i]-1]++
+		margB[b[i]-1]++
+	}
+	// Linear disagreement weights w_ij = |i−j| / (levels−1).
+	var dObs, dExp float64
+	for i := 0; i < levels; i++ {
+		for j := 0; j < levels; j++ {
+			w := abs(i-j) / float64(levels-1)
+			dObs += w * obs[i][j] / n
+			dExp += w * (margA[i] / n) * (margB[j] / n)
+		}
+	}
+	if dExp == 0 {
+		return 1, nil // degenerate: both raters constant and equal
+	}
+	return 1 - dObs/dExp, nil
+}
+
+func abs(x int) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}
+
+// MeanPairwiseKappa averages WeightedKappa over all rater pairs, the way
+// the paper reports agreement across its 3 evaluators per query.
+func MeanPairwiseKappa(ratings [][]int, levels int) (float64, error) {
+	if len(ratings) < 2 {
+		return 0, fmt.Errorf("metrics: need at least two raters, got %d", len(ratings))
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(ratings); i++ {
+		for j := i + 1; j < len(ratings); j++ {
+			k, err := WeightedKappa(ratings[i], ratings[j], levels)
+			if err != nil {
+				return 0, err
+			}
+			sum += k
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}

@@ -1,0 +1,105 @@
+// Package papertest provides the running example of the paper (Table 1:
+// eight tweets over two topics with their topic-word distributions and
+// references) as a reusable fixture. The paper works several results out by
+// hand — Example 3.1 (R_2({e2,e7}) = 0.53), Example 3.2 (I_{2,8}({e2,e3}) =
+// 0.93), Example 3.4 (query optima), and the ranked-list states of Figures 5
+// and 6 — which the test suites assert against.
+package papertest
+
+import (
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Words w1..w16 of Table 1(b)/(c), indexed 0..15 as WordIDs.
+var Words = []string{
+	"asroma", "assist", "cavs", "champion", "defeat", "final", "lebron",
+	"lfc", "manutd", "nbaplayoffs", "pl", "point", "raptors", "realmadrid",
+	"schedule", "ucl",
+}
+
+// phi1 and phi2 are the topic-word probabilities of Table 1(b)/(c). They do
+// not sum to 1 over the 16 example words (the full vocabulary is larger);
+// Model.Validate is therefore not applicable to this fixture.
+var (
+	phi1 = []float64{0, 0.06, 0.09, 0.1, 0.05, 0.11, 0.12, 0, 0, 0.11, 0, 0.15, 0.08, 0, 0.13, 0}
+	phi2 = []float64{0.03, 0.04, 0, 0.09, 0.04, 0.12, 0, 0.06, 0.07, 0, 0.11, 0.14, 0, 0.07, 0.12, 0.11}
+)
+
+// Model returns the two-topic model of Table 1(b)/(c).
+func Model() *topicmodel.Model {
+	m := &topicmodel.Model{Z: 2, V: len(Words), PTopic: []float64{0.5, 0.5}}
+	m.Phi = append(append([]float64{}, phi1...), phi2...)
+	return m
+}
+
+// elemSpec describes one row of Table 1(a).
+type elemSpec struct {
+	words  []int // 1-based word indices as printed in the paper
+	p1, p2 float64
+	refs   []stream.ElemID
+}
+
+var specs = []elemSpec{
+	{words: []int{1, 6, 8, 14, 16}, p1: 0.2, p2: 0.8},
+	{words: []int{4, 9, 11}, p1: 0.26, p2: 0.74},
+	{words: []int{3, 5, 10, 13}, p1: 0.89, p2: 0.11},
+	{words: []int{7, 10}, p1: 1, p2: 0, refs: []stream.ElemID{3}},
+	{words: []int{6, 8, 16}, p1: 0.29, p2: 0.71, refs: []stream.ElemID{1}},
+	{words: []int{2, 7, 10, 12}, p1: 0.7, p2: 0.3, refs: []stream.ElemID{3}},
+	{words: []int{4, 11}, p1: 0.33, p2: 0.67, refs: []stream.ElemID{2}},
+	{words: []int{10, 11, 15}, p1: 0.51, p2: 0.49, refs: []stream.ElemID{2, 3, 6}},
+}
+
+// Elements returns the eight elements of Table 1(a): e_i arrives at time i
+// with the listed words, topic distribution and references.
+func Elements() []*stream.Element {
+	elems := make([]*stream.Element, len(specs))
+	for i, sp := range specs {
+		ids := make([]textproc.WordID, len(sp.words))
+		for j, w := range sp.words {
+			ids[j] = textproc.WordID(w - 1)
+		}
+		var topics topicmodel.TopicVec
+		if sp.p1 > 0 {
+			topics.Topics = append(topics.Topics, 0)
+			topics.Probs = append(topics.Probs, sp.p1)
+		}
+		if sp.p2 > 0 {
+			topics.Topics = append(topics.Topics, 1)
+			topics.Probs = append(topics.Probs, sp.p2)
+		}
+		elems[i] = &stream.Element{
+			ID:     stream.ElemID(i + 1),
+			TS:     stream.Time(i + 1),
+			Doc:    textproc.NewDocument(ids),
+			Topics: topics,
+			Refs:   sp.refs,
+		}
+	}
+	return elems
+}
+
+// Window returns an active window of length T=4 advanced through all eight
+// elements to t=8, the state every worked example in the paper uses.
+func Window() (*stream.ActiveWindow, []*stream.Element) {
+	w := stream.NewActiveWindow(4)
+	elems := Elements()
+	for _, e := range elems {
+		if _, err := w.Advance(e.TS, []*stream.Element{e}); err != nil {
+			panic(err) // fixture data is static; failure is a bug here
+		}
+	}
+	return w, elems
+}
+
+// QueryUniform is x1 = (0.5, 0.5) of Example 3.4.
+func QueryUniform() topicmodel.TopicVec {
+	return topicmodel.TopicVec{Topics: []int32{0, 1}, Probs: []float64{0.5, 0.5}}
+}
+
+// QuerySkewed is x2 = (0.1, 0.9) of Example 3.4.
+func QuerySkewed() topicmodel.TopicVec {
+	return topicmodel.TopicVec{Topics: []int32{0, 1}, Probs: []float64{0.1, 0.9}}
+}

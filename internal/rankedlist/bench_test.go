@@ -1,0 +1,60 @@
+package rankedlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+// BenchmarkUpsert measures steady-state inserts/repositions into a list of
+// ~10K tuples (the Algorithm 1 hot path).
+func BenchmarkUpsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := New()
+	const live = 10000
+	for i := 0; i < live; i++ {
+		l.Upsert(stream.ElemID(i), rng.Float64(), stream.Time(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := stream.ElemID(i % live)
+		l.Upsert(id, rng.Float64(), stream.Time(i))
+	}
+}
+
+// BenchmarkDeleteInsert measures the expiry + arrival churn of a sliding
+// window at steady state.
+func BenchmarkDeleteInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	l := New()
+	const live = 10000
+	for i := 0; i < live; i++ {
+		l.Upsert(stream.ElemID(i), rng.Float64(), stream.Time(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Delete(stream.ElemID(i % live))
+		l.Upsert(stream.ElemID(i%live), rng.Float64(), stream.Time(i))
+	}
+}
+
+// BenchmarkIterate measures ranked-order traversal (the query hot path).
+func BenchmarkIterate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	l := New()
+	for i := 0; i < 10000; i++ {
+		l.Upsert(stream.ElemID(i), rng.Float64(), stream.Time(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := l.Iter()
+		for n := 0; n < 100; n++ {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package score
+
+import (
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// CandidateSet is the incremental evaluation state for one candidate result
+// set S of a query vector x. It supports marginal-gain queries Δ(e|S) and
+// additions in O(d·(|V_e| + |I_t(e)|)) where d is the number of non-zero
+// query entries, exactly the per-evaluation cost the paper's complexity
+// analysis assumes (§4.2).
+//
+// MTTS keeps O(log k / ε) of these per query; MTTD and the submodular
+// baselines keep one.
+type CandidateSet struct {
+	scorer  *Scorer
+	x       topicmodel.TopicVec
+	members []*stream.Element
+	inSet   map[stream.ElemID]struct{}
+	value   float64
+
+	// Per query-topic-position state, parallel to x.Topics:
+	// covered[i][w] = max_{e∈S} σ_i(w,e)  — the word-coverage maxima.
+	covered []map[int32]float64
+	// inflProb[i][c] = p_i(S ⇝ c) for children c ∈ I_t(S).
+	inflProb []map[stream.ElemID]float64
+}
+
+// NewCandidateSet returns an empty candidate set for query vector x.
+func NewCandidateSet(s *Scorer, x topicmodel.TopicVec) *CandidateSet {
+	cs := &CandidateSet{
+		scorer:   s,
+		x:        x,
+		inSet:    make(map[stream.ElemID]struct{}),
+		covered:  make([]map[int32]float64, x.Len()),
+		inflProb: make([]map[stream.ElemID]float64, x.Len()),
+	}
+	for i := range cs.covered {
+		cs.covered[i] = make(map[int32]float64)
+		cs.inflProb[i] = make(map[stream.ElemID]float64)
+	}
+	return cs
+}
+
+// Len returns |S|.
+func (cs *CandidateSet) Len() int { return len(cs.members) }
+
+// Value returns f(S, x), maintained incrementally.
+func (cs *CandidateSet) Value() float64 { return cs.value }
+
+// Members returns the elements of S in insertion order. The caller must not
+// mutate the returned slice.
+func (cs *CandidateSet) Members() []*stream.Element { return cs.members }
+
+// Contains reports whether e is already in S.
+func (cs *CandidateSet) Contains(id stream.ElemID) bool {
+	_, ok := cs.inSet[id]
+	return ok
+}
+
+// MarginalGain returns Δ(e|S) = f(S ∪ {e}, x) − f(S, x) without mutating
+// the set. Adding an element already in S gains exactly 0.
+func (cs *CandidateSet) MarginalGain(e *stream.Element) float64 {
+	if cs.Contains(e.ID) {
+		return 0
+	}
+	ec := cs.scorer.ensureCached(e)
+	params := cs.scorer.params
+	var gain float64
+	cs.forEachSharedTopic(e, func(qi, ej int, topic int32) {
+		xi := cs.x.Probs[qi]
+		// Semantic gain: uncovered portions of e's word weights.
+		var dSem float64
+		for k, tc := range e.Doc.Terms {
+			if sig := ec.wordWeights[ej][k]; sig > cs.covered[qi][int32(tc.Word)] {
+				dSem += sig - cs.covered[qi][int32(tc.Word)]
+			}
+		}
+		// Influence gain: Σ_c p_i(e⇝c)·(1 − p_i(S⇝c)).
+		var dInfl float64
+		pe := e.Topics.Probs[ej]
+		cs.scorer.win.ForEachChild(e.ID, func(c *stream.Element) {
+			p := pe * c.Topics.Prob(topic)
+			dInfl += p * (1 - cs.inflProb[qi][c.ID])
+		})
+		gain += xi * (params.Lambda*dSem + params.inflFactor()*dInfl)
+	})
+	return gain
+}
+
+// Add inserts e into S, updates the incremental state and returns the
+// realized marginal gain. Adding a member again is a no-op returning 0.
+func (cs *CandidateSet) Add(e *stream.Element) float64 {
+	if cs.Contains(e.ID) {
+		return 0
+	}
+	ec := cs.scorer.ensureCached(e)
+	params := cs.scorer.params
+	var gain float64
+	cs.forEachSharedTopic(e, func(qi, ej int, topic int32) {
+		xi := cs.x.Probs[qi]
+		var dSem float64
+		for k, tc := range e.Doc.Terms {
+			w := int32(tc.Word)
+			if sig := ec.wordWeights[ej][k]; sig > cs.covered[qi][w] {
+				dSem += sig - cs.covered[qi][w]
+				cs.covered[qi][w] = sig
+			}
+		}
+		var dInfl float64
+		pe := e.Topics.Probs[ej]
+		cs.scorer.win.ForEachChild(e.ID, func(c *stream.Element) {
+			p := pe * c.Topics.Prob(topic)
+			old := cs.inflProb[qi][c.ID]
+			dInfl += p * (1 - old)
+			cs.inflProb[qi][c.ID] = 1 - (1-old)*(1-p)
+		})
+		gain += xi * (params.Lambda*dSem + params.inflFactor()*dInfl)
+	})
+	cs.members = append(cs.members, e)
+	cs.inSet[e.ID] = struct{}{}
+	cs.value += gain
+	return gain
+}
+
+// forEachSharedTopic merges the sorted topic lists of the query vector and
+// the element, calling fn with the query position, element position and
+// topic for every topic they share.
+func (cs *CandidateSet) forEachSharedTopic(e *stream.Element, fn func(qi, ej int, topic int32)) {
+	i, j := 0, 0
+	for i < len(cs.x.Topics) && j < len(e.Topics.Topics) {
+		switch {
+		case cs.x.Topics[i] < e.Topics.Topics[j]:
+			i++
+		case cs.x.Topics[i] > e.Topics.Topics[j]:
+			j++
+		default:
+			if cs.x.Probs[i] > 0 {
+				fn(i, j, cs.x.Topics[i])
+			}
+			i++
+			j++
+		}
+	}
+}
+
+// IDs returns the member IDs in insertion order.
+func (cs *CandidateSet) IDs() []stream.ElemID {
+	ids := make([]stream.ElemID, len(cs.members))
+	for i, e := range cs.members {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,66 @@
+package score
+
+import (
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Contribution decomposes one result element's marginal contribution to
+// f(S, x) at the moment it was selected: the semantic (word-coverage) and
+// influence (reference-coverage) parts, per query topic.
+type Contribution struct {
+	Elem *stream.Element
+	// Gain is the element's marginal gain Δ(e|S_before) — the Gains of a
+	// result set in selection order telescope to f(S, x).
+	Gain float64
+	// Semantic and Influence split Gain into its two terms of Equation 2
+	// (already weighted by λ, (1−λ)/η and the query weights x_i).
+	Semantic  float64
+	Influence float64
+	// TopicGains maps topic → that topic's share of Gain (weighted by x_i).
+	TopicGains map[int32]float64
+	// NewWords counts the distinct words this element contributed that no
+	// earlier selection covered with a higher weight on some query topic.
+	NewWords int
+}
+
+// Explain recomputes the selection-order contribution breakdown of a result
+// set. It is a diagnostic tool (the engine's algorithms do not pay for it);
+// the total of all Gains equals SetScore(set, x) up to float rounding.
+func (s *Scorer) Explain(set []*stream.Element, x topicmodel.TopicVec) []Contribution {
+	cs := NewCandidateSet(s, x)
+	out := make([]Contribution, 0, len(set))
+	params := s.params
+	for _, e := range set {
+		c := Contribution{Elem: e, TopicGains: make(map[int32]float64)}
+		ec := s.ensureCached(e)
+		newWords := make(map[int32]struct{})
+		cs.forEachSharedTopic(e, func(qi, ej int, topic int32) {
+			xi := cs.x.Probs[qi]
+			var dSem float64
+			for k, tc := range e.Doc.Terms {
+				w := int32(tc.Word)
+				if sig := ec.wordWeights[ej][k]; sig > cs.covered[qi][w] {
+					dSem += sig - cs.covered[qi][w]
+					newWords[w] = struct{}{}
+				}
+			}
+			var dInfl float64
+			pe := e.Topics.Probs[ej]
+			s.win.ForEachChild(e.ID, func(child *stream.Element) {
+				p := pe * child.Topics.Prob(topic)
+				dInfl += p * (1 - cs.inflProb[qi][child.ID])
+			})
+			sem := xi * params.Lambda * dSem
+			infl := xi * params.inflFactor() * dInfl
+			c.Semantic += sem
+			c.Influence += infl
+			c.TopicGains[topic] += sem + infl
+		})
+		c.Gain = c.Semantic + c.Influence
+		c.NewWords = len(newWords)
+		cs.Add(e)
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+func TestExplainTelescopesToSetScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		scorer, elems, x := randInstance(t, rng, 10)
+		perm := rng.Perm(len(elems))
+		set := make([]*stream.Element, 0, 5)
+		for _, pi := range perm[:5] {
+			set = append(set, elems[pi])
+		}
+		contribs := scorer.Explain(set, x)
+		if len(contribs) != len(set) {
+			t.Fatalf("got %d contributions", len(contribs))
+		}
+		var total float64
+		for _, c := range contribs {
+			total += c.Gain
+			if math.Abs(c.Gain-(c.Semantic+c.Influence)) > 1e-12 {
+				t.Fatalf("gain split broken: %v != %v + %v", c.Gain, c.Semantic, c.Influence)
+			}
+			var topicSum float64
+			for _, g := range c.TopicGains {
+				topicSum += g
+			}
+			if math.Abs(topicSum-c.Gain) > 1e-9 {
+				t.Fatalf("topic split %v != gain %v", topicSum, c.Gain)
+			}
+		}
+		direct := scorer.SetScore(set, x)
+		if math.Abs(total-direct) > 1e-9 {
+			t.Fatalf("trial %d: telescoped %v != direct %v", trial, total, direct)
+		}
+	}
+}
+
+func TestExplainPaperExample(t *testing.T) {
+	win, elems := papertest.Window()
+	scorer, err := NewScorer(papertest.Model(), win, Params{Lambda: 0.5, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := papertest.QueryUniform()
+	// The optimal pair {e3, e1}: e3 first (highest singleton score).
+	contribs := scorer.Explain([]*stream.Element{elems[2], elems[0]}, x)
+	if math.Abs(contribs[0].Gain-0.34) > 0.01 {
+		t.Errorf("Δ(e3|∅) = %v, want 0.34 (Example 4.1)", contribs[0].Gain)
+	}
+	if contribs[0].NewWords != 4 {
+		t.Errorf("e3 contributes %d new words, want its 4 distinct words", contribs[0].NewWords)
+	}
+	// e3's influence flows through its references (e6, e8 in window).
+	if contribs[0].Influence <= 0 {
+		t.Error("e3 should have influence contribution")
+	}
+	// e1's duplicate-free words still count fully (no overlap with e3).
+	if contribs[1].NewWords != 5 {
+		t.Errorf("e1 contributes %d new words, want 5", contribs[1].NewWords)
+	}
+	total := contribs[0].Gain + contribs[1].Gain
+	if math.Abs(total-0.65) > 0.02 {
+		t.Errorf("total = %v, want 0.65", total)
+	}
+}
+
+func TestExplainEmptySet(t *testing.T) {
+	win, _ := papertest.Window()
+	scorer, err := NewScorer(papertest.Model(), win, Params{Lambda: 0.5, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scorer.Explain(nil, papertest.QueryUniform()); len(got) != 0 {
+		t.Errorf("Explain(nil) = %v", got)
+	}
+}

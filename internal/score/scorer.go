@@ -1,0 +1,203 @@
+package score
+
+import (
+	"math"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// elemCache holds the time-independent per-element scoring data, computed
+// once when the element enters the active set.
+type elemCache struct {
+	// wordWeights[j][k] = σ_i(w_k, e) for topic i = e.Topics.Topics[j] and
+	// word w_k = e.Doc.Terms[k].Word.
+	wordWeights [][]float64
+	// semTotal[j] = R_i(e) = Σ_k σ_i(w_k, e).
+	semTotal []float64
+}
+
+// Scorer binds a topic model, scoring parameters and an active window, and
+// evaluates all the scoring functions of §3.2. Semantic word weights are
+// cached per active element; influence scores are always computed from the
+// window's live reference index so they are exact at query time.
+//
+// Scorer is safe for concurrent read use (queries); cache mutations
+// (OnChange) must be serialized with reads, which the engine does.
+type Scorer struct {
+	model  *topicmodel.Model
+	win    *stream.ActiveWindow
+	params Params
+	cache  map[stream.ElemID]*elemCache
+}
+
+// NewScorer returns a Scorer over the given model, window and parameters.
+func NewScorer(model *topicmodel.Model, win *stream.ActiveWindow, params Params) (*Scorer, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scorer{
+		model:  model,
+		win:    win,
+		params: params,
+		cache:  make(map[stream.ElemID]*elemCache),
+	}, nil
+}
+
+// Params returns the scoring parameters.
+func (s *Scorer) Params() Params { return s.params }
+
+// Window returns the active window the scorer reads.
+func (s *Scorer) Window() *stream.ActiveWindow { return s.win }
+
+// OnChange maintains the per-element caches after a window advance.
+func (s *Scorer) OnChange(cs stream.ChangeSet) {
+	for _, e := range cs.Inserted {
+		s.ensureCached(e)
+	}
+	for _, e := range cs.Expired {
+		delete(s.cache, e.ID)
+	}
+}
+
+func (s *Scorer) ensureCached(e *stream.Element) *elemCache {
+	if c, ok := s.cache[e.ID]; ok {
+		return c
+	}
+	c := &elemCache{
+		wordWeights: make([][]float64, e.Topics.Len()),
+		semTotal:    make([]float64, e.Topics.Len()),
+	}
+	for j, topic := range e.Topics.Topics {
+		pe := e.Topics.Probs[j]
+		ws := make([]float64, len(e.Doc.Terms))
+		var total float64
+		for k, tc := range e.Doc.Terms {
+			p := s.model.TopicWord(int(topic), tc.Word) * pe
+			if p > 0 {
+				// σ_i(w,e) = −γ(w,e) · p · log p  (natural log; verified
+				// against the worked example in §3.2).
+				ws[k] = -float64(tc.Count) * p * math.Log(p)
+			}
+			total += ws[k]
+		}
+		c.wordWeights[j] = ws
+		c.semTotal[j] = total
+	}
+	s.cache[e.ID] = c
+	return c
+}
+
+// SemanticScore returns R_i(e) for the element's j-th topic entry.
+func (s *Scorer) semantic(e *stream.Element, j int) float64 {
+	return s.ensureCached(e).semTotal[j]
+}
+
+// InfluenceScore returns I_{i,t}({e}) = Σ_{c ∈ I_t(e)} p_i(e)·p_i(c) for
+// topic i, computed live from the window's reference index.
+func (s *Scorer) influence(e *stream.Element, topic int32, pe float64) float64 {
+	var sum float64
+	s.win.ForEachChild(e.ID, func(c *stream.Element) {
+		sum += c.Topics.Prob(topic)
+	})
+	return pe * sum
+}
+
+// TopicScore returns δ_i(e) = f_i({e}) = λ·R_i(e) + (1−λ)/η·I_{i,t}(e) for
+// topic i. It returns 0 when p_i(e) = 0.
+func (s *Scorer) TopicScore(e *stream.Element, topic int32) float64 {
+	for j, tp := range e.Topics.Topics {
+		if tp == topic {
+			sem := s.semantic(e, j)
+			infl := s.influence(e, topic, e.Topics.Probs[j])
+			return s.params.Lambda*sem + s.params.inflFactor()*infl
+		}
+	}
+	return 0
+}
+
+// Score returns δ(e, x) = f({e}, x) = Σ_i x_i·δ_i(e).
+func (s *Scorer) Score(e *stream.Element, x topicmodel.TopicVec) float64 {
+	c := s.ensureCached(e)
+	var total float64
+	// Merge the sorted topic lists of e and x.
+	i, j := 0, 0
+	for i < len(x.Topics) && j < len(e.Topics.Topics) {
+		switch {
+		case x.Topics[i] < e.Topics.Topics[j]:
+			i++
+		case x.Topics[i] > e.Topics.Topics[j]:
+			j++
+		default:
+			sem := c.semTotal[j]
+			infl := s.influence(e, e.Topics.Topics[j], e.Topics.Probs[j])
+			total += x.Probs[i] * (s.params.Lambda*sem + s.params.inflFactor()*infl)
+			i++
+			j++
+		}
+	}
+	return total
+}
+
+// SetScore evaluates f(S, x) directly from the definitions (Equations 1–4),
+// without incremental state. It is the reference implementation used by
+// tests and by one-shot evaluations of externally produced result sets.
+func (s *Scorer) SetScore(set []*stream.Element, x topicmodel.TopicVec) float64 {
+	var total float64
+	for i, topic := range x.Topics {
+		xi := x.Probs[i]
+		if xi == 0 {
+			continue
+		}
+		total += xi * (s.params.Lambda*s.setSemantic(set, topic) +
+			s.params.inflFactor()*s.setInfluence(set, topic))
+	}
+	return total
+}
+
+// setSemantic computes R_i(S) = Σ_{w∈V_S} max_{e∈S} σ_i(w,e).
+func (s *Scorer) setSemantic(set []*stream.Element, topic int32) float64 {
+	best := make(map[int32]float64)
+	for _, e := range set {
+		c := s.ensureCached(e)
+		for j, tp := range e.Topics.Topics {
+			if tp != topic {
+				continue
+			}
+			for k, tc := range e.Doc.Terms {
+				w := int32(tc.Word)
+				if sig := c.wordWeights[j][k]; sig > best[w] {
+					best[w] = sig
+				}
+			}
+		}
+	}
+	var sum float64
+	for _, v := range best {
+		sum += v
+	}
+	return sum
+}
+
+// setInfluence computes I_{i,t}(S) = Σ_{c ∈ I_t(S)} p_i(S ⇝ c) with
+// p_i(S ⇝ c) = 1 − Π_{e ∈ S ∩ c.ref} (1 − p_i(e)·p_i(c)).
+func (s *Scorer) setInfluence(set []*stream.Element, topic int32) float64 {
+	// survive[c] = Π (1 − p_i(e ⇝ c)) over members influencing c.
+	survive := make(map[stream.ElemID]float64)
+	for _, e := range set {
+		pe := e.Topics.Prob(topic)
+		s.win.ForEachChild(e.ID, func(c *stream.Element) {
+			p := pe * c.Topics.Prob(topic)
+			if cur, ok := survive[c.ID]; ok {
+				survive[c.ID] = cur * (1 - p)
+			} else {
+				survive[c.ID] = 1 - p
+			}
+		})
+	}
+	var sum float64
+	for _, sv := range survive {
+		sum += 1 - sv
+	}
+	return sum
+}

@@ -1,0 +1,204 @@
+// Package server exposes a ksir.Stream over HTTP — the deployment shape
+// §2 motivates ("thousands of users could submit different queries at the
+// same time and each query should be processed in real-time"): one writer
+// ingests the stream; many readers query concurrently.
+//
+//	POST /posts   {"id":1,"time":60,"text":"...","refs":[2,3]}   → 202
+//	POST /flush   {"now":120}                                     → {"active":n,"now":t}
+//	POST /query   {"k":10,"keywords":["soccer"],"algorithm":"mttd","explain":true}
+//	GET  /stats                                                   → {"active":n,"now":t,"subscriptions":m}
+//	GET  /healthz                                                 → 200 ok
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	ksir "github.com/social-streams/ksir"
+)
+
+// Server is an http.Handler serving one stream. Ingestion (POST /posts,
+// /flush) is serialized by an internal mutex, honoring the Stream contract;
+// queries run concurrently under the engine's read lock.
+type Server struct {
+	mux sync.Mutex // guards Add/Flush
+	st  *ksir.Stream
+	h   *http.ServeMux
+}
+
+// New wraps a stream.
+func New(st *ksir.Stream) *Server {
+	s := &Server{st: st, h: http.NewServeMux()}
+	s.h.HandleFunc("/posts", s.handlePosts)
+	s.h.HandleFunc("/flush", s.handleFlush)
+	s.h.HandleFunc("/query", s.handleQuery)
+	s.h.HandleFunc("/stats", s.handleStats)
+	s.h.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
+
+// PostRequest is the wire form of one post (or a batch).
+type PostRequest struct {
+	ID   int64   `json:"id"`
+	Time int64   `json:"time"`
+	Text string  `json:"text"`
+	Refs []int64 `json:"refs,omitempty"`
+}
+
+func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	var posts []PostRequest
+	// Accept either a single object or an array.
+	var probe json.RawMessage
+	if err := dec.Decode(&probe); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if strings.HasPrefix(strings.TrimSpace(string(probe)), "[") {
+		if err := json.Unmarshal(probe, &posts); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid post array: %v", err)
+			return
+		}
+	} else {
+		var one PostRequest
+		if err := json.Unmarshal(probe, &one); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid post: %v", err)
+			return
+		}
+		posts = []PostRequest{one}
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	for _, p := range posts {
+		err := s.st.Add(ksir.Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs})
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]any{"accepted": len(posts)})
+}
+
+// FlushRequest advances the stream clock.
+type FlushRequest struct {
+	Now int64 `json:"now"`
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req FlushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	s.mux.Lock()
+	defer s.mux.Unlock()
+	if err := s.st.Flush(req.Now); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"active": s.st.Active(), "now": s.st.Now()})
+}
+
+// QueryRequest is the wire form of a k-SIR query.
+type QueryRequest struct {
+	K         int             `json:"k"`
+	Keywords  []string        `json:"keywords,omitempty"`
+	Vector    map[int]float64 `json:"vector,omitempty"`
+	Epsilon   float64         `json:"epsilon,omitempty"`
+	Algorithm string          `json:"algorithm,omitempty"` // mttd (default) | mtts | topk
+	Explain   bool            `json:"explain,omitempty"`
+}
+
+// QueryResponse carries the result and optional explanations.
+type QueryResponse struct {
+	Posts     []ksir.Post        `json:"posts"`
+	Score     float64            `json:"score"`
+	Evaluated int                `json:"evaluated"`
+	Active    int                `json:"active"`
+	Explain   []ksir.Explanation `json:"explain,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	q := ksir.Query{K: req.K, Keywords: req.Keywords, Vector: req.Vector, Epsilon: req.Epsilon}
+	switch strings.ToLower(req.Algorithm) {
+	case "", "mttd":
+		q.Algorithm = ksir.MTTD
+	case "mtts":
+		q.Algorithm = ksir.MTTS
+	case "topk":
+		q.Algorithm = ksir.TopK
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	res, err := s.st.Query(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := QueryResponse{
+		Posts:     res.Posts,
+		Score:     res.Score,
+		Evaluated: res.Evaluated,
+		Active:    res.Active,
+	}
+	if req.Explain {
+		ex, err := s.st.Explain(res, q)
+		if err == nil {
+			resp.Explain = ex
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"active":        s.st.Active(),
+		"now":           s.st.Now(),
+		"subscriptions": s.st.Subscriptions(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+)
+
+func testStream(t *testing.T) *ksir.Stream {
+	t.Helper()
+	soccer := []string{"goal", "striker", "keeper", "league", "derby", "penalty"}
+	basket := []string{"dunk", "rebound", "playoffs", "court", "buzzer", "triple"}
+	rng := rand.New(rand.NewSource(1))
+	var corpus []string
+	for i := 0; i < 200; i++ {
+		words := soccer
+		if i%2 == 1 {
+			words = basket
+		}
+		var b []string
+		for j := 0; j < 6; j++ {
+			b = append(b, words[rng.Intn(len(words))])
+		}
+		corpus = append(corpus, strings.Join(b, " "))
+	}
+	m, err := ksir.TrainModel(corpus, ksir.WithTopics(2), ksir.WithIterations(40),
+		ksir.WithSeed(1), ksir.WithPriors(0.5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ksir.New(m, ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(New(testStream(t)))
+	defer srv.Close()
+
+	// Health.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Ingest a batch plus a single post.
+	batch := []PostRequest{
+		{ID: 1, Time: 10, Text: "late goal wins the derby"},
+		{ID: 2, Time: 20, Text: "what a dunk in the playoffs"},
+	}
+	r, _ := postJSON(t, srv, "/posts", batch)
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("posts: %d", r.StatusCode)
+	}
+	r, _ = postJSON(t, srv, "/posts", PostRequest{ID: 3, Time: 30, Text: "keeper saves the penalty", Refs: []int64{1}})
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("single post: %d", r.StatusCode)
+	}
+
+	// Flush and check stats.
+	r, body := postJSON(t, srv, "/flush", FlushRequest{Now: 60})
+	if r.StatusCode != 200 {
+		t.Fatalf("flush: %d %s", r.StatusCode, body)
+	}
+	var stats map[string]any
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if stats["active"].(float64) != 3 {
+		t.Errorf("stats = %v", stats)
+	}
+
+	// Query with explanation.
+	r, body = postJSON(t, srv, "/query", QueryRequest{
+		K: 2, Keywords: []string{"goal", "league"}, Explain: true,
+	})
+	if r.StatusCode != 200 {
+		t.Fatalf("query: %d %s", r.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Posts) == 0 || qr.Score <= 0 {
+		t.Fatalf("bad query response: %+v", qr)
+	}
+	if !strings.Contains(qr.Posts[0].Text, "goal") && !strings.Contains(qr.Posts[0].Text, "penalty") {
+		t.Errorf("top post off-topic: %q", qr.Posts[0].Text)
+	}
+	if len(qr.Explain) != len(qr.Posts) {
+		t.Errorf("explanations missing: %d vs %d", len(qr.Explain), len(qr.Posts))
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := httptest.NewServer(New(testStream(t)))
+	defer srv.Close()
+
+	// Wrong methods.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad JSON.
+	resp, err = http.Post(srv.URL+"/posts", "application/json", strings.NewReader("{nope"))
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Out-of-order post.
+	r, _ := postJSON(t, srv, "/posts", PostRequest{ID: 1, Time: 100, Text: "goal"})
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("first post: %d", r.StatusCode)
+	}
+	r, _ = postJSON(t, srv, "/posts", PostRequest{ID: 2, Time: 50, Text: "goal"})
+	if r.StatusCode != http.StatusConflict {
+		t.Errorf("out-of-order post = %d, want 409", r.StatusCode)
+	}
+
+	// Invalid query.
+	r, _ = postJSON(t, srv, "/query", QueryRequest{K: 0})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=0 query = %d", r.StatusCode)
+	}
+	r, _ = postJSON(t, srv, "/query", QueryRequest{K: 2, Keywords: []string{"goal"}, Algorithm: "bogus"})
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus algorithm = %d", r.StatusCode)
+	}
+}
+
+// Concurrent queries against a live server must all succeed — the paper's
+// many-readers deployment shape.
+func TestServerConcurrentQueries(t *testing.T) {
+	st := testStream(t)
+	for i := 0; i < 60; i++ {
+		text := "goal striker league"
+		if i%2 == 1 {
+			text = "dunk rebound playoffs"
+		}
+		if err := st.Add(ksir.Post{ID: int64(i + 1), Time: int64(1 + i*10), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(700); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(st))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := "goal"
+			if i%2 == 1 {
+				kw = "dunk"
+			}
+			r, body := postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{kw}})
+			if r == nil || r.StatusCode != 200 {
+				errs <- fmt.Errorf("query %d failed: %s", i, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func postJSONQuiet(srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}

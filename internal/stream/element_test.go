@@ -1,0 +1,52 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestPartition(t *testing.T) {
+	elems := []*Element{
+		{ID: 1, TS: 1}, {ID: 2, TS: 2}, {ID: 3, TS: 5},
+		{ID: 4, TS: 5}, {ID: 5, TS: 11},
+	}
+	buckets, err := Partition(elems, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if buckets[0].Start != 1 || buckets[0].End != 5 || len(buckets[0].Elems) != 4 {
+		t.Errorf("bucket0 = [%d,%d] n=%d", buckets[0].Start, buckets[0].End, len(buckets[0].Elems))
+	}
+	if len(buckets[1].Elems) != 0 {
+		t.Errorf("bucket1 should be empty (gap), got %d", len(buckets[1].Elems))
+	}
+	if buckets[2].Start != 11 || len(buckets[2].Elems) != 1 {
+		t.Errorf("bucket2 = [%d,%d] n=%d", buckets[2].Start, buckets[2].End, len(buckets[2].Elems))
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition([]*Element{{ID: 1, TS: 1}}, 0); err == nil {
+		t.Error("zero bucket length accepted")
+	}
+	out := []*Element{{ID: 1, TS: 5}, {ID: 2, TS: 3}}
+	if _, err := Partition(out, 5); err == nil {
+		t.Error("out-of-order elements accepted")
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	buckets, err := Partition(nil, 5)
+	if err != nil || buckets != nil {
+		t.Errorf("empty input: %v %v", buckets, err)
+	}
+}
+
+func TestElementString(t *testing.T) {
+	e := &Element{ID: 7, TS: 3}
+	if got := e.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

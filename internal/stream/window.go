@@ -1,0 +1,260 @@
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// ChangeSet describes what an Advance call did to the active set; the query
+// engine uses it to maintain the per-topic ranked lists (Algorithm 1).
+type ChangeSet struct {
+	Now Time
+	// Inserted are the newly arrived in-window elements, in arrival order.
+	Inserted []*Element
+	// Updated are active parents whose influenced set I_t(e) gained at least
+	// one new child this advance (their δ_i scores must be recomputed and
+	// repositioned, Algorithm 1 lines 8–11). Deduplicated; excludes elements
+	// already listed in Inserted.
+	Updated []*Element
+	// Expired are elements discarded from the active set: they left the
+	// window and are no longer referred to by any in-window element
+	// (Algorithm 1 lines 12–13).
+	Expired []*Element
+}
+
+// ActiveWindow maintains the sliding window W_t and the active set A_t.
+//
+// Besides window membership it maintains the reverse reference index
+// I_t(e) = {e' ∈ W_t : e ∈ e'.ref} needed by the influence score, and the
+// last-referred timestamp t_e used for expiry. Elements referenced by a new
+// arrival after they expired are resurrected from an internal archive, so
+// the active set is always exactly the paper's A_t.
+//
+// ActiveWindow is not safe for concurrent mutation; the engine serializes
+// Advance calls and allows concurrent reads between them.
+type ActiveWindow struct {
+	T   Time // window length
+	now Time
+
+	active  map[ElemID]*Element
+	archive map[ElemID]*Element // every element ever ingested, for resurrection
+
+	// children[p] = I_t(p): in-window elements that refer to p.
+	children map[ElemID]map[ElemID]*Element
+	lastRef  map[ElemID]Time // t_e: max(e.TS, TS of latest in-window referrer)
+
+	// windowQ holds in-window elements in arrival order for O(1) window
+	// exit; windowHead is the logical front (the slice is compacted when
+	// more than half is dead to bound memory).
+	windowQ    []*Element
+	windowHead int
+	// expiryQ is a lazy min-heap over (lastRef, id) for active-set expiry.
+	expiryQ expiryHeap
+}
+
+// NewActiveWindow returns an empty window of length T. It panics if T ≤ 0
+// (a programming error, not a data error).
+func NewActiveWindow(T Time) *ActiveWindow {
+	if T <= 0 {
+		panic(fmt.Sprintf("stream: window length must be positive, got %d", T))
+	}
+	return &ActiveWindow{
+		T:        T,
+		active:   make(map[ElemID]*Element),
+		archive:  make(map[ElemID]*Element),
+		children: make(map[ElemID]map[ElemID]*Element),
+		lastRef:  make(map[ElemID]Time),
+	}
+}
+
+// Now returns the current window time t.
+func (w *ActiveWindow) Now() Time { return w.now }
+
+// NumActive returns n_t = |A_t|.
+func (w *ActiveWindow) NumActive() int { return len(w.active) }
+
+// Get returns an active element by ID.
+func (w *ActiveWindow) Get(id ElemID) (*Element, bool) {
+	e, ok := w.active[id]
+	return e, ok
+}
+
+// InWindow reports whether e itself lies in W_t (as opposed to being active
+// only because it is referenced).
+func (w *ActiveWindow) InWindow(e *Element) bool { return e.TS > w.now-w.T }
+
+// Children returns I_t(e): the in-window elements referring to id, in
+// unspecified order. The returned slice is freshly allocated.
+func (w *ActiveWindow) Children(id ElemID) []*Element {
+	m := w.children[id]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Element, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	return out
+}
+
+// NumChildren returns |I_t(e)| without allocating.
+func (w *ActiveWindow) NumChildren(id ElemID) int { return len(w.children[id]) }
+
+// LastRef returns t_e, the time the active element id was last referred to
+// (its own timestamp if never referenced). The second result is false for
+// inactive elements.
+func (w *ActiveWindow) LastRef(id ElemID) (Time, bool) {
+	t, ok := w.lastRef[id]
+	return t, ok
+}
+
+// ForEachChild calls fn for every in-window element referring to id.
+func (w *ActiveWindow) ForEachChild(id ElemID, fn func(*Element)) {
+	for _, c := range w.children[id] {
+		fn(c)
+	}
+}
+
+// ForEachActive calls fn for every active element in unspecified order.
+func (w *ActiveWindow) ForEachActive(fn func(*Element)) {
+	for _, e := range w.active {
+		fn(e)
+	}
+}
+
+// ActiveIDs returns the sorted IDs of all active elements (deterministic
+// iteration for tests and baselines).
+func (w *ActiveWindow) ActiveIDs() []ElemID {
+	ids := make([]ElemID, 0, len(w.active))
+	for id := range w.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Advance moves the window to time now and ingests batch (a bucket's
+// elements, timestamp-ordered, all with TS ≤ now and TS > previous now).
+// It returns the resulting ChangeSet. Elements referencing IDs never seen
+// before have those references ignored.
+func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
+	if now < w.now {
+		return ChangeSet{}, fmt.Errorf("stream: time moved backwards %d → %d", w.now, now)
+	}
+	cs := ChangeSet{Now: now}
+	prevNow := w.now
+	w.now = now
+
+	// Phase 1: insert arrivals and wire references.
+	updated := make(map[ElemID]*Element)
+	for _, e := range batch {
+		if e.TS <= prevNow || e.TS > now {
+			return ChangeSet{}, fmt.Errorf("stream: element %d at %d outside bucket (%d, %d]", e.ID, e.TS, prevNow, now)
+		}
+		if _, dup := w.archive[e.ID]; dup {
+			return ChangeSet{}, fmt.Errorf("stream: duplicate element ID %d", e.ID)
+		}
+		w.archive[e.ID] = e
+		w.active[e.ID] = e
+		w.lastRef[e.ID] = e.TS
+		w.windowQ = append(w.windowQ, e)
+		heap.Push(&w.expiryQ, expiryEntry{at: e.TS, id: e.ID})
+		cs.Inserted = append(cs.Inserted, e)
+
+		for _, pid := range e.Refs {
+			parent, known := w.archive[pid]
+			if !known {
+				continue // dangling reference: producer referenced an element we never saw
+			}
+			if _, isActive := w.active[pid]; !isActive {
+				// Resurrect: the parent re-enters A_t because a window
+				// element now refers to it.
+				w.active[pid] = parent
+				cs.Inserted = append(cs.Inserted, parent)
+			}
+			m := w.children[pid]
+			if m == nil {
+				m = make(map[ElemID]*Element, 4)
+				w.children[pid] = m
+			}
+			m[e.ID] = e
+			w.lastRef[pid] = e.TS
+			heap.Push(&w.expiryQ, expiryEntry{at: e.TS, id: pid})
+			if _, justIn := updated[pid]; !justIn {
+				updated[pid] = parent
+			}
+		}
+	}
+
+	// Phase 2: slide the window — drop out-of-window children from the
+	// reference index (influence is restricted to W_t, Equation 4).
+	cutoff := now - w.T // keep elements with TS > cutoff
+	for w.windowHead < len(w.windowQ) && w.windowQ[w.windowHead].TS <= cutoff {
+		child := w.windowQ[w.windowHead]
+		w.windowQ[w.windowHead] = nil
+		w.windowHead++
+		for _, pid := range child.Refs {
+			if m, ok := w.children[pid]; ok {
+				delete(m, child.ID)
+				if len(m) == 0 {
+					delete(w.children, pid)
+				}
+			}
+		}
+	}
+	if w.windowHead > len(w.windowQ)/2 {
+		n := copy(w.windowQ, w.windowQ[w.windowHead:])
+		w.windowQ = w.windowQ[:n]
+		w.windowHead = 0
+	}
+
+	// Phase 3: expire actives never referred to after the cutoff.
+	for w.expiryQ.Len() > 0 && w.expiryQ[0].at <= cutoff {
+		entry := heap.Pop(&w.expiryQ).(expiryEntry)
+		e, isActive := w.active[entry.id]
+		if !isActive || w.lastRef[entry.id] > cutoff {
+			continue // stale heap entry (element was re-referenced or already gone)
+		}
+		delete(w.active, entry.id)
+		delete(w.lastRef, entry.id)
+		delete(w.children, entry.id)
+		delete(updated, entry.id)
+		cs.Expired = append(cs.Expired, e)
+	}
+
+	// Deduplicate Updated against Inserted (a resurrected parent is already
+	// reported as inserted; its δ is computed fresh anyway).
+	inserted := make(map[ElemID]struct{}, len(cs.Inserted))
+	for _, e := range cs.Inserted {
+		inserted[e.ID] = struct{}{}
+	}
+	for id, e := range updated {
+		if _, dup := inserted[id]; !dup {
+			cs.Updated = append(cs.Updated, e)
+		}
+	}
+	sort.Slice(cs.Updated, func(i, j int) bool { return cs.Updated[i].ID < cs.Updated[j].ID })
+	return cs, nil
+}
+
+// expiryEntry is a lazy expiry marker: the element with this id may be
+// removable once time passes at + T.
+type expiryEntry struct {
+	at Time
+	id ElemID
+}
+
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int            { return len(h) }
+func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x interface{}) { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,159 @@
+// Package testutil builds random k-SIR instances shared by test suites:
+// a random topic model, an active window full of random elements with
+// references, and normalized query vectors.
+package testutil
+
+import (
+	"math/rand"
+
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Instance is one random test instance.
+type Instance struct {
+	Model   *topicmodel.Model
+	Window  *stream.ActiveWindow
+	Scorer  *score.Scorer
+	Elems   []*stream.Element
+	Topics  int
+	Vocab   int
+	NumDocs int
+}
+
+// Options controls instance generation.
+type Options struct {
+	Topics   int // default 4
+	Vocab    int // default 30
+	Elements int // default 12
+	MaxRefs  int // default 2
+	Params   score.Params
+}
+
+func (o *Options) fill() {
+	if o.Topics == 0 {
+		o.Topics = 4
+	}
+	if o.Vocab == 0 {
+		o.Vocab = 30
+	}
+	if o.Elements == 0 {
+		o.Elements = 12
+	}
+	if o.MaxRefs == 0 {
+		o.MaxRefs = 2
+	}
+	if o.Params == (score.Params{}) {
+		o.Params = score.Params{Lambda: 0.5, Eta: 2}
+	}
+}
+
+// RandModel builds a random topic model with z topics over v words.
+func RandModel(rng *rand.Rand, z, v int) *topicmodel.Model {
+	m := &topicmodel.Model{Z: z, V: v, Phi: make([]float64, z*v), PTopic: make([]float64, z)}
+	for i := 0; i < z; i++ {
+		var sum float64
+		for w := 0; w < v; w++ {
+			m.Phi[i*v+w] = rng.Float64()
+			sum += m.Phi[i*v+w]
+		}
+		for w := 0; w < v; w++ {
+			m.Phi[i*v+w] /= sum
+		}
+		m.PTopic[i] = 1 / float64(z)
+	}
+	return m
+}
+
+// RandElement builds a random element with the given ID/timestamp,
+// 1–5 words, 1–2 topics and up to maxRefs references to earlier IDs.
+func RandElement(rng *rand.Rand, id int, z, v, maxRefs int) *stream.Element {
+	nw := 1 + rng.Intn(5)
+	ids := make([]textproc.WordID, nw)
+	for j := range ids {
+		ids[j] = textproc.WordID(rng.Intn(v))
+	}
+	dense := make([]float64, z)
+	k := 1 + rng.Intn(2)
+	for j := 0; j < k; j++ {
+		dense[rng.Intn(z)] += rng.Float64()
+	}
+	var sum float64
+	for _, d := range dense {
+		sum += d
+	}
+	for j := range dense {
+		dense[j] /= sum
+	}
+	e := &stream.Element{
+		ID:     stream.ElemID(id),
+		TS:     stream.Time(id),
+		Doc:    textproc.NewDocument(ids),
+		Topics: topicmodel.NewTopicVec(dense),
+	}
+	for r := 0; r < rng.Intn(maxRefs+1) && id > 1; r++ {
+		e.Refs = append(e.Refs, stream.ElemID(1+rng.Intn(id-1)))
+	}
+	return e
+}
+
+// NewInstance generates a full random instance. All elements stay active
+// (window length exceeds the stream length).
+func NewInstance(rng *rand.Rand, opts Options) *Instance {
+	opts.fill()
+	m := RandModel(rng, opts.Topics, opts.Vocab)
+	win := stream.NewActiveWindow(stream.Time(opts.Elements + 1))
+	scorer, err := score.NewScorer(m, win, opts.Params)
+	if err != nil {
+		panic(err) // Options.fill guarantees valid params
+	}
+	inst := &Instance{
+		Model: m, Window: win, Scorer: scorer,
+		Topics: opts.Topics, Vocab: opts.Vocab, NumDocs: opts.Elements,
+	}
+	for i := 1; i <= opts.Elements; i++ {
+		e := RandElement(rng, i, opts.Topics, opts.Vocab, opts.MaxRefs)
+		cs, err := win.Advance(e.TS, []*stream.Element{e})
+		if err != nil {
+			panic(err)
+		}
+		scorer.OnChange(cs)
+		inst.Elems = append(inst.Elems, e)
+	}
+	return inst
+}
+
+// RandQuery returns a normalized dense query vector over z topics.
+func RandQuery(rng *rand.Rand, z int) topicmodel.TopicVec {
+	dense := make([]float64, z)
+	var sum float64
+	for j := range dense {
+		dense[j] = rng.Float64()
+		sum += dense[j]
+	}
+	for j := range dense {
+		dense[j] /= sum
+	}
+	return topicmodel.NewTopicVec(dense)
+}
+
+// BruteForceOPT enumerates all subsets of size ≤ k for the exact optimum.
+func BruteForceOPT(s *score.Scorer, elems []*stream.Element, x topicmodel.TopicVec, k int) float64 {
+	var best float64
+	var rec func(start int, cur []*stream.Element)
+	rec = func(start int, cur []*stream.Element) {
+		if v := s.SetScore(cur, x); v > best {
+			best = v
+		}
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < len(elems); i++ {
+			rec(i+1, append(cur, elems[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}

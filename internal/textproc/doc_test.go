@@ -1,0 +1,177 @@
+package textproc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDocument(t *testing.T) {
+	d := NewDocument([]WordID{3, 1, 3, 2, 3})
+	if d.Len != 5 {
+		t.Errorf("Len = %d, want 5", d.Len)
+	}
+	if d.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", d.Distinct())
+	}
+	if !sort.SliceIsSorted(d.Terms, func(i, j int) bool { return d.Terms[i].Word < d.Terms[j].Word }) {
+		t.Error("terms not sorted")
+	}
+	if d.Count(3) != 3 || d.Count(1) != 1 || d.Count(9) != 0 {
+		t.Errorf("Count wrong: %v", d.Terms)
+	}
+	if !d.Contains(2) || d.Contains(0) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestOverlapAndJaccard(t *testing.T) {
+	a := NewDocument([]WordID{1, 2, 3})
+	b := NewDocument([]WordID{2, 3, 4, 5})
+	if got := a.Overlap(b); got != 2 {
+		t.Errorf("Overlap = %d, want 2", got)
+	}
+	if got := a.Jaccard(b); math.Abs(got-2.0/5.0) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.4", got)
+	}
+	empty := NewDocument(nil)
+	if got := empty.Jaccard(empty); got != 0 {
+		t.Errorf("Jaccard of empties = %v, want 0", got)
+	}
+}
+
+// Property: Overlap is symmetric and bounded by min of distinct counts.
+func TestOverlapProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		ax := make([]WordID, len(xs))
+		for i, x := range xs {
+			ax[i] = WordID(x)
+		}
+		ay := make([]WordID, len(ys))
+		for i, y := range ys {
+			ay[i] = WordID(y)
+		}
+		a, b := NewDocument(ax), NewDocument(ay)
+		ov := a.Overlap(b)
+		if ov != b.Overlap(a) {
+			return false
+		}
+		min := a.Distinct()
+		if b.Distinct() < min {
+			min = b.Distinct()
+		}
+		return ov >= 0 && ov <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	tok := NewTokenizer()
+	c := NewCorpus(tok, []string{
+		"lebron scores forty points tonight",
+		"lebron leads playoffs",
+	})
+	if len(c.Docs) != 2 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	id, ok := c.Vocab.ID("lebron")
+	if !ok {
+		t.Fatal("lebron missing from vocab")
+	}
+	if c.Vocab.DocFreq(id) != 2 {
+		t.Errorf("DocFreq(lebron) = %d, want 2", c.Vocab.DocFreq(id))
+	}
+	if got := c.AvgLen(); math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("AvgLen = %v, want 4 (5 and 3 tokens)", got)
+	}
+}
+
+func TestSparseVecOps(t *testing.T) {
+	a := NewSparseVec(map[int32]float64{0: 1, 2: 2, 5: 3})
+	b := NewSparseVec(map[int32]float64{2: 4, 5: 1, 7: 9})
+	if got := a.Dot(b); got != 2*4+3*1 {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := a.Norm(); math.Abs(got-math.Sqrt(14)) > 1e-12 {
+		t.Errorf("Norm = %v", got)
+	}
+	zero := SparseVec{}
+	if got := a.Cosine(zero); got != 0 {
+		t.Errorf("Cosine with zero = %v, want 0", got)
+	}
+	if got := a.Cosine(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self Cosine = %v, want 1", got)
+	}
+}
+
+// Property: cosine similarity is symmetric and within [-1, 1] (here all
+// weights are non-negative, so [0, 1]).
+func TestCosineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := randVec(rng)
+		b := randVec(rng)
+		ab, ba := a.Cosine(b), b.Cosine(a)
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Fatalf("asymmetric cosine %v vs %v", ab, ba)
+		}
+		if ab < 0 || ab > 1+1e-12 {
+			t.Fatalf("cosine out of range: %v", ab)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand) SparseVec {
+	m := make(map[int32]float64)
+	n := rng.Intn(8)
+	for i := 0; i < n; i++ {
+		m[int32(rng.Intn(16))] = rng.Float64()
+	}
+	return NewSparseVec(m)
+}
+
+func TestTFIDF(t *testing.T) {
+	tok := NewTokenizer()
+	c := NewCorpus(tok, []string{
+		"soccer final tonight",
+		"soccer champions league",
+		"basketball playoffs tonight",
+	})
+	tf := NewTFIDF(c.Vocab, len(c.Docs))
+	v := tf.Vectorize(c.Docs[0])
+	// "soccer" df=2 idf=log(3/2); "final" df=1 idf=log3; "tonight" df=2.
+	soccer, _ := c.Vocab.ID("soccer")
+	final, _ := c.Vocab.ID("final")
+	var gotSoccer, gotFinal float64
+	for i, idx := range v.Idx {
+		if idx == int32(soccer) {
+			gotSoccer = v.Val[i]
+		}
+		if idx == int32(final) {
+			gotFinal = v.Val[i]
+		}
+	}
+	if math.Abs(gotSoccer-math.Log(1.5)) > 1e-12 {
+		t.Errorf("soccer weight = %v, want %v", gotSoccer, math.Log(1.5))
+	}
+	if math.Abs(gotFinal-math.Log(3)) > 1e-12 {
+		t.Errorf("final weight = %v, want %v", gotFinal, math.Log(3))
+	}
+}
+
+func TestTFIDFSkipsUbiquitousWords(t *testing.T) {
+	tok := NewTokenizer()
+	c := NewCorpus(tok, []string{"alpha beta", "alpha gamma"})
+	tf := NewTFIDF(c.Vocab, len(c.Docs))
+	v := tf.Vectorize(c.Docs[0])
+	alpha, _ := c.Vocab.ID("alpha")
+	for _, idx := range v.Idx {
+		if idx == int32(alpha) {
+			t.Error("word in all docs has idf 0 and must be skipped")
+		}
+	}
+}

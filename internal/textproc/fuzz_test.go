@@ -1,0 +1,62 @@
+package textproc
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize asserts the tokenizer's invariants on arbitrary input: it
+// never panics, never returns stop words or empty/oversized tokens, and is
+// idempotent under re-tokenization of its own output.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"@asroma win but it's @LFC joining @realmadrid in the #UCL final",
+		"128-110 !!! ... ???",
+		"ünïcödé wörds über allés",
+		"日本語のテキスト mixed with english",
+		"a#b@c d'e’f",
+		"\x00\xff\xfe broken bytes",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tok := NewTokenizer()
+	stop := defaultStopwords()
+	f.Fuzz(func(t *testing.T, input string) {
+		tokens := tok.Tokenize(input)
+		for _, w := range tokens {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			n := len([]rune(w))
+			if n < 2 || n > 32 {
+				t.Fatalf("token %q length %d outside [2,32]", w, n)
+			}
+			if _, bad := stop[w]; bad {
+				t.Fatalf("stop word %q returned", w)
+			}
+			if !utf8.ValidString(w) {
+				t.Fatalf("invalid UTF-8 token %q", w)
+			}
+		}
+		// Idempotence: re-tokenizing the joined output returns the same
+		// tokens (tokens contain no separators).
+		joined := ""
+		for i, w := range tokens {
+			if i > 0 {
+				joined += " "
+			}
+			joined += w
+		}
+		again := tok.Tokenize(joined)
+		if len(again) != len(tokens) {
+			t.Fatalf("not idempotent: %v vs %v", tokens, again)
+		}
+		for i := range tokens {
+			if again[i] != tokens[i] {
+				t.Fatalf("not idempotent at %d: %v vs %v", i, tokens, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Package textproc provides the text-processing substrate for k-SIR:
+// tokenization, stop-word removal, vocabulary management, bag-of-words
+// documents, and TF-IDF vectorization used by the keyword-based baselines.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer splits raw text into normalized tokens. The zero value is not
+// usable; construct one with NewTokenizer.
+type Tokenizer struct {
+	stopwords map[string]struct{}
+	minLen    int
+	maxLen    int
+}
+
+// TokenizerOption configures a Tokenizer.
+type TokenizerOption func(*Tokenizer)
+
+// WithStopwords replaces the default English stop-word list.
+func WithStopwords(words []string) TokenizerOption {
+	return func(t *Tokenizer) {
+		t.stopwords = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			t.stopwords[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// WithTokenLength bounds accepted token lengths in runes. Tokens outside
+// [min, max] are treated as noise words and dropped.
+func WithTokenLength(min, max int) TokenizerOption {
+	return func(t *Tokenizer) {
+		t.minLen, t.maxLen = min, max
+	}
+}
+
+// NewTokenizer returns a Tokenizer with the default English stop-word list
+// and token length bounds [2, 32].
+func NewTokenizer(opts ...TokenizerOption) *Tokenizer {
+	t := &Tokenizer{
+		stopwords: defaultStopwords(),
+		minLen:    2,
+		maxLen:    32,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Tokenize lower-cases text, splits it on non-alphanumeric boundaries
+// (keeping '#' and '@' prefixes intact so hashtags and mentions survive, as
+// the paper's examples rely on them), and drops stop words, pure numbers and
+// out-of-length tokens.
+func (t *Tokenizer) Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := b.String()
+		b.Reset()
+		if t.keep(tok) {
+			tokens = append(tokens, tok)
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '#' || r == '@') && b.Len() == 0:
+			b.WriteRune(r)
+		case r == '\'' || r == '’':
+			// Drop apostrophes in-place: "it's" -> "its".
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+func (t *Tokenizer) keep(tok string) bool {
+	n := len([]rune(tok))
+	if n < t.minLen || n > t.maxLen {
+		return false
+	}
+	if _, ok := t.stopwords[strings.TrimLeft(tok, "#@")]; ok {
+		return false
+	}
+	if isNumeric(tok) {
+		return false
+	}
+	return true
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

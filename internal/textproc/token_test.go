@@ -1,0 +1,85 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tok := NewTokenizer()
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{
+			name: "hashtags and mentions survive",
+			in:   "@asroma win but it's @LFC joining @realmadrid in the #UCL final",
+			want: []string{"@asroma", "win", "@lfc", "joining", "@realmadrid", "#ucl", "final"},
+		},
+		{
+			name: "stop words removed",
+			in:   "the quick brown fox is over a lazy dog",
+			want: []string{"quick", "brown", "fox", "lazy", "dog"},
+		},
+		{
+			name: "numbers removed",
+			in:   "defeats 128-110 and leads the series 2-0",
+			want: []string{"defeats", "leads", "series"},
+		},
+		{
+			name: "apostrophes collapsed",
+			in:   "LeBron's greatness isn't debatable",
+			want: []string{"lebrons", "greatness", "debatable"},
+		},
+		{
+			name: "empty",
+			in:   "",
+			want: nil,
+		},
+		{
+			name: "punctuation only",
+			in:   "!!! ... ???",
+			want: nil,
+		},
+		{
+			name: "mixed case folded",
+			in:   "NBA Playoffs TONIGHT",
+			want: []string{"nba", "playoffs", "tonight"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tok.Tokenize(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeLengthBounds(t *testing.T) {
+	tok := NewTokenizer(WithTokenLength(3, 5))
+	// "go" and "ab" are too short; "gopher", "golang", "abcdef" too long.
+	got := tok.Tokenize("go gopher golang ab abcde abcdef")
+	if !reflect.DeepEqual(got, []string{"abcde"}) {
+		t.Errorf("Tokenize with bounds = %v, want [abcde]", got)
+	}
+}
+
+func TestCustomStopwords(t *testing.T) {
+	tok := NewTokenizer(WithStopwords([]string{"foo", "BAR"}))
+	got := tok.Tokenize("foo bar baz the")
+	// Custom list replaces default: "the" is no longer a stop word.
+	want := []string{"baz", "the"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestStopwordStripsPrefix(t *testing.T) {
+	tok := NewTokenizer()
+	if got := tok.Tokenize("#the @is"); got != nil {
+		t.Errorf("hashtag/mention stop words should be dropped, got %v", got)
+	}
+}

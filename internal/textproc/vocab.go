@@ -1,0 +1,128 @@
+package textproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WordID indexes a word in a Vocabulary. IDs are dense, starting at 0.
+type WordID int32
+
+// Vocabulary maps words to dense integer IDs and tracks corpus statistics
+// (total frequency and document frequency) needed for pruning and TF-IDF.
+type Vocabulary struct {
+	ids   map[string]WordID
+	words []string
+	freq  []int64 // total occurrences per word
+	df    []int64 // number of documents containing the word
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]WordID)}
+}
+
+// Add interns the word and returns its ID, creating a new entry on first use.
+func (v *Vocabulary) Add(word string) WordID {
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	id := WordID(len(v.words))
+	v.ids[word] = id
+	v.words = append(v.words, word)
+	v.freq = append(v.freq, 0)
+	v.df = append(v.df, 0)
+	return id
+}
+
+// ID returns the word's ID and whether it is present.
+func (v *Vocabulary) ID(word string) (WordID, bool) {
+	id, ok := v.ids[word]
+	return id, ok
+}
+
+// Word returns the string for id. It panics if id is out of range.
+func (v *Vocabulary) Word(id WordID) string { return v.words[id] }
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Freq returns the total corpus frequency of id.
+func (v *Vocabulary) Freq(id WordID) int64 { return v.freq[id] }
+
+// DocFreq returns the number of documents containing id.
+func (v *Vocabulary) DocFreq(id WordID) int64 { return v.df[id] }
+
+// ObserveDoc records one document's tokens into the frequency tables.
+// Call it once per document after interning the tokens.
+func (v *Vocabulary) ObserveDoc(ids []WordID) {
+	seen := make(map[WordID]struct{}, len(ids))
+	for _, id := range ids {
+		v.freq[id]++
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			v.df[id]++
+		}
+	}
+}
+
+// SetCounts replaces the frequency tables wholesale (used when a vocabulary
+// is restored from a serialized model). Both slices must have exactly one
+// entry per word; SetCounts panics otherwise, as that indicates a corrupt
+// caller-side file already validated upstream.
+func (v *Vocabulary) SetCounts(freq, df []int64) {
+	if len(freq) != len(v.words) || len(df) != len(v.words) {
+		panic(fmt.Sprintf("textproc: SetCounts got %d/%d entries for %d words", len(freq), len(df), len(v.words)))
+	}
+	v.freq = append(v.freq[:0], freq...)
+	v.df = append(v.df[:0], df...)
+}
+
+// Prune returns a new vocabulary containing only words with document
+// frequency in [minDF, maxDFRatio*numDocs], plus a remap table old→new
+// (entries of -1 mark dropped words). This mirrors the paper's preprocessing
+// where the raw vocabularies (0.5–3M words) shrink to 68–88K.
+func (v *Vocabulary) Prune(numDocs int, minDF int64, maxDFRatio float64) (*Vocabulary, []WordID) {
+	maxDF := int64(maxDFRatio * float64(numDocs))
+	pruned := NewVocabulary()
+	remap := make([]WordID, len(v.words))
+	for i := range v.words {
+		if v.df[i] >= minDF && v.df[i] <= maxDF {
+			id := pruned.Add(v.words[i])
+			pruned.freq[id] = v.freq[i]
+			pruned.df[id] = v.df[i]
+			remap[i] = id
+		} else {
+			remap[i] = -1
+		}
+	}
+	return pruned, remap
+}
+
+// TopWords returns the n most frequent words, useful for diagnostics and for
+// the trending-topic queries used in the user study (§5.2).
+func (v *Vocabulary) TopWords(n int) []string {
+	idx := make([]int, len(v.words))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if v.freq[idx[a]] != v.freq[idx[b]] {
+			return v.freq[idx[a]] > v.freq[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = v.words[idx[i]]
+	}
+	return out
+}
+
+// String implements fmt.Stringer with a short summary.
+func (v *Vocabulary) String() string {
+	return fmt.Sprintf("Vocabulary(%d words)", len(v.words))
+}

@@ -1,0 +1,113 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVocabularyAddAndLookup(t *testing.T) {
+	v := NewVocabulary()
+	a := v.Add("soccer")
+	b := v.Add("basketball")
+	if a == b {
+		t.Fatalf("distinct words got same ID %d", a)
+	}
+	if again := v.Add("soccer"); again != a {
+		t.Errorf("re-adding word changed ID: %d != %d", again, a)
+	}
+	if id, ok := v.ID("soccer"); !ok || id != a {
+		t.Errorf("ID(soccer) = %d,%v want %d,true", id, ok, a)
+	}
+	if _, ok := v.ID("hockey"); ok {
+		t.Error("ID(hockey) should be absent")
+	}
+	if v.Word(a) != "soccer" {
+		t.Errorf("Word(%d) = %q", a, v.Word(a))
+	}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d, want 2", v.Size())
+	}
+}
+
+func TestVocabularyFrequencies(t *testing.T) {
+	v := NewVocabulary()
+	w1, w2 := v.Add("lebron"), v.Add("final")
+	v.ObserveDoc([]WordID{w1, w1, w2})
+	v.ObserveDoc([]WordID{w1})
+	if got := v.Freq(w1); got != 3 {
+		t.Errorf("Freq(w1) = %d, want 3", got)
+	}
+	if got := v.DocFreq(w1); got != 2 {
+		t.Errorf("DocFreq(w1) = %d, want 2", got)
+	}
+	if got := v.DocFreq(w2); got != 1 {
+		t.Errorf("DocFreq(w2) = %d, want 1", got)
+	}
+}
+
+func TestVocabularyPrune(t *testing.T) {
+	v := NewVocabulary()
+	rare := v.Add("rare")
+	mid := v.Add("mid")
+	everywhere := v.Add("everywhere")
+	docs := [][]WordID{
+		{rare, mid, everywhere},
+		{mid, everywhere},
+		{everywhere},
+		{everywhere},
+	}
+	for _, d := range docs {
+		v.ObserveDoc(d)
+	}
+	pruned, remap := v.Prune(len(docs), 2, 0.75)
+	if pruned.Size() != 1 {
+		t.Fatalf("pruned size = %d, want 1 (only 'mid' survives)", pruned.Size())
+	}
+	if remap[rare] != -1 || remap[everywhere] != -1 {
+		t.Errorf("rare/everywhere should be dropped: remap=%v", remap)
+	}
+	newID := remap[mid]
+	if newID == -1 || pruned.Word(newID) != "mid" {
+		t.Errorf("mid should survive, remap=%v", remap)
+	}
+	if pruned.DocFreq(newID) != 2 {
+		t.Errorf("pruned DocFreq carried over = %d, want 2", pruned.DocFreq(newID))
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	v := NewVocabulary()
+	a, b, c := v.Add("a1"), v.Add("b2"), v.Add("c3")
+	v.ObserveDoc([]WordID{a, b, b, c, c, c})
+	got := v.TopWords(2)
+	want := []string{"c3", "b2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopWords = %v, want %v", got, want)
+	}
+	if n := len(v.TopWords(10)); n != 3 {
+		t.Errorf("TopWords(10) len = %d, want 3", n)
+	}
+}
+
+// Property: interning is a bijection between distinct strings and IDs.
+func TestVocabularyBijectionProperty(t *testing.T) {
+	f := func(words []string) bool {
+		v := NewVocabulary()
+		seen := make(map[string]WordID)
+		for _, w := range words {
+			id := v.Add(w)
+			if prev, ok := seen[w]; ok && prev != id {
+				return false
+			}
+			seen[w] = id
+			if v.Word(id) != w {
+				return false
+			}
+		}
+		return v.Size() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

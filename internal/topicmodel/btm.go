@@ -1,0 +1,181 @@
+package topicmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// BTMConfig configures biterm-topic-model training. BTM models the corpus
+// as a mixture over word co-occurrence pairs ("biterms") rather than over
+// documents, which is why it outperforms LDA on very short texts such as
+// tweets (§5.1 trains BTM on the Twitter corpus).
+type BTMConfig struct {
+	Topics     int
+	VocabSize  int
+	Alpha      float64 // topic mixture prior; 0 → 50/Topics
+	Beta       float64 // topic-word prior; 0 → 0.01
+	Iterations int     // Gibbs sweeps; 0 → 100
+	Seed       int64
+	// WindowSize bounds the distance between the two words of a biterm
+	// within a document; 0 → 15 (effectively the whole doc for tweets).
+	WindowSize int
+}
+
+func (c *BTMConfig) fill() error {
+	if c.Topics <= 0 {
+		return fmt.Errorf("btm: Topics must be positive, got %d", c.Topics)
+	}
+	if c.VocabSize <= 0 {
+		return fmt.Errorf("btm: VocabSize must be positive, got %d", c.VocabSize)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 50 / float64(c.Topics)
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 100
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 15
+	}
+	return nil
+}
+
+type biterm struct{ w1, w2 int32 }
+
+// extractBiterms returns all unordered word pairs within the window.
+// A single-word document yields the degenerate biterm (w, w) so that no
+// document is invisible to the model.
+func extractBiterms(doc []textproc.WordID, window int) []biterm {
+	var bs []biterm
+	for i := 0; i < len(doc); i++ {
+		hi := i + window
+		if hi > len(doc) {
+			hi = len(doc)
+		}
+		for j := i + 1; j < hi; j++ {
+			bs = append(bs, biterm{int32(doc[i]), int32(doc[j])})
+		}
+	}
+	if len(bs) == 0 && len(doc) == 1 {
+		bs = append(bs, biterm{int32(doc[0]), int32(doc[0])})
+	}
+	return bs
+}
+
+// TrainBTM trains a biterm topic model with collapsed Gibbs sampling and
+// returns the model plus per-document topic distributions inferred from the
+// documents' biterms.
+func TrainBTM(docs [][]textproc.WordID, cfg BTMConfig) (*Model, []TopicVec, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, nil, err
+	}
+	z, v := cfg.Topics, cfg.VocabSize
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var biterms []biterm
+	docRange := make([][2]int, len(docs)) // biterm index range per doc
+	for d, doc := range docs {
+		for _, w := range doc {
+			if int(w) >= v {
+				return nil, nil, fmt.Errorf("btm: word %d out of vocab %d", w, v)
+			}
+		}
+		start := len(biterms)
+		biterms = append(biterms, extractBiterms(doc, cfg.WindowSize)...)
+		docRange[d] = [2]int{start, len(biterms)}
+	}
+
+	nTopic := make([]int64, z)       // biterms assigned to topic
+	nTopicWord := make([]int32, z*v) // word occurrences per topic
+	assign := make([]topicID, len(biterms))
+
+	for b, bt := range biterms {
+		t := rng.Intn(z)
+		assign[b] = topicID(t)
+		nTopic[t]++
+		nTopicWord[t*v+int(bt.w1)]++
+		nTopicWord[t*v+int(bt.w2)]++
+	}
+
+	probs := make([]float64, z)
+	vBeta := float64(v) * cfg.Beta
+	for it := 0; it < cfg.Iterations; it++ {
+		for b, bt := range biterms {
+			old := int(assign[b])
+			nTopic[old]--
+			nTopicWord[old*v+int(bt.w1)]--
+			nTopicWord[old*v+int(bt.w2)]--
+
+			var sum float64
+			for t := 0; t < z; t++ {
+				denom := 2*float64(nTopic[t]) + vBeta
+				p := (float64(nTopic[t]) + cfg.Alpha) *
+					((float64(nTopicWord[t*v+int(bt.w1)]) + cfg.Beta) / denom) *
+					((float64(nTopicWord[t*v+int(bt.w2)]) + cfg.Beta) / (denom + 1))
+				probs[t] = p
+				sum += p
+			}
+			t := sampleDiscrete(rng, probs, sum)
+			assign[b] = topicID(t)
+			nTopic[t]++
+			nTopicWord[t*v+int(bt.w1)]++
+			nTopicWord[t*v+int(bt.w2)]++
+		}
+	}
+
+	m := &Model{Z: z, V: v, Phi: make([]float64, z*v), PTopic: make([]float64, z)}
+	var totalBiterms int64
+	for t := 0; t < z; t++ {
+		denom := 2*float64(nTopic[t]) + vBeta
+		for w := 0; w < v; w++ {
+			m.Phi[t*v+w] = (float64(nTopicWord[t*v+w]) + cfg.Beta) / denom
+		}
+		m.PTopic[t] = float64(nTopic[t]) + cfg.Alpha
+		totalBiterms += nTopic[t]
+	}
+	var ptSum float64
+	for _, p := range m.PTopic {
+		ptSum += p
+	}
+	for t := range m.PTopic {
+		m.PTopic[t] /= ptSum
+	}
+
+	// Per-document distributions: p(z|d) ∝ Σ_{b∈d} p(z|b).
+	docVecs := make([]TopicVec, len(docs))
+	dense := make([]float64, z)
+	for d := range docs {
+		for t := range dense {
+			dense[t] = 0
+		}
+		lo, hi := docRange[d][0], docRange[d][1]
+		for b := lo; b < hi; b++ {
+			bt := biterms[b]
+			var sum float64
+			for t := 0; t < z; t++ {
+				p := m.PTopic[t] * m.TopicWord(t, textproc.WordID(bt.w1)) * m.TopicWord(t, textproc.WordID(bt.w2))
+				probs[t] = p
+				sum += p
+			}
+			if sum == 0 {
+				continue
+			}
+			for t := 0; t < z; t++ {
+				dense[t] += probs[t] / sum
+			}
+		}
+		n := hi - lo
+		if n > 0 {
+			for t := range dense {
+				dense[t] /= float64(n)
+			}
+		}
+		docVecs[d] = NewTopicVec(dense)
+	}
+	return m, docVecs, nil
+}

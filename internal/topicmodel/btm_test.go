@@ -1,0 +1,128 @@
+package topicmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// shortCorpus builds tweet-length docs (3 tokens) from two disjoint topics.
+func shortCorpus(nDocs int, seed int64) [][]textproc.WordID {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]textproc.WordID, nDocs)
+	for d := range docs {
+		base := 0
+		if d%2 == 1 {
+			base = 5
+		}
+		doc := make([]textproc.WordID, 3)
+		for j := range doc {
+			doc[j] = textproc.WordID(base + rng.Intn(5))
+		}
+		docs[d] = doc
+	}
+	return docs
+}
+
+func TestExtractBiterms(t *testing.T) {
+	doc := []textproc.WordID{1, 2, 3}
+	bs := extractBiterms(doc, 15)
+	if len(bs) != 3 {
+		t.Fatalf("got %d biterms, want 3", len(bs))
+	}
+	want := []biterm{{1, 2}, {1, 3}, {2, 3}}
+	for i, b := range bs {
+		if b != want[i] {
+			t.Errorf("biterm[%d] = %v, want %v", i, b, want[i])
+		}
+	}
+}
+
+func TestExtractBitermsWindow(t *testing.T) {
+	doc := []textproc.WordID{1, 2, 3, 4}
+	bs := extractBiterms(doc, 2)
+	// window 2: only adjacent pairs.
+	want := []biterm{{1, 2}, {2, 3}, {3, 4}}
+	if len(bs) != len(want) {
+		t.Fatalf("got %v, want %v", bs, want)
+	}
+	for i := range bs {
+		if bs[i] != want[i] {
+			t.Errorf("biterm[%d] = %v, want %v", i, bs[i], want[i])
+		}
+	}
+}
+
+func TestExtractBitermsSingleWord(t *testing.T) {
+	bs := extractBiterms([]textproc.WordID{7}, 15)
+	if len(bs) != 1 || bs[0] != (biterm{7, 7}) {
+		t.Errorf("single-word doc: got %v, want [(7,7)]", bs)
+	}
+	if got := extractBiterms(nil, 15); got != nil {
+		t.Errorf("empty doc should yield no biterms, got %v", got)
+	}
+}
+
+func TestTrainBTMRecoversTopics(t *testing.T) {
+	docs := shortCorpus(200, 1)
+	m, vecs, err := TrainBTM(docs, BTMConfig{Topics: 2, VocabSize: 10, Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	evenTopic := 0
+	if m.TopicWord(1, 0) > m.TopicWord(0, 0) {
+		evenTopic = 1
+	}
+	var evenMass float64
+	for w := 0; w < 5; w++ {
+		evenMass += m.TopicWord(evenTopic, textproc.WordID(w))
+	}
+	if evenMass < 0.9 {
+		t.Errorf("even topic mass = %v, want > 0.9", evenMass)
+	}
+	correct := 0
+	for d, v := range vecs {
+		want := int32(evenTopic)
+		if d%2 == 1 {
+			want = int32(1 - evenTopic)
+		}
+		if v.Prob(want) > 0.5 {
+			correct++
+		}
+	}
+	if correct < 190 {
+		t.Errorf("only %d/200 short docs assigned correctly", correct)
+	}
+}
+
+func TestTrainBTMDeterministic(t *testing.T) {
+	docs := shortCorpus(50, 2)
+	cfg := BTMConfig{Topics: 2, VocabSize: 10, Iterations: 10, Seed: 9}
+	m1, _, err := TrainBTM(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := TrainBTM(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Phi {
+		if m1.Phi[i] != m2.Phi[i] {
+			t.Fatal("same seed produced different models")
+		}
+	}
+}
+
+func TestTrainBTMErrors(t *testing.T) {
+	if _, _, err := TrainBTM(nil, BTMConfig{Topics: 0, VocabSize: 5}); err == nil {
+		t.Error("zero topics accepted")
+	}
+	docs := [][]textproc.WordID{{99}}
+	if _, _, err := TrainBTM(docs, BTMConfig{Topics: 2, VocabSize: 5, Iterations: 1}); err == nil {
+		t.Error("out-of-vocab word accepted")
+	}
+}

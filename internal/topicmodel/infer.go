@@ -1,0 +1,153 @@
+package topicmodel
+
+import (
+	"math/rand"
+
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// Inferencer folds unseen documents (stream elements, keyword queries) into
+// a trained model. The paper's architecture (Figure 4) runs this "topic
+// inference" step on each arriving bucket and on each user query; it is
+// "rather standard (e.g., Gibbs sampling)" per §4.
+//
+// Inferencer is safe for concurrent use: each call uses its own RNG derived
+// from the element content, which also makes inference deterministic for a
+// given (model, document) pair.
+type Inferencer struct {
+	model *Model
+	// Alpha is the fold-in document-topic prior. It defaults to 0.1: unlike
+	// training (α = 50/z over long corpora), fold-in must not let the prior
+	// swamp the handful of tokens in a tweet or a keyword query, and a small
+	// α yields the peaked per-element distributions (< 2 topics on average)
+	// that §4 reports and the ranked-list pruning exploits.
+	Alpha float64
+	// Iterations is the number of fold-in Gibbs sweeps (default 20).
+	Iterations int
+	// MaxTopics / MinProb control sparse truncation of results.
+	MaxTopics int
+	MinProb   float64
+
+	seed int64
+}
+
+// NewInferencer returns an Inferencer with defaults: α = 0.1, 20 fold-in
+// sweeps, and truncation to at most 4 topics with p ≥ 0.05.
+func NewInferencer(m *Model, seed int64) *Inferencer {
+	return &Inferencer{
+		model:      m,
+		Alpha:      0.1,
+		Iterations: 20,
+		MaxTopics:  4,
+		MinProb:    0.05,
+		seed:       seed,
+	}
+}
+
+// Model returns the underlying trained model.
+func (inf *Inferencer) Model() *Model { return inf.model }
+
+// InferDoc returns the truncated topic distribution of a token-ID document.
+// Unknown words (id ≥ V) are skipped. An empty or all-unknown document
+// yields an empty TopicVec.
+func (inf *Inferencer) InferDoc(doc []textproc.WordID) TopicVec {
+	words := make([]textproc.WordID, 0, len(doc))
+	for _, w := range doc {
+		if int(w) < inf.model.V {
+			words = append(words, w)
+		}
+	}
+	if len(words) == 0 {
+		return TopicVec{}
+	}
+	dense := inf.foldIn(words)
+	return NewTopicVec(dense).Truncate(inf.MaxTopics, inf.MinProb)
+}
+
+// InferDense is InferDoc without truncation, returning the full
+// z-dimensional distribution. Query vectors use this (queries may weight
+// several topics; §3.2 normalizes them to sum to 1).
+func (inf *Inferencer) InferDense(doc []textproc.WordID) TopicVec {
+	words := make([]textproc.WordID, 0, len(doc))
+	for _, w := range doc {
+		if int(w) < inf.model.V {
+			words = append(words, w)
+		}
+	}
+	if len(words) == 0 {
+		return TopicVec{}
+	}
+	return NewTopicVec(inf.foldIn(words))
+}
+
+// foldIn runs collapsed Gibbs sampling over the document with the topic-word
+// distributions held fixed at the trained Phi.
+func (inf *Inferencer) foldIn(words []textproc.WordID) []float64 {
+	m := inf.model
+	z := m.Z
+	rng := rand.New(rand.NewSource(inf.docSeed(words)))
+
+	nTopic := make([]int32, z)
+	assign := make([]topicID, len(words))
+	// Initialize proportional to p(z)·p(w|z) for faster mixing than uniform.
+	probs := make([]float64, z)
+	for j, w := range words {
+		var sum float64
+		for t := 0; t < z; t++ {
+			p := m.PTopic[t] * m.TopicWord(t, w)
+			probs[t] = p
+			sum += p
+		}
+		var t int
+		if sum > 0 {
+			t = sampleDiscrete(rng, probs, sum)
+		} else {
+			t = rng.Intn(z)
+		}
+		assign[j] = topicID(t)
+		nTopic[t]++
+	}
+
+	for it := 0; it < inf.Iterations; it++ {
+		for j, w := range words {
+			old := int(assign[j])
+			nTopic[old]--
+			var sum float64
+			for t := 0; t < z; t++ {
+				p := (float64(nTopic[t]) + inf.Alpha) * m.TopicWord(t, w)
+				probs[t] = p
+				sum += p
+			}
+			var t int
+			if sum > 0 {
+				t = sampleDiscrete(rng, probs, sum)
+			} else {
+				t = old
+			}
+			assign[j] = topicID(t)
+			nTopic[t]++
+		}
+	}
+
+	dense := make([]float64, z)
+	denom := float64(len(words)) + float64(z)*inf.Alpha
+	for t := 0; t < z; t++ {
+		dense[t] = (float64(nTopic[t]) + inf.Alpha) / denom
+	}
+	return dense
+}
+
+// docSeed derives a deterministic per-document seed from the base seed and
+// the word sequence (FNV-1a over word IDs).
+func (inf *Inferencer) docSeed(words []textproc.WordID) int64 {
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ uint64(inf.seed)
+	for _, w := range words {
+		h ^= uint64(uint32(w))
+		h *= prime
+	}
+	return int64(h)
+}

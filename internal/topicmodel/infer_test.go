@@ -1,0 +1,96 @@
+package topicmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	docs := synthCorpus(100, 20, 5)
+	m, _, err := TrainLDA(docs, LDAConfig{Topics: 2, VocabSize: 10, Iterations: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInferDocAssignsDominantTopic(t *testing.T) {
+	m := trainedModel(t)
+	inf := NewInferencer(m, 11)
+	evenTopic := int32(0)
+	if m.TopicWord(1, 0) > m.TopicWord(0, 0) {
+		evenTopic = 1
+	}
+	vec := inf.InferDoc([]textproc.WordID{0, 1, 2, 3, 0, 1})
+	if vec.Prob(evenTopic) < 0.8 {
+		t.Errorf("doc of pure even-topic words got p=%v on that topic (%+v)", vec.Prob(evenTopic), vec)
+	}
+	if math.Abs(vec.Sum()-1) > 1e-9 {
+		t.Errorf("Sum = %v", vec.Sum())
+	}
+}
+
+func TestInferDocDeterministic(t *testing.T) {
+	m := trainedModel(t)
+	inf := NewInferencer(m, 11)
+	doc := []textproc.WordID{0, 5, 2, 7}
+	a := inf.InferDoc(doc)
+	b := inf.InferDoc(doc)
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic inference")
+	}
+	for i := range a.Topics {
+		if a.Topics[i] != b.Topics[i] || a.Probs[i] != b.Probs[i] {
+			t.Fatal("nondeterministic inference")
+		}
+	}
+}
+
+func TestInferDocHandlesUnknownAndEmpty(t *testing.T) {
+	m := trainedModel(t)
+	inf := NewInferencer(m, 11)
+	if got := inf.InferDoc(nil); got.Len() != 0 {
+		t.Errorf("empty doc → %+v, want empty", got)
+	}
+	if got := inf.InferDoc([]textproc.WordID{1000}); got.Len() != 0 {
+		t.Errorf("all-unknown doc → %+v, want empty", got)
+	}
+	// Mixed known/unknown: unknown words skipped, inference still works.
+	got := inf.InferDoc([]textproc.WordID{0, 1000, 1})
+	if got.Len() == 0 {
+		t.Error("mixed doc should produce a distribution")
+	}
+}
+
+func TestInferDenseIsFullDistribution(t *testing.T) {
+	m := trainedModel(t)
+	inf := NewInferencer(m, 11)
+	vec := inf.InferDense([]textproc.WordID{0, 5})
+	if math.Abs(vec.Sum()-1) > 1e-9 {
+		t.Errorf("dense sum = %v", vec.Sum())
+	}
+	// Dense keeps smoothed mass on all topics.
+	if vec.Len() != m.Z {
+		t.Errorf("dense vec has %d topics, want %d", vec.Len(), m.Z)
+	}
+}
+
+func TestInferConcurrentSafe(t *testing.T) {
+	m := trainedModel(t)
+	inf := NewInferencer(m, 11)
+	done := make(chan TopicVec, 8)
+	doc := []textproc.WordID{0, 1, 2}
+	for i := 0; i < 8; i++ {
+		go func() { done <- inf.InferDoc(doc) }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		v := <-done
+		if v.Len() != first.Len() {
+			t.Fatal("concurrent inference diverged")
+		}
+	}
+}

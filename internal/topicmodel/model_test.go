@@ -1,0 +1,128 @@
+package topicmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopicVecProb(t *testing.T) {
+	v := NewTopicVec([]float64{0, 0.3, 0, 0.7})
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+	if got := v.Prob(1); got != 0.3 {
+		t.Errorf("Prob(1) = %v", got)
+	}
+	if got := v.Prob(3); got != 0.7 {
+		t.Errorf("Prob(3) = %v", got)
+	}
+	if got := v.Prob(0); got != 0 {
+		t.Errorf("Prob(0) = %v, want 0", got)
+	}
+	if got := v.Sum(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestTopicVecCosine(t *testing.T) {
+	a := NewTopicVec([]float64{1, 0})
+	b := NewTopicVec([]float64{0, 1})
+	if got := a.Cosine(b); got != 0 {
+		t.Errorf("orthogonal cosine = %v", got)
+	}
+	if got := a.Cosine(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v", got)
+	}
+	if got := (TopicVec{}).Cosine(a); got != 0 {
+		t.Errorf("empty cosine = %v", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	v := NewTopicVec([]float64{0.5, 0.3, 0.15, 0.04, 0.01})
+	got := v.Truncate(4, 0.05)
+	if got.Len() != 3 {
+		t.Fatalf("Truncate kept %d topics, want 3: %+v", got.Len(), got)
+	}
+	if math.Abs(got.Sum()-1) > 1e-12 {
+		t.Errorf("truncated sum = %v, want 1 (renormalized)", got.Sum())
+	}
+	// Relative ordering preserved after renormalization.
+	if !(got.Prob(0) > got.Prob(1) && got.Prob(1) > got.Prob(2)) {
+		t.Errorf("ordering lost: %+v", got)
+	}
+}
+
+func TestTruncateKeepsLargestWhenAllBelowThreshold(t *testing.T) {
+	dense := make([]float64, 100)
+	for i := range dense {
+		dense[i] = 0.01
+	}
+	v := NewTopicVec(dense)
+	got := v.Truncate(4, 0.05)
+	if got.Len() != 1 {
+		t.Fatalf("want single largest entry kept, got %d", got.Len())
+	}
+	if math.Abs(got.Sum()-1) > 1e-12 {
+		t.Errorf("sum = %v", got.Sum())
+	}
+}
+
+func TestTruncateMaxTopics(t *testing.T) {
+	v := NewTopicVec([]float64{0.2, 0.2, 0.2, 0.2, 0.2})
+	got := v.Truncate(2, 0.0)
+	if got.Len() != 2 {
+		t.Fatalf("kept %d, want 2", got.Len())
+	}
+}
+
+// Property: Truncate always returns a distribution (sums to 1) with sorted,
+// unique topics, for any random non-empty input.
+func TestTruncateProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		z := 1 + rng.Intn(30)
+		dense := make([]float64, z)
+		var sum float64
+		for i := range dense {
+			dense[i] = rng.Float64()
+			sum += dense[i]
+		}
+		for i := range dense {
+			dense[i] /= sum
+		}
+		v := NewTopicVec(dense).Truncate(1+rng.Intn(5), rng.Float64()*0.2)
+		if v.Len() == 0 {
+			return false
+		}
+		if math.Abs(v.Sum()-1) > 1e-9 {
+			return false
+		}
+		for i := 1; i < v.Len(); i++ {
+			if v.Topics[i] <= v.Topics[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := &Model{Z: 2, V: 2, Phi: []float64{0.5, 0.5, 0.9, 0.1}}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := &Model{Z: 2, V: 2, Phi: []float64{0.5, 0.5, 0.9, 0.2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-normalized topic accepted")
+	}
+	short := &Model{Z: 2, V: 2, Phi: []float64{0.5}}
+	if err := short.Validate(); err == nil {
+		t.Error("wrong-size Phi accepted")
+	}
+}

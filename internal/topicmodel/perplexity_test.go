@@ -1,0 +1,50 @@
+package topicmodel
+
+import (
+	"testing"
+
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+func TestPerplexityTrainedBeatsUniform(t *testing.T) {
+	docs := synthCorpus(200, 20, 21)
+	heldOut := synthCorpus(40, 20, 22)
+
+	trained, _, err := TrainLDA(docs, LDAConfig{Topics: 2, VocabSize: 10, Iterations: 50, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform (untrained) reference model.
+	uniform := &Model{Z: 2, V: 10, Phi: make([]float64, 20), PTopic: []float64{0.5, 0.5}}
+	for i := range uniform.Phi {
+		uniform.Phi[i] = 0.1
+	}
+
+	pTrained, err := Perplexity(NewInferencer(trained, 1), heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pUniform, err := Perplexity(NewInferencer(uniform, 1), heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pTrained >= pUniform {
+		t.Errorf("trained perplexity %.2f not better than uniform %.2f", pTrained, pUniform)
+	}
+	// A 2-true-topic corpus with 5 words per topic: a perfect model gives
+	// perplexity ≈ 5; the trained model should be close.
+	if pTrained > 7 {
+		t.Errorf("trained perplexity %.2f, want ≈5", pTrained)
+	}
+}
+
+func TestPerplexityErrors(t *testing.T) {
+	m := &Model{Z: 1, V: 2, Phi: []float64{0.5, 0.5}, PTopic: []float64{1}}
+	inf := NewInferencer(m, 1)
+	if _, err := Perplexity(inf, nil); err == nil {
+		t.Error("no docs accepted")
+	}
+	if _, err := Perplexity(inf, [][]textproc.WordID{{99}}); err == nil {
+		t.Error("all-unknown docs accepted")
+	}
+}

@@ -1,0 +1,333 @@
+package ksir
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Post is one social element as seen by producers: a timestamped text with
+// references to earlier posts (retweet origins, cited papers, comment
+// parents).
+type Post struct {
+	ID   int64
+	Time int64 // unix seconds (any monotone integer clock works)
+	Text string
+	Refs []int64
+}
+
+// Options configures a Stream.
+type Options struct {
+	// Window is the sliding-window length T (default 24h).
+	Window time.Duration
+	// Bucket is the batch-update interval L (default 15min).
+	Bucket time.Duration
+	// Lambda ∈ [0,1] trades semantic vs influence score (default 0.5).
+	Lambda float64
+	// Eta > 0 rescales the influence score (default 20; use larger values
+	// for retweet-heavy streams, the paper uses 200 for Twitter).
+	Eta float64
+}
+
+func (o *Options) fill() error {
+	if o.Window == 0 {
+		o.Window = 24 * time.Hour
+	}
+	if o.Bucket == 0 {
+		o.Bucket = 15 * time.Minute
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.5
+	}
+	if o.Eta == 0 {
+		o.Eta = 20
+	}
+	if o.Window <= 0 || o.Bucket <= 0 || o.Bucket > o.Window {
+		return fmt.Errorf("ksir: need 0 < Bucket <= Window, got %v / %v", o.Bucket, o.Window)
+	}
+	return nil
+}
+
+// Algorithm selects the query-processing algorithm.
+type Algorithm int
+
+const (
+	// MTTD (Multi-Topic ThresholdDescend) is the default: best result
+	// quality, (1 − 1/e − ε)-approximate.
+	MTTD Algorithm = iota
+	// MTTS (Multi-Topic ThresholdStream) evaluates each element at most
+	// once, (1/2 − ε)-approximate.
+	MTTS
+	// TopK returns the k individually highest-scored elements (no
+	// representativeness; provided for comparison).
+	TopK
+)
+
+// Query is a k-SIR query. Provide either Keywords (inferred into topic
+// space, the paper's query-by-keyword paradigm) or an explicit topic-space
+// Vector (query-by-document / personalized paradigms).
+type Query struct {
+	K        int
+	Keywords []string
+	// Vector maps topic index → weight; it is normalized internally.
+	Vector map[int]float64
+	// Epsilon is the approximation knob ε (default 0.1).
+	Epsilon float64
+	// Algorithm defaults to MTTD.
+	Algorithm Algorithm
+}
+
+// Result is a query answer.
+type Result struct {
+	// Posts are the selected elements in selection order.
+	Posts []Post
+	// Score is the representativeness f(S, x).
+	Score float64
+	// Evaluated and Active report the pruning effectiveness: how many of
+	// the active elements the algorithm actually scored.
+	Evaluated int
+	Active    int
+}
+
+// Stream is a live k-SIR query processor over one social stream. Add posts
+// in timestamp order; query at any time. Stream is safe for concurrent
+// queries; Add/Flush must be called from one goroutine.
+type Stream struct {
+	model  *Model
+	engine *core.Engine
+	opts   Options
+
+	bucketLen stream.Time
+	pending   []*stream.Element
+	lastTime  stream.Time
+
+	subs   []*Subscription
+	subSeq int64
+}
+
+// New creates a Stream over a trained model.
+func New(m *Model, opts Options) (*Stream, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ksir: nil model")
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	eng, err := newEngineForModel(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		model:     m,
+		engine:    eng,
+		opts:      opts,
+		bucketLen: stream.Time(opts.Bucket / time.Second),
+	}, nil
+}
+
+// Add appends one post to the stream. Posts must arrive in non-decreasing
+// time order. The post is buffered and ingested when its bucket completes
+// (or on Flush); queries observe it after that point, matching the paper's
+// batch-update architecture (Figure 4).
+func (s *Stream) Add(p Post) error {
+	ts := stream.Time(p.Time)
+	if ts <= 0 {
+		return fmt.Errorf("ksir: post %d has non-positive time %d", p.ID, p.Time)
+	}
+	if ts < s.lastTime {
+		return fmt.Errorf("ksir: post %d at %d arrives after time %d", p.ID, p.Time, s.lastTime)
+	}
+	// Complete buckets before this post's bucket.
+	if err := s.advanceTo(ts); err != nil {
+		return err
+	}
+	ids := s.model.tokenIDs(p.Text)
+	refs := make([]stream.ElemID, len(p.Refs))
+	for i, r := range p.Refs {
+		refs[i] = stream.ElemID(r)
+	}
+	e := &stream.Element{
+		ID:     stream.ElemID(p.ID),
+		TS:     ts,
+		Doc:    textproc.NewDocument(ids),
+		Topics: s.model.inf.InferDoc(ids),
+		Refs:   refs,
+		Text:   p.Text,
+	}
+	s.pending = append(s.pending, e)
+	s.lastTime = ts
+	return nil
+}
+
+// advanceTo ingests completed buckets so that the pending buffer only holds
+// elements of the bucket containing ts.
+func (s *Stream) advanceTo(ts stream.Time) error {
+	cur := s.bucketEnd()
+	for cur != 0 && ts > cur {
+		if err := s.flushBucket(cur); err != nil {
+			return err
+		}
+		cur = s.bucketEnd()
+	}
+	return nil
+}
+
+// bucketEnd returns the end time of the bucket holding the oldest pending
+// element (0 when nothing is pending).
+func (s *Stream) bucketEnd() stream.Time {
+	if len(s.pending) == 0 {
+		return 0
+	}
+	first := s.pending[0].TS
+	return ((first-1)/s.bucketLen + 1) * s.bucketLen
+}
+
+// flushBucket ingests all pending elements with TS ≤ end.
+func (s *Stream) flushBucket(end stream.Time) error {
+	var batch []*stream.Element
+	rest := s.pending[:0]
+	for _, e := range s.pending {
+		if e.TS <= end {
+			batch = append(batch, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	s.pending = rest
+	if err := s.engine.Ingest(end, batch); err != nil {
+		return err
+	}
+	return s.fireSubscriptions(int64(end))
+}
+
+// Flush ingests everything buffered up to and including time now, making it
+// visible to queries. Use it at end of input or before an immediate query.
+func (s *Stream) Flush(now int64) error {
+	ts := stream.Time(now)
+	if ts < s.lastTime {
+		return fmt.Errorf("ksir: flush time %d before last post %d", now, s.lastTime)
+	}
+	if err := s.advanceTo(ts + 1); err != nil {
+		return err
+	}
+	if len(s.pending) > 0 || ts > s.engine.Now() {
+		batch := s.pending
+		s.pending = nil
+		if err := s.engine.Ingest(ts, batch); err != nil {
+			return err
+		}
+		if err := s.fireSubscriptions(int64(ts)); err != nil {
+			return err
+		}
+	}
+	s.lastTime = ts
+	return nil
+}
+
+// Now returns the stream's current time (the end of the last ingested
+// bucket).
+func (s *Stream) Now() int64 { return int64(s.engine.Now()) }
+
+// Active returns the number of active elements n_t.
+func (s *Stream) Active() int { return s.engine.NumActive() }
+
+// Query answers a k-SIR query against the currently ingested window.
+func (s *Stream) Query(q Query) (Result, error) {
+	if q.K <= 0 {
+		return Result{}, fmt.Errorf("ksir: query needs K > 0")
+	}
+	x, err := s.queryVector(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var alg core.Algorithm
+	switch q.Algorithm {
+	case MTTD:
+		alg = core.MTTD
+	case MTTS:
+		alg = core.MTTS
+	case TopK:
+		alg = core.TopkRep
+	default:
+		return Result{}, fmt.Errorf("ksir: unknown algorithm %d", q.Algorithm)
+	}
+	res, err := s.engine.Query(core.Query{K: q.K, X: x, Epsilon: q.Epsilon, Algorithm: alg})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Score:     res.Score,
+		Evaluated: res.Evaluated,
+		Active:    res.ActiveAtQuery,
+	}
+	for _, e := range res.Elements {
+		out.Posts = append(out.Posts, Post{
+			ID:   int64(e.ID),
+			Time: int64(e.TS),
+			Text: e.Text,
+			Refs: refsToInt64(e.Refs),
+		})
+	}
+	return out, nil
+}
+
+// queryVector builds the normalized topic vector from Keywords or Vector.
+func (s *Stream) queryVector(q Query) (topicmodel.TopicVec, error) {
+	if len(q.Vector) > 0 {
+		idx := make([]int, 0, len(q.Vector))
+		var sum float64
+		for t, w := range q.Vector {
+			if t < 0 || t >= s.model.tm.Z {
+				return topicmodel.TopicVec{}, fmt.Errorf("ksir: topic %d out of range [0,%d)", t, s.model.tm.Z)
+			}
+			if w < 0 {
+				return topicmodel.TopicVec{}, fmt.Errorf("ksir: negative weight %v for topic %d", w, t)
+			}
+			if w > 0 {
+				idx = append(idx, t)
+				sum += w
+			}
+		}
+		if sum == 0 {
+			return topicmodel.TopicVec{}, fmt.Errorf("ksir: query vector is all zeros")
+		}
+		sort.Ints(idx)
+		v := topicmodel.TopicVec{
+			Topics: make([]int32, len(idx)),
+			Probs:  make([]float64, len(idx)),
+		}
+		for i, t := range idx {
+			v.Topics[i] = int32(t)
+			v.Probs[i] = q.Vector[t] / sum
+		}
+		return v, nil
+	}
+	if len(q.Keywords) == 0 {
+		return topicmodel.TopicVec{}, fmt.Errorf("ksir: query needs Keywords or Vector")
+	}
+	var ids []textproc.WordID
+	for _, kw := range q.Keywords {
+		ids = append(ids, s.model.tokenIDs(kw)...)
+	}
+	x := s.model.inf.InferDense(ids).Truncate(8, 0.02)
+	if x.Len() == 0 {
+		return topicmodel.TopicVec{}, fmt.Errorf("ksir: no query keyword appears in the model vocabulary")
+	}
+	return x, nil
+}
+
+func refsToInt64(refs []stream.ElemID) []int64 {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]int64, len(refs))
+	for i, r := range refs {
+		out[i] = int64(r)
+	}
+	return out
+}

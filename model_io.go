@@ -1,0 +1,110 @@
+package ksir
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// modelFileVersion guards the on-disk format; bump when the layout changes.
+const modelFileVersion = 1
+
+// modelFile is the serialized form of a trained Model. Training a topic
+// model is the expensive offline step of the pipeline (minutes at corpus
+// scale), so production deployments train once, Save, and Load at startup.
+type modelFile struct {
+	Version int
+	Z       int
+	V       int
+	Phi     []float64
+	PTopic  []float64
+	Words   []string
+	Freq    []int64
+	DocFreq []int64
+	Seed    int64
+}
+
+// Save writes the model in a self-contained binary format.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	mf := modelFile{
+		Version: modelFileVersion,
+		Z:       m.tm.Z,
+		V:       m.tm.V,
+		Phi:     m.tm.Phi,
+		PTopic:  m.tm.PTopic,
+		Seed:    m.seed,
+	}
+	for i := 0; i < m.vocab.Size(); i++ {
+		id := textproc.WordID(i)
+		mf.Words = append(mf.Words, m.vocab.Word(id))
+		mf.Freq = append(mf.Freq, m.vocab.Freq(id))
+		mf.DocFreq = append(mf.DocFreq, m.vocab.DocFreq(id))
+	}
+	if err := gob.NewEncoder(bw).Encode(mf); err != nil {
+		return fmt.Errorf("ksir: encoding model: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the model to path (created or truncated).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ksir: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("ksir: decoding model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("ksir: unsupported model file version %d (want %d)", mf.Version, modelFileVersion)
+	}
+	if len(mf.Words) != mf.V || len(mf.Phi) != mf.Z*mf.V || len(mf.PTopic) != mf.Z {
+		return nil, fmt.Errorf("ksir: corrupt model file: %d words, %d phi, %d ptopic for z=%d v=%d",
+			len(mf.Words), len(mf.Phi), len(mf.PTopic), mf.Z, mf.V)
+	}
+	vocab := textproc.NewVocabulary()
+	for i, w := range mf.Words {
+		id := vocab.Add(w)
+		if int(id) != i {
+			return nil, fmt.Errorf("ksir: duplicate word %q in model file", w)
+		}
+	}
+	vocab.SetCounts(mf.Freq, mf.DocFreq)
+	tm := &topicmodel.Model{Z: mf.Z, V: mf.V, Phi: mf.Phi, PTopic: mf.PTopic}
+	if err := tm.Validate(); err != nil {
+		return nil, fmt.Errorf("ksir: corrupt model file: %w", err)
+	}
+	return &Model{
+		tok:   textproc.NewTokenizer(),
+		vocab: vocab,
+		tm:    tm,
+		inf:   topicmodel.NewInferencer(tm, mf.Seed),
+		seed:  mf.Seed,
+	}, nil
+}
+
+// LoadModelFile reads a model from path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ksir: %w", err)
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

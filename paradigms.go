@@ -1,0 +1,196 @@
+package ksir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"time"
+)
+
+// liveElem pairs an active element with its retained raw text for
+// re-inference during SwapModel.
+type liveElem struct {
+	e    *stream.Element
+	text string
+}
+
+// newEngineForModel builds a core engine for a model under the stream's
+// options (shared by New and SwapModel).
+func newEngineForModel(m *Model, opts Options) (*core.Engine, error) {
+	return core.NewEngine(core.Config{
+		Model:        m.tm,
+		WindowLength: stream.Time(opts.Window / time.Second),
+		Params:       score.Params{Lambda: opts.Lambda, Eta: opts.Eta},
+	})
+}
+
+// docFromIDs builds a bag-of-words document from token IDs.
+func docFromIDs(ids []textproc.WordID) textproc.Document {
+	return textproc.NewDocument(ids)
+}
+
+// This file implements the query paradigms §3.2 lists beyond
+// query-by-keyword, plus batch query processing and online model swap.
+
+// QueryByText answers a k-SIR query whose vector is inferred from a whole
+// document — the query-by-document paradigm of [39] (e.g., "find posts
+// representative of the topics of this article").
+func (s *Stream) QueryByText(k int, text string, opts ...QueryOption) (Result, error) {
+	q := Query{K: k}
+	for _, opt := range opts {
+		opt(&q)
+	}
+	ids := s.model.tokenIDs(text)
+	x := s.model.inf.InferDense(ids).Truncate(8, 0.02)
+	if x.Len() == 0 {
+		return Result{}, fmt.Errorf("ksir: no word of the query document is in the model vocabulary")
+	}
+	q.Vector = make(map[int]float64, x.Len())
+	for i := range x.Topics {
+		q.Vector[int(x.Topics[i])] = x.Probs[i]
+	}
+	return s.Query(q)
+}
+
+// QueryPersonalized answers a k-SIR query whose vector is inferred from a
+// user's recent posts — the personalized-search paradigm of [19]. History
+// entries are weighted equally; pass the most recent N posts of the user.
+func (s *Stream) QueryPersonalized(k int, history []string, opts ...QueryOption) (Result, error) {
+	if len(history) == 0 {
+		return Result{}, fmt.Errorf("ksir: personalized query needs at least one history post")
+	}
+	var all []string
+	all = append(all, history...)
+	// A pseudo-document concatenating the user's history.
+	joined := ""
+	for i, h := range all {
+		if i > 0 {
+			joined += " "
+		}
+		joined += h
+	}
+	return s.QueryByText(k, joined, opts...)
+}
+
+// QueryOption tweaks paradigm helpers without widening their signatures.
+type QueryOption func(*Query)
+
+// WithEpsilon sets the approximation knob ε.
+func WithEpsilon(eps float64) QueryOption { return func(q *Query) { q.Epsilon = eps } }
+
+// WithAlgorithm selects MTTS/MTTD/TopK.
+func WithAlgorithm(a Algorithm) QueryOption { return func(q *Query) { q.Algorithm = a } }
+
+// QueryMany answers a batch of queries concurrently over the same window
+// state, the deployment mode the paper motivates ("thousands of users could
+// submit different queries at the same time", §2). Results are returned in
+// input order; the first error aborts the batch.
+func (s *Stream) QueryMany(queries []Query, parallelism int) ([]Result, error) {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	results := make([]Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = s.Query(queries[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// SwapModel replaces the topic model while keeping the stream's window
+// contents: every active element is re-tokenized against the new model's
+// vocabulary, re-inferred, and the ranked lists are rebuilt. This is the
+// paper's future-work item ("supporting the incremental updates of topic
+// models over streams", §6) in its practical retrain-and-swap form: train a
+// fresh model on recent history in the background, then swap atomically
+// with respect to queries.
+//
+// SwapModel must be called from the same goroutine as Add/Flush.
+func (s *Stream) SwapModel(m *Model) error {
+	if m == nil {
+		return fmt.Errorf("ksir: nil model")
+	}
+	// Collect the live elements (window order does not matter; Ingest
+	// replays them bucket-free at their original timestamps).
+	var actives []liveElem
+	s.engine.Window().ForEachActive(func(e *stream.Element) {
+		actives = append(actives, liveElem{e: e, text: e.Text})
+	})
+	now := s.engine.Now()
+
+	eng, err := newEngineForModel(m, s.opts)
+	if err != nil {
+		return err
+	}
+	// Re-ingest in timestamp order with re-inferred topic vectors.
+	sortLiveByTS(actives)
+	var batch []*stream.Element
+	for _, l := range actives {
+		ids := m.tokenIDs(l.text)
+		batch = append(batch, &stream.Element{
+			ID:     l.e.ID,
+			TS:     l.e.TS,
+			Doc:    docFromIDs(ids),
+			Topics: m.inf.InferDoc(ids),
+			Refs:   l.e.Refs,
+			Text:   l.text,
+		})
+	}
+	if len(batch) > 0 {
+		// Feed one element at a time grouped by timestamp so the window
+		// reconstructs the exact reference/expiry state.
+		i := 0
+		for i < len(batch) {
+			j := i
+			for j < len(batch) && batch[j].TS == batch[i].TS {
+				j++
+			}
+			if err := eng.Ingest(batch[i].TS, batch[i:j]); err != nil {
+				return fmt.Errorf("ksir: rebuilding window after model swap: %w", err)
+			}
+			i = j
+		}
+	}
+	if now > eng.Now() {
+		if err := eng.Ingest(now, nil); err != nil {
+			return err
+		}
+	}
+	s.model = m
+	s.engine = eng
+	return nil
+}
+
+// sortLiveByTS orders elements by (TS, ID) so that re-ingestion preserves
+// reference order: IDs grow with time, so a same-timestamp parent always
+// precedes its referrer.
+func sortLiveByTS(actives []liveElem) {
+	sort.Slice(actives, func(i, j int) bool {
+		if actives[i].e.TS != actives[j].e.TS {
+			return actives[i].e.TS < actives[j].e.TS
+		}
+		return actives[i].e.ID < actives[j].e.ID
+	})
+}

@@ -1,0 +1,117 @@
+package ksir
+
+import (
+	"fmt"
+	"time"
+)
+
+// Subscription is a standing (continuous) k-SIR query: the stream re-runs
+// it as the window slides and reports each refresh to the handler. This is
+// the publish/subscribe deployment mode the related work targets [9, 28]
+// lifted onto representative results: "keep me posted with the k most
+// representative posts about X".
+type Subscription struct {
+	id      int64
+	query   Query
+	every   time.Duration
+	handler func(Result)
+	nextAt  int64 // stream time of the next refresh
+	// changedOnly suppresses refreshes whose result set is identical to
+	// the previous one.
+	changedOnly bool
+	lastIDs     string
+}
+
+// SubscribeOption configures a Subscription.
+type SubscribeOption func(*Subscription)
+
+// OnlyOnChange suppresses refreshes whose result posts are unchanged.
+func OnlyOnChange() SubscribeOption {
+	return func(s *Subscription) { s.changedOnly = true }
+}
+
+// Subscribe registers a standing query re-evaluated every `every` of stream
+// time, starting at the next bucket boundary. The handler runs synchronously
+// inside Add/Flush (keep it fast; hand off to a channel for slow consumers).
+// It returns the subscription, which can be passed to Unsubscribe.
+func (s *Stream) Subscribe(q Query, every time.Duration, handler func(Result), opts ...SubscribeOption) (*Subscription, error) {
+	if q.K <= 0 {
+		return nil, fmt.Errorf("ksir: subscription needs K > 0")
+	}
+	if len(q.Keywords) == 0 && len(q.Vector) == 0 {
+		return nil, fmt.Errorf("ksir: subscription needs Keywords or Vector")
+	}
+	if every < s.opts.Bucket {
+		return nil, fmt.Errorf("ksir: refresh interval %v shorter than the bucket %v (results only change per bucket)", every, s.opts.Bucket)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("ksir: nil handler")
+	}
+	s.subSeq++
+	sub := &Subscription{
+		id:      s.subSeq,
+		query:   q,
+		every:   every,
+		handler: handler,
+		nextAt:  int64(s.engine.Now()) + int64(every/time.Second),
+	}
+	for _, opt := range opts {
+		opt(sub)
+	}
+	s.subs = append(s.subs, sub)
+	return sub, nil
+}
+
+// Unsubscribe removes a standing query. It is a no-op for an unknown or
+// already-removed subscription.
+func (s *Stream) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	for i, cur := range s.subs {
+		if cur.id == sub.id {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Subscriptions returns the number of standing queries.
+func (s *Stream) Subscriptions() int { return len(s.subs) }
+
+// fireSubscriptions runs every due standing query after the window advanced
+// to stream time now.
+func (s *Stream) fireSubscriptions(now int64) error {
+	for _, sub := range s.subs {
+		if now < sub.nextAt {
+			continue
+		}
+		res, err := s.Query(sub.query)
+		if err != nil {
+			return fmt.Errorf("ksir: subscription %d: %w", sub.id, err)
+		}
+		// Advance in whole intervals so a long gap fires once, not per
+		// missed interval.
+		step := int64(sub.every / time.Second)
+		for sub.nextAt <= now {
+			sub.nextAt += step
+		}
+		if sub.changedOnly {
+			ids := fmt.Sprint(resultIDs(res))
+			if ids == sub.lastIDs {
+				continue
+			}
+			sub.lastIDs = ids
+		}
+		sub.handler(res)
+	}
+	return nil
+}
+
+func resultIDs(res Result) []int64 {
+	ids := make([]int64, len(res.Posts))
+	for i, p := range res.Posts {
+		ids[i] = p.ID
+	}
+	return ids
+}

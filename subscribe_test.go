@@ -1,0 +1,154 @@
+package ksir
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubscribeFiresOnSchedule(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []int64
+	sub, err := st.Subscribe(Query{K: 2, Keywords: []string{"goal"}}, 5*time.Minute,
+		func(res Result) { fired = append(fired, st.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Subscriptions() != 1 {
+		t.Fatal("subscription not registered")
+	}
+	// 30 minutes of posts, one per minute.
+	for i := 0; i < 30; i++ {
+		text := "goal striker league"
+		if i%2 == 1 {
+			text = "dunk rebound playoffs"
+		}
+		if err := st.Add(Post{ID: int64(i + 1), Time: int64(1 + i*60), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(1800); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh every 5 min over 30 min ⇒ ~6 firings.
+	if len(fired) < 4 || len(fired) > 7 {
+		t.Errorf("fired %d times at %v, want ~6", len(fired), fired)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Errorf("firings not strictly ordered: %v", fired)
+		}
+	}
+	st.Unsubscribe(sub)
+	if st.Subscriptions() != 0 {
+		t.Error("unsubscribe failed")
+	}
+	// No further firings.
+	n := len(fired)
+	if err := st.Add(Post{ID: 99, Time: 2400, Text: "goal"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(3000); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != n {
+		t.Error("fired after unsubscribe")
+	}
+}
+
+func TestSubscribeOnlyOnChange(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	_, err = st.Subscribe(Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+		func(res Result) { results = append(results, res) }, OnlyOnChange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One matching post, then a long quiet stretch: the result set stops
+	// changing so refreshes must be suppressed.
+	if err := st.Add(Post{ID: 1, Time: 30, Text: "goal striker league"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(600); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("fired %d times, want 1 (unchanged results suppressed)", len(results))
+	}
+	// A better post arrives: fires again.
+	if err := st.Add(Post{ID: 2, Time: 660, Text: "goal goal striker league derby"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(780); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("fired %d times after change, want 2", len(results))
+	}
+	if results[1].Posts[0].ID != 2 {
+		t.Errorf("second firing has post %d, want 2", results[1].Posts[0].ID)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(Result) {}
+	if _, err := st.Subscribe(Query{K: 0, Keywords: []string{"x"}}, time.Hour, h); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := st.Subscribe(Query{K: 1}, time.Hour, h); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := st.Subscribe(Query{K: 1, Keywords: []string{"x"}}, time.Second, h); err == nil {
+		t.Error("interval below bucket accepted")
+	}
+	if _, err := st.Subscribe(Query{K: 1, Keywords: []string{"x"}}, time.Hour, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	st.Unsubscribe(nil) // must not panic
+}
+
+func TestExplainResult(t *testing.T) {
+	st := newTwoTopicStream(t)
+	q := Query{K: 3, Keywords: []string{"goal", "league"}}
+	res, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := st.Explain(res, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != len(res.Posts) {
+		t.Fatalf("explanations = %d, posts = %d", len(ex), len(res.Posts))
+	}
+	var total float64
+	for i, e := range ex {
+		if e.Post.ID != res.Posts[i].ID {
+			t.Errorf("explanation %d order mismatch", i)
+		}
+		if e.Gain < 0 || e.NewWords < 0 {
+			t.Errorf("bad explanation %+v", e)
+		}
+		total += e.Gain
+	}
+	if total <= 0 || total > res.Score*1.0001 || total < res.Score*0.9999 {
+		t.Errorf("explanations total %v, result score %v", total, res.Score)
+	}
+	// First selection covers new words.
+	if ex[0].NewWords == 0 {
+		t.Error("first post must contribute new words")
+	}
+	// Explain with a bogus query errors.
+	if _, err := st.Explain(res, Query{K: 3}); err == nil {
+		t.Error("query without keywords accepted")
+	}
+}

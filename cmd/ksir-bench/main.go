@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -24,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|all")
+		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|all")
 		scale    = flag.String("scale", "default", "preset scale: small|default")
 		elements = flag.Int("elements", 0, "override stream size per dataset")
 		queries  = flag.Int("queries", 0, "override workload size")
 		seed     = flag.Int64("seed", 42, "master seed")
 		out      = flag.String("out", "", "write output to file (default stdout)")
+		jsonDir  = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
 	)
 	flag.Parse()
 
@@ -55,16 +57,22 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
 	lab := experiments.NewLab(sc)
 	start := time.Now()
-	if err := run(lab, strings.ToLower(*exp), w); err != nil {
+	if err := run(lab, strings.ToLower(*exp), w, *jsonDir); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(w, "total wall time: %v (scale: %d elements, %d queries per dataset)\n",
 		time.Since(start).Round(time.Millisecond), sc.Elements, sc.Queries)
 }
 
-func run(lab *experiments.Lab, exp string, w io.Writer) error {
+func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string) error {
 	want := func(names ...string) bool {
 		if exp == "all" {
 			return true
@@ -184,6 +192,22 @@ func run(lab *experiments.Lab, exp string, w io.Writer) error {
 		}
 		if err := render(f14t); err != nil {
 			return err
+		}
+	}
+	if want("concurrent") {
+		t, entries, err := lab.Concurrent(4, 0)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "BENCH_concurrent.json")
+			if err := experiments.WriteBenchJSON(path, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
 		}
 	}
 	return nil

@@ -3,6 +3,7 @@ package ksir
 import (
 	"fmt"
 
+	"github.com/social-streams/ksir/internal/score"
 	"github.com/social-streams/ksir/internal/stream"
 )
 
@@ -27,21 +28,31 @@ type Explanation struct {
 
 // Explain recomputes a result's per-post contribution breakdown against the
 // current window. Call it right after Query (before further Ingest/Flush
-// calls change the window) with the same query you issued.
+// calls change the window) with the same query you issued. Like Query it
+// is safe to call concurrently with ingestion: it pins the last published
+// snapshot for the whole computation.
 func (s *Stream) Explain(res Result, q Query) ([]Explanation, error) {
-	x, err := s.queryVector(q)
+	me := s.me.Load()
+	x, err := queryVector(me.model, q)
 	if err != nil {
 		return nil, err
 	}
-	set := make([]*stream.Element, 0, len(res.Posts))
-	for _, p := range res.Posts {
-		e, ok := s.engine.Window().Get(stream.ElemID(p.ID))
-		if !ok {
-			return nil, fmt.Errorf("ksir: post %d is no longer active; explain before ingesting further", p.ID)
+	var contribs []score.Contribution
+	me.engine.ReadSnapshot(func(win *stream.ActiveWindow, scorer *score.Scorer) {
+		set := make([]*stream.Element, 0, len(res.Posts))
+		for _, p := range res.Posts {
+			e, ok := win.Get(stream.ElemID(p.ID))
+			if !ok {
+				err = fmt.Errorf("ksir: post %d is no longer active; explain before ingesting further", p.ID)
+				return
+			}
+			set = append(set, e)
 		}
-		set = append(set, e)
+		contribs = scorer.Explain(set, x)
+	})
+	if err != nil {
+		return nil, err
 	}
-	contribs := s.engine.Scorer().Explain(set, x)
 	out := make([]Explanation, len(contribs))
 	for i, c := range contribs {
 		out[i] = Explanation{

@@ -1,0 +1,3 @@
+module github.com/social-streams/ksir
+
+go 1.22

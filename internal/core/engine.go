@@ -3,11 +3,21 @@
 // (Algorithm 1) and the two real-time approximation algorithms MTTS
 // (Algorithm 2, (1/2 − ε)-approximate) and MTTD (Algorithm 3,
 // (1 − 1/e − ε)-approximate).
+//
+// The engine separates an ingest path from a read path (DESIGN.md §6): the
+// writer maintains a private back buffer — window, scorer and the Z ranked
+// lists partitioned into topic shards updated by a worker pool — and at the
+// end of every bucket publishes an immutable snapshot through an atomic
+// pointer. Queries pin the published snapshot and traverse it with zero
+// locking, so they never block behind ingest and always observe exactly one
+// bucket boundary.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/social-streams/ksir/internal/rankedlist"
@@ -24,6 +34,10 @@ type Config struct {
 	WindowLength stream.Time
 	// Params are the scoring trade-offs λ and η.
 	Params score.Params
+	// Shards is the number of topic shards P the ranked lists are
+	// partitioned into for parallel maintenance; topic i belongs to shard
+	// i mod P. 0 picks min(GOMAXPROCS, Z). Results are independent of P.
+	Shards int
 }
 
 // Stats aggregates maintenance counters for the scalability experiments
@@ -31,9 +45,14 @@ type Config struct {
 type Stats struct {
 	ElementsIngested int64
 	Buckets          int64
-	UpdateTime       time.Duration // total wall time spent in Ingest
-	ListUpserts      int64
-	ListDeletes      int64
+	// UpdateTime is the wall time spent applying buckets: window advance,
+	// rescoring, and ranked-list maintenance, counted once per bucket (the
+	// replay onto the recycled buffer and the wait for readers to drain
+	// are concurrency overhead, not maintenance, and are excluded so the
+	// Figure-14 metric stays comparable to the paper's).
+	UpdateTime  time.Duration
+	ListUpserts int64
+	ListDeletes int64
 }
 
 // UpdateTimePerElement returns the average maintenance time per arriving
@@ -45,16 +64,80 @@ func (s Stats) UpdateTimePerElement() time.Duration {
 	return s.UpdateTime / time.Duration(s.ElementsIngested)
 }
 
-// Engine is the k-SIR query processor (Figure 4): it owns the active window,
-// one ranked list per topic, and the scorer. Ingest is serialized; queries
-// may run concurrently with each other between ingests.
-type Engine struct {
-	mu     sync.RWMutex
-	cfg    Config
+// ShardStats counts the ranked-list maintenance done by one topic shard;
+// the per-shard counters roll up to the Stats list totals.
+type ShardStats struct {
+	Shard       int
+	Topics      int // number of ranked lists owned by this shard
+	ListUpserts int64
+	ListDeletes int64
+	Busy        time.Duration // wall time this shard's worker spent applying ops
+}
+
+// buffer is one complete copy of the mutable engine state. The engine keeps
+// two: the published one backs the read path, the other is the writer's
+// working copy (DESIGN.md §6).
+type buffer struct {
 	win    *stream.ActiveWindow
 	scorer *score.Scorer
 	lists  []*rankedlist.List
-	stats  Stats
+	frozen []*rankedlist.Snapshot // set while this buffer is published
+}
+
+func newBuffer(cfg Config) (*buffer, error) {
+	win := stream.NewActiveWindow(cfg.WindowLength)
+	scorer, err := score.NewScorer(cfg.Model, win, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([]*rankedlist.List, cfg.Model.Z)
+	for i := range lists {
+		lists[i] = rankedlist.New()
+	}
+	return &buffer{win: win, scorer: scorer, lists: lists}, nil
+}
+
+// freeze publishes the buffer's lists as immutable snapshots.
+func (b *buffer) freeze() {
+	b.frozen = make([]*rankedlist.Snapshot, len(b.lists))
+	for i, l := range b.lists {
+		b.frozen[i] = l.Freeze()
+	}
+}
+
+// thaw releases the snapshots for in-place mutation again. Only legal once
+// every reader pinning this buffer's engine snapshot has released it.
+func (b *buffer) thaw() {
+	for _, l := range b.lists {
+		l.Thaw()
+	}
+	b.frozen = nil
+}
+
+// pendingBucket is the last bucket applied to the published buffer but not
+// yet replayed onto the recycled one.
+type pendingBucket struct {
+	now   stream.Time
+	batch []*stream.Element
+}
+
+// Engine is the k-SIR query processor (Figure 4). Ingest is serialized (one
+// writer); queries may run concurrently with each other and with Ingest —
+// each query pins the engine snapshot published at the last bucket boundary
+// and never blocks behind the writer.
+type Engine struct {
+	cfg       Config
+	numShards int
+
+	mu    sync.Mutex // serializes Ingest (the writer side)
+	front atomic.Pointer[snapshot]
+
+	// Writer-owned state (guarded by mu):
+	back       *buffer        // working copy, one bucket behind until caught up
+	backSnap   *snapshot      // retired snapshot whose buffer is back; drained before reuse
+	pending    *pendingBucket // bucket to replay onto back before the next one
+	stats      Stats
+	shardStats []ShardStats
 }
 
 // NewEngine validates the configuration and returns an empty engine.
@@ -65,105 +148,190 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.WindowLength <= 0 {
 		return nil, fmt.Errorf("core: window length must be positive, got %d", cfg.WindowLength)
 	}
-	win := stream.NewActiveWindow(cfg.WindowLength)
-	scorer, err := score.NewScorer(cfg.Model, win, cfg.Params)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count must be non-negative, got %d", cfg.Shards)
+	}
+	p := cfg.Shards
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > cfg.Model.Z {
+		p = cfg.Model.Z
+	}
+	if p < 1 {
+		p = 1
+	}
+	a, err := newBuffer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	lists := make([]*rankedlist.List, cfg.Model.Z)
-	for i := range lists {
-		lists[i] = rankedlist.New()
+	b, err := newBuffer(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return &Engine{cfg: cfg, win: win, scorer: scorer, lists: lists}, nil
+	g := &Engine{cfg: cfg, numShards: p, back: b}
+	g.shardStats = make([]ShardStats, p)
+	for s := range g.shardStats {
+		g.shardStats[s].Shard = s
+		g.shardStats[s].Topics = (cfg.Model.Z - s + p - 1) / p
+	}
+	a.freeze()
+	g.front.Store(newSnapshot(a, g.stats, g.shardStats))
+	return g, nil
 }
 
-// Window exposes the active window for read-only use by baselines and
-// metrics. Callers must not mutate it.
-func (g *Engine) Window() *stream.ActiveWindow { return g.win }
+// NumShards returns P, the number of topic shards.
+func (g *Engine) NumShards() int { return g.numShards }
 
-// Scorer exposes the scorer for baselines that evaluate the same objective.
-func (g *Engine) Scorer() *score.Scorer { return g.scorer }
+// Window exposes the published window for read-only use by baselines and
+// metrics. Callers must not mutate it, and must not retain it across more
+// than one subsequent Ingest (the buffer behind it is recycled).
+func (g *Engine) Window() *stream.ActiveWindow { return g.front.Load().buf.win }
 
-// NumActive returns n_t.
-func (g *Engine) NumActive() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.win.NumActive()
-}
+// Scorer exposes the published buffer's scorer for baselines that evaluate
+// the same objective. The retention rule of Window applies.
+func (g *Engine) Scorer() *score.Scorer { return g.front.Load().buf.scorer }
 
-// Now returns the current stream time.
-func (g *Engine) Now() stream.Time {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.win.Now()
-}
+// NumActive returns n_t as of the last published bucket.
+func (g *Engine) NumActive() int { return g.front.Load().numActive }
 
-// Stats returns a copy of the maintenance counters.
-func (g *Engine) Stats() Stats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.stats
+// Now returns the current stream time as of the last published bucket.
+func (g *Engine) Now() stream.Time { return g.front.Load().now }
+
+// Stats returns the maintenance counters as of the last published bucket.
+func (g *Engine) Stats() Stats { return g.front.Load().stats }
+
+// ShardStats returns the per-shard maintenance counters as of the last
+// published bucket; summing the list counters over shards reproduces the
+// Stats totals.
+func (g *Engine) ShardStats() []ShardStats {
+	return append([]ShardStats(nil), g.front.Load().shards...)
 }
 
 // Ingest advances the window to now with one bucket of elements and
 // maintains the ranked lists (Algorithm 1): new elements are inserted into
 // the lists of every topic they have mass on; parents gaining references are
-// rescored and repositioned; expired elements are deleted.
+// rescored and repositioned; expired elements are deleted. The work is
+// applied to the private back buffer — sharded across topics and executed
+// by a worker pool — and published atomically at the end, so concurrent
+// queries keep reading the previous bucket's snapshot until this one is
+// complete, then switch to it.
 func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	start := time.Now()
 
-	cs, err := g.win.Advance(now, batch)
-	if err != nil {
+	if err := g.validate(now, batch); err != nil {
 		return err
 	}
-	g.scorer.OnChange(cs)
 
-	// Expired first: an element can expire in the same advance it was
-	// (re-)inserted only if it entered already out of window, in which case
-	// it must not linger in the lists.
-	for _, e := range cs.Expired {
-		for _, topic := range e.Topics.Topics {
-			if g.lists[topic].Delete(e.ID) {
-				g.stats.ListDeletes++
-			}
-		}
+	// Recycle the previously published buffer: wait until the readers that
+	// pinned it have drained, then replay the bucket it missed.
+	if g.backSnap != nil {
+		g.backSnap.waitDrained()
+		g.backSnap = nil
 	}
-	expired := make(map[stream.ElemID]struct{}, len(cs.Expired))
-	for _, e := range cs.Expired {
-		expired[e.ID] = struct{}{}
-	}
-	for _, e := range cs.Inserted {
-		if _, gone := expired[e.ID]; gone {
-			continue
+	g.back.thaw()
+	if p := g.pending; p != nil {
+		g.pending = nil
+		if err := g.applyBucket(g.back, p.now, p.batch, false); err != nil {
+			return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
 		}
-		g.upsert(e)
-	}
-	for _, e := range cs.Updated {
-		if _, gone := expired[e.ID]; gone {
-			continue
-		}
-		g.upsert(e)
 	}
 
+	// The timer starts here so UpdateTime measures one application of the
+	// bucket — the paper's Figure-14 maintenance cost — and is not
+	// inflated by the drain wait (reader latency, not maintenance) or the
+	// catch-up replay above.
+	start := time.Now()
+	if err := g.applyBucket(g.back, now, batch, true); err != nil {
+		return err
+	}
 	g.stats.ElementsIngested += int64(len(batch))
 	g.stats.Buckets++
 	g.stats.UpdateTime += time.Since(start)
+	g.publish(now, batch)
+	// A bucket boundary is the natural scheduling point of the whole
+	// design: the new snapshot is out, so let queries that arrived during
+	// the bucket observe it now instead of waiting out a saturating
+	// writer's preemption slice (this matters most at GOMAXPROCS=1).
+	runtime.Gosched()
 	return nil
 }
 
-// upsert recomputes δ_i(e) on every topic of e and repositions its tuples.
-func (g *Engine) upsert(e *stream.Element) {
-	te, _ := g.win.LastRef(e.ID)
-	for _, topic := range e.Topics.Topics {
-		g.lists[topic].Upsert(e.ID, g.scorer.TopicScore(e, topic), te)
-		g.stats.ListUpserts++
+// validate rejects a bad bucket before either buffer is touched, so the two
+// copies can never diverge on an error path.
+func (g *Engine) validate(now stream.Time, batch []*stream.Element) error {
+	front := g.front.Load()
+	prevNow := front.now
+	if now < prevNow {
+		return fmt.Errorf("core: time moved backwards %d → %d", prevNow, now)
 	}
+	ids := make(map[stream.ElemID]struct{}, len(batch))
+	for _, e := range batch {
+		if e.TS <= prevNow || e.TS > now {
+			return fmt.Errorf("core: element %d at %d outside bucket (%d, %d]", e.ID, e.TS, prevNow, now)
+		}
+		if _, dup := ids[e.ID]; dup || front.buf.win.Known(e.ID) {
+			return fmt.Errorf("core: duplicate element ID %d", e.ID)
+		}
+		ids[e.ID] = struct{}{}
+	}
+	return nil
 }
 
-// ListLen returns the size of RL_i (for tests and diagnostics).
-func (g *Engine) ListLen(topic int) int { return g.lists[topic].Len() }
+// applyBucket advances one buffer's window by one bucket and maintains its
+// ranked lists, sharded across topics. With primary=false the same bucket is
+// being replayed onto the recycled buffer and the counters are not recounted.
+func (g *Engine) applyBucket(b *buffer, now stream.Time, batch []*stream.Element, primary bool) error {
+	cs, err := b.win.Advance(now, batch)
+	if err != nil {
+		return err
+	}
+	// OnChange caches every inserted element's word weights and drops the
+	// expired ones. After this point the shard workers only read the
+	// scorer and window; all their writes go to disjoint shard lists.
+	b.scorer.OnChange(cs)
+	ops := g.partition(b, cs)
+	g.runShards(b, ops, primary)
+	if primary {
+		// Roll the per-shard counters up into the engine totals.
+		var ups, dels int64
+		for s := range g.shardStats {
+			ups += g.shardStats[s].ListUpserts
+			dels += g.shardStats[s].ListDeletes
+		}
+		g.stats.ListUpserts = ups
+		g.stats.ListDeletes = dels
+	}
+	return nil
+}
 
-// ListItems returns RL_i's tuples in ranked order (for tests/diagnostics).
-func (g *Engine) ListItems(topic int) []rankedlist.Item { return g.lists[topic].Items() }
+// publish freezes the back buffer into an immutable snapshot, swaps it in as
+// the read path, and retires the old snapshot; its buffer becomes the next
+// back buffer once readers drain, with this bucket pending for replay.
+func (g *Engine) publish(now stream.Time, batch []*stream.Element) {
+	b := g.back
+	b.freeze()
+	snap := newSnapshot(b, g.stats, g.shardStats)
+	old := g.front.Swap(snap)
+	g.backSnap = old
+	g.back = old.buf
+	g.pending = &pendingBucket{now: now, batch: batch}
+}
+
+// ListLen returns the size of RL_i as of the last published bucket (for
+// tests and diagnostics). Safe to call concurrently with Ingest: it pins
+// the snapshot like a query does.
+func (g *Engine) ListLen(topic int) int {
+	snap := g.acquire()
+	defer snap.release()
+	return snap.buf.frozen[topic].Len()
+}
+
+// ListItems returns RL_i's tuples in ranked order as of the last published
+// bucket (for tests/diagnostics). Safe to call concurrently with Ingest.
+func (g *Engine) ListItems(topic int) []rankedlist.Item {
+	snap := g.acquire()
+	defer snap.release()
+	return snap.buf.frozen[topic].Items()
+}

@@ -7,7 +7,8 @@ import (
 	"github.com/social-streams/ksir/internal/stream"
 )
 
-// mttd implements Algorithm 3 (Multi-Topic ThresholdDescend).
+// mttd implements Algorithm 3 (Multi-Topic ThresholdDescend) against one
+// immutable snapshot view.
 //
 // It keeps a single candidate S and a buffer E′ of retrieved elements keyed
 // by lazily cached marginal gains. Evaluation proceeds in rounds with
@@ -17,12 +18,12 @@ import (
 // element admitted if its true gain still reaches τ. The loop stops when S
 // is full or τ descends below τ′ = f(S,x)·ε/k. Theorem 4.4: the result is
 // (1 − 1/e − ε)-approximate.
-func (g *Engine) mttd(q Query) Result {
-	tr := newTraversalOpt(g, q.X, !q.DisableVisitedMarking)
+func (v *view) mttd(q Query) Result {
+	tr := newTraversalOpt(v, q.X, !q.DisableVisitedMarking)
 	eps := q.Epsilon
 	k := q.K
 
-	s := score.NewCandidateSet(g.scorer, q.X)
+	s := score.NewCandidateSet(v.scorer, q.X)
 	buf := &gainHeap{}
 	evaluated := 0
 
@@ -37,7 +38,7 @@ func (g *Engine) mttd(q Query) Result {
 			if !ok {
 				break
 			}
-			delta := g.scorer.Score(e, q.X)
+			delta := v.scorer.Score(e, q.X)
 			evaluated++
 			heap.Push(buf, gainEntry{elem: e, gain: delta})
 		}
@@ -53,7 +54,7 @@ func (g *Engine) mttd(q Query) Result {
 			if gain >= tau {
 				s.Add(top.elem)
 				if s.Len() == k {
-					return g.mttdResult(q, s, tr, evaluated)
+					return v.mttdResult(q, s, tr, evaluated)
 				}
 			} else if gain > 0 {
 				heap.Push(buf, gainEntry{elem: top.elem, gain: gain})
@@ -69,16 +70,17 @@ func (g *Engine) mttd(q Query) Result {
 			break
 		}
 	}
-	return g.mttdResult(q, s, tr, evaluated)
+	return v.mttdResult(q, s, tr, evaluated)
 }
 
-func (g *Engine) mttdResult(q Query, s *score.CandidateSet, tr *traversal, evaluated int) Result {
+func (v *view) mttdResult(q Query, s *score.CandidateSet, tr *traversal, evaluated int) Result {
 	return Result{
 		Elements:      s.Members(),
 		Score:         s.Value(),
 		Evaluated:     evaluated,
 		Retrieved:     tr.retrieved,
-		ActiveAtQuery: g.win.NumActive(),
+		ActiveAtQuery: v.numActive,
+		BucketSeq:     v.seq,
 	}
 }
 

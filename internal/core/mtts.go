@@ -15,15 +15,16 @@ type sieveCand struct {
 	set       *score.CandidateSet
 }
 
-// mtts implements Algorithm 2 (Multi-Topic ThresholdStream).
+// mtts implements Algorithm 2 (Multi-Topic ThresholdStream) against one
+// immutable snapshot view.
 //
 // It maintains SieveStreaming-style candidates S_ϕ for geometric threshold
 // estimates ϕ = (1+ε)^j of OPT, feeds them elements best-score-first from
 // the ranked lists, and stops as soon as the upper bound UB(x) of every
 // unevaluated element falls below the minimum admission threshold TH of the
 // unfilled candidates. Theorem 4.2: the best candidate is (1/2 − ε)-optimal.
-func (g *Engine) mtts(q Query) Result {
-	tr := newTraversalOpt(g, q.X, !q.DisableVisitedMarking)
+func (v *view) mtts(q Query) Result {
+	tr := newTraversalOpt(v, q.X, !q.DisableVisitedMarking)
 	eps := q.Epsilon
 	k := float64(q.K)
 	logBase := math.Log(1 + eps)
@@ -39,7 +40,7 @@ func (g *Engine) mtts(q Query) Result {
 		if !ok {
 			break
 		}
-		delta := g.scorer.Score(e, q.X)
+		delta := v.scorer.Score(e, q.X)
 		evaluated++
 
 		if delta > deltaMax {
@@ -62,7 +63,7 @@ func (g *Engine) mtts(q Query) Result {
 				cands = append(cands, sieveCand{
 					j:         j,
 					threshold: math.Pow(1+eps, float64(j)) / (2 * k),
-					set:       score.NewCandidateSet(g.scorer, q.X),
+					set:       score.NewCandidateSet(v.scorer, q.X),
 				})
 			}
 		}
@@ -99,7 +100,8 @@ func (g *Engine) mtts(q Query) Result {
 	res := Result{
 		Evaluated:     evaluated,
 		Retrieved:     tr.retrieved,
-		ActiveAtQuery: g.win.NumActive(),
+		ActiveAtQuery: v.numActive,
+		BucketSeq:     v.seq,
 	}
 	if best != nil {
 		res.Elements = best.Members()

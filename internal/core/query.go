@@ -92,6 +92,11 @@ type Result struct {
 	Retrieved int
 	// ActiveAtQuery is n_t when the query ran (Figure 10's denominator).
 	ActiveAtQuery int
+	// BucketSeq is the sequence number of the published bucket the query
+	// observed (0 before any ingest). Every value in the result — scores,
+	// members, counters — is consistent with exactly this bucket boundary,
+	// even when the query raced a concurrent Ingest.
+	BucketSeq int64
 }
 
 // IDs returns the result element IDs in selection order.
@@ -103,22 +108,25 @@ func (r Result) IDs() []stream.ElemID {
 	return ids
 }
 
-// Query processes a k-SIR query against the current window state. It is
-// safe to call concurrently from multiple goroutines; Ingest is blocked
-// while queries run.
+// Query processes a k-SIR query against the last published bucket. It is
+// safe to call concurrently from any number of goroutines and concurrently
+// with Ingest: the query pins the engine snapshot current at its start and
+// traverses that immutable state lock-free, so an in-flight Ingest neither
+// blocks it nor leaks partially applied updates into its result.
 func (g *Engine) Query(q Query) (Result, error) {
 	if err := q.validate(); err != nil {
 		return Result{}, err
 	}
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	snap := g.acquire()
+	defer snap.release()
+	v := snap.view()
 	switch q.Algorithm {
 	case MTTS:
-		return g.mtts(q), nil
+		return v.mtts(q), nil
 	case MTTD:
-		return g.mttd(q), nil
+		return v.mttd(q), nil
 	case TopkRep:
-		return g.topkRep(q), nil
+		return v.topkRep(q), nil
 	default:
 		return Result{}, fmt.Errorf("core: unknown algorithm %d", int(q.Algorithm))
 	}

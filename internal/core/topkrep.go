@@ -13,8 +13,8 @@ import (
 // and influence overlaps, so as a k-SIR answer it is only 1/k-approximate —
 // the experiments use it to show that classic top-k processing is not
 // enough for representativeness.
-func (g *Engine) topkRep(q Query) Result {
-	tr := newTraversal(g, q.X)
+func (v *view) topkRep(q Query) Result {
+	tr := newTraversalOpt(v, q.X, true)
 	top := &minScoreHeap{}
 	evaluated := 0
 
@@ -28,7 +28,7 @@ func (g *Engine) topkRep(q Query) Result {
 		if !ok {
 			break
 		}
-		delta := g.scorer.Score(e, q.X)
+		delta := v.scorer.Score(e, q.X)
 		evaluated++
 		if top.Len() < q.K {
 			heap.Push(top, scoredElem{e, delta})
@@ -43,7 +43,7 @@ func (g *Engine) topkRep(q Query) Result {
 	for i := top.Len() - 1; i >= 0; i-- {
 		members[i] = heap.Pop(top).(scoredElem).elem
 	}
-	set := score.NewCandidateSet(g.scorer, q.X)
+	set := score.NewCandidateSet(v.scorer, q.X)
 	for _, e := range members {
 		set.Add(e)
 	}
@@ -52,7 +52,8 @@ func (g *Engine) topkRep(q Query) Result {
 		Score:         set.Value(),
 		Evaluated:     evaluated,
 		Retrieved:     tr.retrieved,
-		ActiveAtQuery: g.win.NumActive(),
+		ActiveAtQuery: v.numActive,
+		BucketSeq:     v.seq,
 	}
 }
 

@@ -32,15 +32,19 @@ type traversal struct {
 	retrieved int
 }
 
-// newTraversal positions a traversal at the head of each relevant list
-// (the RL_i.first calls of Algorithms 2 and 3, line 2).
+// newTraversal positions a traversal over the engine's current published
+// snapshot (tests and diagnostics only — queries go through Engine.Query,
+// which pins the snapshot for the traversal's lifetime).
 func newTraversal(g *Engine, x topicmodel.TopicVec) *traversal {
-	return newTraversalOpt(g, x, true)
+	return newTraversalOpt(g.front.Load().view(), x, true)
 }
 
-func newTraversalOpt(g *Engine, x topicmodel.TopicVec, markVisited bool) *traversal {
+// newTraversalOpt positions a traversal at the head of each relevant list of
+// one immutable snapshot view (the RL_i.first calls of Algorithms 2 and 3,
+// line 2).
+func newTraversalOpt(v *view, x topicmodel.TopicVec, markVisited bool) *traversal {
 	tr := &traversal{
-		win:         g.win,
+		win:         v.win,
 		visited:     make(map[stream.ElemID]struct{}),
 		markVisited: markVisited,
 	}
@@ -48,7 +52,7 @@ func newTraversalOpt(g *Engine, x topicmodel.TopicVec, markVisited bool) *traver
 		if x.Probs[i] <= 0 {
 			continue
 		}
-		it := g.lists[topic].Iter()
+		it := v.lists[topic].Iter()
 		tr.topics = append(tr.topics, topic)
 		tr.weights = append(tr.weights, x.Probs[i])
 		tr.iters = append(tr.iters, it)
@@ -140,8 +144,9 @@ func (tr *traversal) pop() (*stream.Element, bool) {
 	tr.advance(best)
 	e, ok := tr.win.Get(id)
 	if !ok {
-		// The lists never hold inactive elements while the engine lock is
-		// respected; treat a miss as exhaustion of this tuple.
+		// The snapshot's lists never hold inactive elements (both are
+		// frozen at the same bucket boundary); treat a miss as exhaustion
+		// of this tuple.
 		return tr.pop()
 	}
 	return e, true

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchEntry is one machine-readable benchmark data point in the
+// github-action-benchmark "custom" tool format (an array of
+// name/value/unit entries, the idiom soci-snapshotter's perf trajectory
+// uses), so successive commits can be charted without parsing the text
+// tables.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	Extra string  `json:"extra,omitempty"`
+}
+
+// WriteBenchJSON writes entries as an indented JSON array at path
+// (conventionally BENCH_<experiment>.json).
+func WriteBenchJSON(path string, entries []BenchEntry) error {
+	raw, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("experiments: writing bench json: %w", err)
+	}
+	return nil
+}

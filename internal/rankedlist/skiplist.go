@@ -39,11 +39,20 @@ type node struct {
 }
 
 // List is one ranked list RL_i.
+//
+// A list can be frozen into an immutable Snapshot (see Freeze) that shares
+// its nodes. Mutating a list whose last snapshot has not been released with
+// Thaw detaches the list first (copy-on-write), so snapshots stay valid at
+// the cost of one O(n) clone; the engine's buffer recycling always thaws
+// after readers drain, keeping every update O(log n).
 type List struct {
 	head  *node
 	index map[stream.ElemID]*node
 	level int // highest level in use
 	size  int
+	// shared is true while the current nodes back a live Snapshot; the
+	// next mutation must detach (clone) before touching them.
+	shared bool
 }
 
 // New returns an empty ranked list.
@@ -90,6 +99,7 @@ func (l *List) findPredecessors(target Item, pred *[maxLevel]*node) {
 // Upsert inserts the tuple for id or repositions it if already present
 // (Algorithm 1 lines 7 and 11).
 func (l *List) Upsert(id stream.ElemID, score float64, lastRef stream.Time) {
+	l.detach()
 	if n, ok := l.index[id]; ok {
 		if n.item.Score == score {
 			n.item.LastRef = lastRef // position unchanged
@@ -120,6 +130,7 @@ func (l *List) Upsert(id stream.ElemID, score float64, lastRef stream.Time) {
 // Delete removes the tuple for id, reporting whether it was present
 // (Algorithm 1 line 13).
 func (l *List) Delete(id stream.ElemID) bool {
+	l.detach()
 	n, ok := l.index[id]
 	if !ok {
 		return false
@@ -167,7 +178,8 @@ func (l *List) First() (Item, bool) {
 
 // Iterator walks the list in ranked (descending score) order. The list must
 // not be mutated while an iterator is live; the query engine guarantees this
-// by serializing updates against queries.
+// by iterating only over frozen Snapshots, whose nodes mutations never
+// touch.
 type Iterator struct {
 	cur *node
 }

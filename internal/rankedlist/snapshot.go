@@ -1,0 +1,96 @@
+package rankedlist
+
+import "github.com/social-streams/ksir/internal/stream"
+
+// Snapshot is an immutable view of a ranked list at the moment Freeze was
+// called. It exposes the same ranked-iteration API the query traversal uses
+// (First/Iter/Next) plus the lookup and dump helpers, and is safe for use by
+// any number of concurrent readers without locking.
+//
+// A snapshot shares the list's nodes. It stays valid as long as either
+// (a) the list is not mutated before Thaw — the engine's contract: a buffer
+// is only recycled after every reader of its snapshot has finished — or
+// (b) the list is mutated while still shared, in which case the mutation
+// detaches the list onto fresh nodes (copy-on-write) and the snapshot keeps
+// the old ones. The one illegal sequence is Thaw followed by mutation while
+// a snapshot is still being read: Thaw is the caller's statement that no
+// such reader exists.
+type Snapshot struct {
+	head  *node
+	index map[stream.ElemID]*node
+	size  int
+}
+
+// Freeze marks the list's current nodes as shared and returns an immutable
+// Snapshot over them in O(1). The list remains fully usable: its next
+// mutation transparently detaches it from the snapshot (O(n) clone) unless
+// Thaw is called first.
+func (l *List) Freeze() *Snapshot {
+	l.shared = true
+	return &Snapshot{head: l.head, index: l.index, size: l.size}
+}
+
+// Thaw declares that no reader still uses the snapshot taken by the last
+// Freeze, re-enabling in-place O(log n) mutation without a detach.
+func (l *List) Thaw() { l.shared = false }
+
+// detach clones every node so that mutations cannot be observed through a
+// live Snapshot. It is a no-op unless the list is shared.
+func (l *List) detach() {
+	if !l.shared {
+		return
+	}
+	head := &node{next: make([]*node, maxLevel)}
+	index := make(map[stream.ElemID]*node, len(l.index))
+	// last[lv] is the most recent clone reaching level lv; linking each
+	// clone to it rebuilds all forward pointers in one level-0 walk.
+	var last [maxLevel]*node
+	for lv := range last {
+		last[lv] = head
+	}
+	for n := l.head.next[0]; n != nil; n = n.next[0] {
+		c := &node{item: n.item, next: make([]*node, len(n.next))}
+		for lv := range c.next {
+			last[lv].next[lv] = c
+			last[lv] = c
+		}
+		index[c.item.ID] = c
+	}
+	l.head = head
+	l.index = index
+	l.shared = false
+}
+
+// Len returns the number of tuples in the snapshot.
+func (s *Snapshot) Len() int { return s.size }
+
+// First returns the highest-scored tuple (RL_i.first of §4.1).
+func (s *Snapshot) First() (Item, bool) {
+	n := s.head.next[0]
+	if n == nil {
+		return Item{}, false
+	}
+	return n.item, true
+}
+
+// Get returns the tuple for id as of the snapshot.
+func (s *Snapshot) Get(id stream.ElemID) (Item, bool) {
+	n, ok := s.index[id]
+	if !ok {
+		return Item{}, false
+	}
+	return n.item, true
+}
+
+// Iter returns an iterator positioned before the first tuple; it walks the
+// snapshot in ranked (descending score) order.
+func (s *Snapshot) Iter() *Iterator { return &Iterator{cur: s.head} }
+
+// Items returns all tuples in ranked order.
+func (s *Snapshot) Items() []Item {
+	out := make([]Item, 0, s.size)
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.item)
+	}
+	return out
+}

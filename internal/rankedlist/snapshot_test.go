@@ -1,0 +1,177 @@
+package rankedlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+func itemIDs(items []Item) []stream.ElemID {
+	ids := make([]stream.ElemID, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	return ids
+}
+
+func equalItems(a, b []Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotMatchesListAtFreeze(t *testing.T) {
+	l := New()
+	for i := 1; i <= 20; i++ {
+		l.Upsert(stream.ElemID(i), float64(i%7), stream.Time(i))
+	}
+	want := l.Items()
+	s := l.Freeze()
+	if s.Len() != l.Len() {
+		t.Fatalf("snapshot Len = %d, list Len = %d", s.Len(), l.Len())
+	}
+	if !equalItems(s.Items(), want) {
+		t.Errorf("snapshot Items diverge: %v vs %v", itemIDs(s.Items()), itemIDs(want))
+	}
+	sf, ok1 := s.First()
+	lf, ok2 := l.First()
+	if ok1 != ok2 || sf != lf {
+		t.Errorf("First mismatch: %v/%v vs %v/%v", sf, ok1, lf, ok2)
+	}
+	for i := 1; i <= 20; i++ {
+		si, ok1 := s.Get(stream.ElemID(i))
+		li, ok2 := l.Get(stream.ElemID(i))
+		if ok1 != ok2 || si != li {
+			t.Errorf("Get(%d) mismatch: %v/%v vs %v/%v", i, si, ok1, li, ok2)
+		}
+	}
+}
+
+// Copy-on-write: mutating a frozen list must not change what the snapshot
+// sees — upserts, repositions, same-score LastRef updates and deletes all
+// detach first.
+func TestSnapshotIsImmutableUnderMutation(t *testing.T) {
+	l := New()
+	for i := 1; i <= 10; i++ {
+		l.Upsert(stream.ElemID(i), float64(i), 1)
+	}
+	s := l.Freeze()
+	want := s.Items()
+
+	l.Upsert(99, 5.5, 2) // fresh insert
+	l.Upsert(3, 20, 3)   // reposition to the top
+	l.Upsert(7, 7, 9)    // same score, LastRef-only update
+	l.Delete(10)         // delete the old maximum
+
+	if !equalItems(s.Items(), want) {
+		t.Fatalf("snapshot changed under mutation:\n got %+v\nwant %+v", s.Items(), want)
+	}
+	if s.Len() != 10 {
+		t.Errorf("snapshot Len = %d, want 10", s.Len())
+	}
+	if item, ok := s.Get(7); !ok || item.LastRef != 1 {
+		t.Errorf("snapshot Get(7) = %+v, %v; want LastRef 1", item, ok)
+	}
+	if _, ok := s.Get(99); ok {
+		t.Error("snapshot sees element inserted after Freeze")
+	}
+	if first, _ := l.First(); first.ID != 3 {
+		t.Errorf("live list First = e%d, want e3 after reposition", first.ID)
+	}
+	if l.Len() != 10 { // 10 − delete + insert
+		t.Errorf("live Len = %d, want 10", l.Len())
+	}
+}
+
+// Thaw releases the snapshot's claim: subsequent mutations are in place, and
+// the list keeps behaving exactly like an unfrozen one.
+func TestThawReusesNodes(t *testing.T) {
+	l := New()
+	l.Upsert(1, 1, 1)
+	l.Upsert(2, 2, 1)
+	s := l.Freeze()
+	l.Thaw()
+	l.Upsert(3, 3, 1)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// The snapshot is invalidated by contract; it must still not crash on
+	// iteration (it shares the mutated nodes).
+	_ = s.Items()
+}
+
+// Property: under a random mix of upserts/deletes with freezes sprinkled
+// in, every snapshot equals the reference state captured at its freeze
+// point, and the live list stays correct.
+func TestSnapshotPropertyUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := New()
+	type frozen struct {
+		snap *Snapshot
+		want []Item
+	}
+	var snaps []frozen
+	for op := 0; op < 4000; op++ {
+		id := stream.ElemID(rng.Intn(200))
+		switch rng.Intn(5) {
+		case 0, 1, 2:
+			l.Upsert(id, float64(rng.Intn(50))/5, stream.Time(op))
+		case 3:
+			l.Delete(id)
+		case 4:
+			if op%37 == 0 && len(snaps) < 24 {
+				snaps = append(snaps, frozen{l.Freeze(), l.Items()})
+			}
+		}
+	}
+	if len(snaps) < 5 {
+		t.Fatalf("only %d snapshots taken", len(snaps))
+	}
+	for i, f := range snaps {
+		if !equalItems(f.snap.Items(), f.want) {
+			t.Errorf("snapshot %d diverged from its freeze-point state", i)
+		}
+		if f.snap.Len() != len(f.want) {
+			t.Errorf("snapshot %d Len = %d, want %d", i, f.snap.Len(), len(f.want))
+		}
+	}
+	// The live list still matches a from-scratch rebuild.
+	rebuilt := New()
+	for _, it := range l.Items() {
+		rebuilt.Upsert(it.ID, it.Score, it.LastRef)
+	}
+	if !equalItems(l.Items(), rebuilt.Items()) {
+		t.Error("live list inconsistent after churn")
+	}
+}
+
+// The snapshot iterator must expose the exact sequence the live iterator
+// exposed at freeze time (the traversal depends on this API shape).
+func TestSnapshotIterator(t *testing.T) {
+	l := New()
+	for i := 1; i <= 15; i++ {
+		l.Upsert(stream.ElemID(i), float64((i*7)%11), stream.Time(i))
+	}
+	want := l.Items()
+	s := l.Freeze()
+	l.Upsert(100, 99, 1) // force a detach mid-iteration setup
+	it := s.Iter()
+	var got []Item
+	for {
+		item, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, item)
+	}
+	if !equalItems(got, want) {
+		t.Fatalf("iterator order %v, want %v", itemIDs(got), itemIDs(want))
+	}
+}

@@ -22,7 +22,9 @@ import (
 
 // Server is an http.Handler serving one stream. Ingestion (POST /posts,
 // /flush) is serialized by an internal mutex, honoring the Stream contract;
-// queries run concurrently under the engine's read lock.
+// queries take no lock at all — each pins the engine snapshot of the last
+// ingested bucket, so query handlers run truly in parallel with each other
+// and with ingestion (the response reports the observed bucket).
 type Server struct {
 	mux sync.Mutex // guards Add/Flush
 	st  *ksir.Stream
@@ -126,12 +128,15 @@ type QueryRequest struct {
 	Explain   bool            `json:"explain,omitempty"`
 }
 
-// QueryResponse carries the result and optional explanations.
+// QueryResponse carries the result and optional explanations. Bucket is the
+// ingested-bucket sequence number the query observed (snapshot visibility:
+// all other fields are consistent with exactly that bucket).
 type QueryResponse struct {
 	Posts     []ksir.Post        `json:"posts"`
 	Score     float64            `json:"score"`
 	Evaluated int                `json:"evaluated"`
 	Active    int                `json:"active"`
+	Bucket    int64              `json:"bucket"`
 	Explain   []ksir.Explanation `json:"explain,omitempty"`
 }
 
@@ -167,6 +172,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Score:     res.Score,
 		Evaluated: res.Evaluated,
 		Active:    res.Active,
+		Bucket:    res.Bucket,
 	}
 	if req.Explain {
 		ex, err := s.st.Explain(res, q)

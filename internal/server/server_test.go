@@ -215,3 +215,85 @@ func postJSONQuiet(srv *httptest.Server, path string, body any) (*http.Response,
 	buf.ReadFrom(resp.Body)
 	return resp, buf.Bytes()
 }
+
+// Queries must succeed and stay snapshot-consistent while the writer is
+// actively ingesting buckets over HTTP — the deployment §2 motivates: one
+// writer, many readers, no reader ever blocked behind ingest.
+func TestServerQueryDuringIngest(t *testing.T) {
+	st := testStream(t)
+	srv := httptest.NewServer(New(st))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := "goal"
+			if i%2 == 1 {
+				kw = "dunk"
+			}
+			var lastBucket int64 = -1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Explain exercises the pinned-snapshot read path
+				// (window + scorer) concurrently with ingest.
+				r, body := postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{kw}, Explain: i%2 == 0})
+				if r == nil || r.StatusCode != 200 {
+					errs <- fmt.Errorf("query %d failed: %s", i, body)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					errs <- fmt.Errorf("query %d bad response: %v", i, err)
+					return
+				}
+				// Each reader must observe a non-decreasing bucket
+				// sequence: snapshots only move forward.
+				if qr.Bucket < lastBucket {
+					errs <- fmt.Errorf("query %d: bucket went backwards %d -> %d", i, lastBucket, qr.Bucket)
+					return
+				}
+				lastBucket = qr.Bucket
+			}
+		}(i)
+	}
+
+	// Writer: stream posts bucket by bucket through the HTTP ingest path.
+	for i := 0; i < 120; i++ {
+		text := "goal striker league"
+		if i%2 == 1 {
+			text = "dunk rebound playoffs"
+		}
+		r, body := postJSONQuiet(srv, "/posts", PostRequest{ID: int64(i + 1), Time: int64(1 + i*10), Text: text})
+		if r == nil || r.StatusCode != http.StatusAccepted {
+			t.Fatalf("post %d rejected: %s", i, body)
+		}
+	}
+	r, body := postJSONQuiet(srv, "/flush", FlushRequest{Now: 1400})
+	if r == nil || r.StatusCode != 200 {
+		t.Fatalf("flush failed: %s", body)
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the flush the latest snapshot must serve every reader.
+	_, body = postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{"goal"}})
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Active == 0 || len(qr.Posts) == 0 {
+		t.Fatalf("final query empty: %+v", qr)
+	}
+}

@@ -80,6 +80,13 @@ func (w *ActiveWindow) Get(id ElemID) (*Element, bool) {
 	return e, ok
 }
 
+// Known reports whether id was ever ingested into this window (active,
+// expired or archived). Producers must never reuse a known ID.
+func (w *ActiveWindow) Known(id ElemID) bool {
+	_, ok := w.archive[id]
+	return ok
+}
+
 // InWindow reports whether e itself lies in W_t (as opposed to being active
 // only because it is referenced).
 func (w *ActiveWindow) InWindow(e *Element) bool { return e.TS > w.now-w.T }

@@ -3,6 +3,7 @@ package ksir
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/social-streams/ksir/internal/core"
@@ -92,15 +93,26 @@ type Result struct {
 	// the active elements the algorithm actually scored.
 	Evaluated int
 	Active    int
+	// Bucket is the sequence number of the ingested bucket the query
+	// observed; every field of the result is consistent with exactly that
+	// bucket boundary (see Stream.Query for the visibility contract).
+	Bucket int64
 }
 
 // Stream is a live k-SIR query processor over one social stream. Add posts
 // in timestamp order; query at any time. Stream is safe for concurrent
-// queries; Add/Flush must be called from one goroutine.
+// queries — including while Add/Flush is ingesting or SwapModel is
+// rebuilding — because the engine publishes an immutable snapshot at every
+// bucket boundary, queries run against the pinned snapshot without
+// locking, and the (model, engine) pair itself is swapped atomically.
+// Add/Flush/SwapModel themselves must be called from one goroutine (one
+// writer, many readers).
 type Stream struct {
-	model  *Model
-	engine *core.Engine
-	opts   Options
+	// me is the atomically-published (model, engine) pair: the writer
+	// replaces it wholesale on SwapModel, readers load it once per
+	// operation so a query never mixes an old model with a new engine.
+	me   atomic.Pointer[modelEngine]
+	opts Options
 
 	bucketLen stream.Time
 	pending   []*stream.Element
@@ -108,6 +120,12 @@ type Stream struct {
 
 	subs   []*Subscription
 	subSeq int64
+}
+
+// modelEngine binds a topic model to the engine built over it.
+type modelEngine struct {
+	model  *Model
+	engine *core.Engine
 }
 
 // New creates a Stream over a trained model.
@@ -122,12 +140,12 @@ func New(m *Model, opts Options) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stream{
-		model:     m,
-		engine:    eng,
+	s := &Stream{
 		opts:      opts,
 		bucketLen: stream.Time(opts.Bucket / time.Second),
-	}, nil
+	}
+	s.me.Store(&modelEngine{model: m, engine: eng})
+	return s, nil
 }
 
 // Add appends one post to the stream. Posts must arrive in non-decreasing
@@ -146,7 +164,8 @@ func (s *Stream) Add(p Post) error {
 	if err := s.advanceTo(ts); err != nil {
 		return err
 	}
-	ids := s.model.tokenIDs(p.Text)
+	m := s.me.Load().model
+	ids := m.tokenIDs(p.Text)
 	refs := make([]stream.ElemID, len(p.Refs))
 	for i, r := range p.Refs {
 		refs[i] = stream.ElemID(r)
@@ -155,7 +174,7 @@ func (s *Stream) Add(p Post) error {
 		ID:     stream.ElemID(p.ID),
 		TS:     ts,
 		Doc:    textproc.NewDocument(ids),
-		Topics: s.model.inf.InferDoc(ids),
+		Topics: m.inf.InferDoc(ids),
 		Refs:   refs,
 		Text:   p.Text,
 	}
@@ -199,7 +218,7 @@ func (s *Stream) flushBucket(end stream.Time) error {
 		}
 	}
 	s.pending = rest
-	if err := s.engine.Ingest(end, batch); err != nil {
+	if err := s.me.Load().engine.Ingest(end, batch); err != nil {
 		return err
 	}
 	return s.fireSubscriptions(int64(end))
@@ -215,10 +234,10 @@ func (s *Stream) Flush(now int64) error {
 	if err := s.advanceTo(ts + 1); err != nil {
 		return err
 	}
-	if len(s.pending) > 0 || ts > s.engine.Now() {
+	if len(s.pending) > 0 || ts > s.me.Load().engine.Now() {
 		batch := s.pending
 		s.pending = nil
-		if err := s.engine.Ingest(ts, batch); err != nil {
+		if err := s.me.Load().engine.Ingest(ts, batch); err != nil {
 			return err
 		}
 		if err := s.fireSubscriptions(int64(ts)); err != nil {
@@ -231,17 +250,28 @@ func (s *Stream) Flush(now int64) error {
 
 // Now returns the stream's current time (the end of the last ingested
 // bucket).
-func (s *Stream) Now() int64 { return int64(s.engine.Now()) }
+func (s *Stream) Now() int64 { return int64(s.me.Load().engine.Now()) }
 
 // Active returns the number of active elements n_t.
-func (s *Stream) Active() int { return s.engine.NumActive() }
+func (s *Stream) Active() int { return s.me.Load().engine.NumActive() }
 
 // Query answers a k-SIR query against the currently ingested window.
+//
+// Snapshot visibility: a query observes exactly the state at the end of the
+// last ingested bucket — the paper's batch-update contract (Figure 4) made
+// concurrency-safe. The query pins that snapshot for its whole run, so it
+// is safe to call from any number of goroutines concurrently with Add and
+// Flush; a query that races an in-flight bucket sees either the bucket
+// before it or (once ingest completes and publishes) the bucket itself,
+// never a partial state. Result.Bucket reports which bucket was observed.
+// Posts buffered in the current, incomplete bucket are not yet visible —
+// call Flush to force them in.
 func (s *Stream) Query(q Query) (Result, error) {
 	if q.K <= 0 {
 		return Result{}, fmt.Errorf("ksir: query needs K > 0")
 	}
-	x, err := s.queryVector(q)
+	me := s.me.Load()
+	x, err := queryVector(me.model, q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -256,7 +286,7 @@ func (s *Stream) Query(q Query) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("ksir: unknown algorithm %d", q.Algorithm)
 	}
-	res, err := s.engine.Query(core.Query{K: q.K, X: x, Epsilon: q.Epsilon, Algorithm: alg})
+	res, err := me.engine.Query(core.Query{K: q.K, X: x, Epsilon: q.Epsilon, Algorithm: alg})
 	if err != nil {
 		return Result{}, err
 	}
@@ -264,6 +294,7 @@ func (s *Stream) Query(q Query) (Result, error) {
 		Score:     res.Score,
 		Evaluated: res.Evaluated,
 		Active:    res.ActiveAtQuery,
+		Bucket:    res.BucketSeq,
 	}
 	for _, e := range res.Elements {
 		out.Posts = append(out.Posts, Post{
@@ -276,14 +307,16 @@ func (s *Stream) Query(q Query) (Result, error) {
 	return out, nil
 }
 
-// queryVector builds the normalized topic vector from Keywords or Vector.
-func (s *Stream) queryVector(q Query) (topicmodel.TopicVec, error) {
+// queryVector builds the normalized topic vector from Keywords or Vector
+// against one consistent model (callers load the Stream's pair once so a
+// concurrent SwapModel cannot mix models mid-query).
+func queryVector(m *Model, q Query) (topicmodel.TopicVec, error) {
 	if len(q.Vector) > 0 {
 		idx := make([]int, 0, len(q.Vector))
 		var sum float64
 		for t, w := range q.Vector {
-			if t < 0 || t >= s.model.tm.Z {
-				return topicmodel.TopicVec{}, fmt.Errorf("ksir: topic %d out of range [0,%d)", t, s.model.tm.Z)
+			if t < 0 || t >= m.tm.Z {
+				return topicmodel.TopicVec{}, fmt.Errorf("ksir: topic %d out of range [0,%d)", t, m.tm.Z)
 			}
 			if w < 0 {
 				return topicmodel.TopicVec{}, fmt.Errorf("ksir: negative weight %v for topic %d", w, t)
@@ -312,9 +345,9 @@ func (s *Stream) queryVector(q Query) (topicmodel.TopicVec, error) {
 	}
 	var ids []textproc.WordID
 	for _, kw := range q.Keywords {
-		ids = append(ids, s.model.tokenIDs(kw)...)
+		ids = append(ids, m.tokenIDs(kw)...)
 	}
-	x := s.model.inf.InferDense(ids).Truncate(8, 0.02)
+	x := m.inf.InferDense(ids).Truncate(8, 0.02)
 	if x.Len() == 0 {
 		return topicmodel.TopicVec{}, fmt.Errorf("ksir: no query keyword appears in the model vocabulary")
 	}

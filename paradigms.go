@@ -45,8 +45,9 @@ func (s *Stream) QueryByText(k int, text string, opts ...QueryOption) (Result, e
 	for _, opt := range opts {
 		opt(&q)
 	}
-	ids := s.model.tokenIDs(text)
-	x := s.model.inf.InferDense(ids).Truncate(8, 0.02)
+	m := s.me.Load().model
+	ids := m.tokenIDs(text)
+	x := m.inf.InferDense(ids).Truncate(8, 0.02)
 	if x.Len() == 0 {
 		return Result{}, fmt.Errorf("ksir: no word of the query document is in the model vocabulary")
 	}
@@ -135,10 +136,13 @@ func (s *Stream) SwapModel(m *Model) error {
 	// Collect the live elements (window order does not matter; Ingest
 	// replays them bucket-free at their original timestamps).
 	var actives []liveElem
-	s.engine.Window().ForEachActive(func(e *stream.Element) {
-		actives = append(actives, liveElem{e: e, text: e.Text})
+	cur := s.me.Load().engine
+	cur.ReadSnapshot(func(win *stream.ActiveWindow, _ *score.Scorer) {
+		win.ForEachActive(func(e *stream.Element) {
+			actives = append(actives, liveElem{e: e, text: e.Text})
+		})
 	})
-	now := s.engine.Now()
+	now := cur.Now()
 
 	eng, err := newEngineForModel(m, s.opts)
 	if err != nil {
@@ -178,8 +182,7 @@ func (s *Stream) SwapModel(m *Model) error {
 			return err
 		}
 	}
-	s.model = m
-	s.engine = eng
+	s.me.Store(&modelEngine{model: m, engine: eng})
 	return nil
 }
 

@@ -53,7 +53,7 @@ func (s *Stream) Subscribe(q Query, every time.Duration, handler func(Result), o
 		query:   q,
 		every:   every,
 		handler: handler,
-		nextAt:  int64(s.engine.Now()) + int64(every/time.Second),
+		nextAt:  int64(s.me.Load().engine.Now()) + int64(every/time.Second),
 	}
 	for _, opt := range opts {
 		opt(sub)

@@ -1,0 +1,197 @@
+// Package apiv1 defines the wire contract of the k-SIR service's /v1 HTTP
+// API: request/response bodies, the structured error envelope, and the
+// two-way mapping between the library's typed errors (ksir.Err*) and wire
+// error codes / HTTP status codes. Both the server (internal/server) and
+// the Go SDK (client) build on it, so a round trip preserves error
+// identity: errors.Is(err, ksir.ErrOutOfOrder) holds on the client side
+// exactly when it held on the server side.
+//
+// Routes (all stream-scoped routes 404 with CodeUnknownStream for an
+// unregistered name):
+//
+//	POST   /v1/streams                      CreateStreamRequest → 201 StreamInfo
+//	GET    /v1/streams                      → ListStreamsResponse
+//	DELETE /v1/streams/{name}              → 204
+//	POST   /v1/streams/{name}/posts        Post or [Post,...] → 202 AcceptedResponse
+//	POST   /v1/streams/{name}/flush        FlushRequest → FlushResponse
+//	POST   /v1/streams/{name}/query        QueryRequest → QueryResponse
+//	GET    /v1/streams/{name}/stats        → StreamInfo
+//	GET    /v1/streams/{name}/subscribe    → text/event-stream (SSE)
+//
+// SSE: each refresh of the standing query is one event
+//
+//	event: refresh
+//	id: <bucket sequence number>
+//	data: <QueryResponse JSON>
+//
+// The id field and the QueryResponse's "bucket" field both carry the
+// bucket sequence the refresh was computed at (the snapshot-visibility
+// contract in wire terms); with only_changed=true, refreshes whose result
+// set is unchanged are suppressed, so consecutive ids can jump.
+package apiv1
+
+import (
+	"errors"
+	"net/http"
+
+	ksir "github.com/social-streams/ksir"
+)
+
+// Post is the wire form of one post.
+type Post struct {
+	ID   int64   `json:"id"`
+	Time int64   `json:"time"`
+	Text string  `json:"text"`
+	Refs []int64 `json:"refs,omitempty"`
+}
+
+// CreateStreamRequest registers a new stream. Zero-valued fields inherit
+// the server's defaults. Lambda is a pointer so that the pure-influence
+// setting λ=0 is distinguishable from "unset".
+type CreateStreamRequest struct {
+	Name      string   `json:"name"`
+	WindowSec int64    `json:"window_sec,omitempty"`
+	BucketSec int64    `json:"bucket_sec,omitempty"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	Eta       float64  `json:"eta,omitempty"`
+}
+
+// StreamInfo describes one stream: its configuration and its counters as
+// of the last published bucket.
+type StreamInfo struct {
+	Name          string  `json:"name"`
+	Active        int     `json:"active"`
+	Now           int64   `json:"now"`
+	Bucket        int64   `json:"bucket"`
+	Subscriptions int     `json:"subscriptions"`
+	Elements      int64   `json:"elements"`
+	WindowSec     int64   `json:"window_sec"`
+	BucketSec     int64   `json:"bucket_sec"`
+	Lambda        float64 `json:"lambda"`
+	Eta           float64 `json:"eta"`
+}
+
+// ListStreamsResponse is the GET /v1/streams body.
+type ListStreamsResponse struct {
+	Streams []StreamInfo `json:"streams"`
+}
+
+// AcceptedResponse reports how many posts of a batch were ingested.
+type AcceptedResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// FlushRequest advances the stream clock.
+type FlushRequest struct {
+	Now int64 `json:"now"`
+}
+
+// FlushResponse reports the stream state after a flush.
+type FlushResponse struct {
+	Active int   `json:"active"`
+	Now    int64 `json:"now"`
+	Bucket int64 `json:"bucket"`
+}
+
+// QueryRequest is the wire form of a k-SIR query.
+type QueryRequest struct {
+	K        int             `json:"k"`
+	Keywords []string        `json:"keywords,omitempty"`
+	Vector   map[int]float64 `json:"vector,omitempty"`
+	Epsilon  float64         `json:"epsilon,omitempty"`
+	// Algorithm is mttd (default) | mtts | topk.
+	Algorithm string `json:"algorithm,omitempty"`
+	Explain   bool   `json:"explain,omitempty"`
+}
+
+// QueryResponse carries the result and optional explanations. Bucket is
+// the ingested-bucket sequence number the query observed (snapshot
+// visibility: all other fields are consistent with exactly that bucket).
+type QueryResponse struct {
+	Posts     []ksir.Post        `json:"posts"`
+	Score     float64            `json:"score"`
+	Evaluated int                `json:"evaluated"`
+	Active    int                `json:"active"`
+	Bucket    int64              `json:"bucket"`
+	Explain   []ksir.Explanation `json:"explain,omitempty"`
+}
+
+// ErrorBody is the structured error every non-2xx response carries.
+type ErrorBody struct {
+	// Code is one of the Code* constants — the stable, programmatic key.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON shape of an error response:
+//
+//	{"error": {"code": "out_of_order", "message": "..."}}
+type ErrorEnvelope struct {
+	Err ErrorBody `json:"error"`
+	// Accepted is set on partially applied batch ingests: how many posts
+	// of the batch were accepted before the rejected one. The accepted
+	// prefix stays in the stream (visible after its bucket boundary); the
+	// rejected post is the batch's element at index Accepted — fix or
+	// drop it and resend the batch from that index.
+	Accepted *int `json:"accepted,omitempty"`
+}
+
+// Wire error codes. Each corresponds to one sentinel of the library's
+// error taxonomy (plus bad_request and internal for transport-level
+// failures that never reached the library).
+const (
+	CodeBadRequest      = "bad_request"
+	CodeBadOptions      = "bad_options"
+	CodeBadPost         = "bad_post"
+	CodeOutOfOrder      = "out_of_order"
+	CodeBadQuery        = "bad_query"
+	CodeBadSubscription = "bad_subscription"
+	CodeUnknownStream   = "unknown_stream"
+	CodeStreamExists    = "stream_exists"
+	CodeStreamClosed    = "stream_closed"
+	CodeNotActive       = "not_active"
+	CodeInternal        = "internal"
+)
+
+// errClass ties together a sentinel, its wire code and its HTTP status.
+type errClass struct {
+	sentinel error
+	code     string
+	status   int
+}
+
+var errClasses = []errClass{
+	{ksir.ErrBadOptions, CodeBadOptions, http.StatusBadRequest},
+	{ksir.ErrBadPost, CodeBadPost, http.StatusBadRequest},
+	{ksir.ErrOutOfOrder, CodeOutOfOrder, http.StatusConflict},
+	{ksir.ErrBadQuery, CodeBadQuery, http.StatusBadRequest},
+	{ksir.ErrBadSubscription, CodeBadSubscription, http.StatusBadRequest},
+	{ksir.ErrUnknownStream, CodeUnknownStream, http.StatusNotFound},
+	{ksir.ErrStreamExists, CodeStreamExists, http.StatusConflict},
+	{ksir.ErrStreamClosed, CodeStreamClosed, http.StatusGone},
+	{ksir.ErrNotActive, CodeNotActive, http.StatusConflict},
+}
+
+// Classify maps a library error to its wire code and HTTP status. Errors
+// outside the taxonomy classify as internal/500.
+func Classify(err error) (code string, status int) {
+	for _, c := range errClasses {
+		if errors.Is(err, c.sentinel) {
+			return c.code, c.status
+		}
+	}
+	return CodeInternal, http.StatusInternalServerError
+}
+
+// Sentinel maps a wire code back to the library sentinel it stands for,
+// so SDK callers can errors.Is against ksir.Err* across the wire. Unknown
+// codes (including internal and bad_request) return nil.
+func Sentinel(code string) error {
+	for _, c := range errClasses {
+		if c.code == code {
+			return c.sentinel
+		}
+	}
+	return nil
+}

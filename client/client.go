@@ -1,0 +1,251 @@
+// Package client is the Go SDK for the k-SIR service's /v1 HTTP API
+// (internal/server; wire contract in api/v1). It covers the full surface
+// — stream lifecycle, ingest, flush, query, stats, and standing queries
+// over Server-Sent Events — and maps wire errors back onto the library's
+// typed taxonomy, so
+//
+//	_, err := c.Stream("feed").Flush(ctx, past)
+//	errors.Is(err, ksir.ErrOutOfOrder) // true, across the wire
+//
+// works exactly as it would in-process.
+//
+//	c := client.New("http://localhost:8080")
+//	info, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "feed"})
+//	feed := c.Stream("feed")
+//	feed.Add(ctx, apiv1.Post{ID: 1, Time: 60, Text: "late goal wins the derby"})
+//	feed.Flush(ctx, 120)
+//	res, err := feed.Query(ctx, apiv1.QueryRequest{K: 5, Keywords: []string{"goal"}})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	apiv1 "github.com/social-streams/ksir/api/v1"
+)
+
+// Client speaks the /v1 API of one k-SIR server. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, middlewares). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://localhost:8080"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's structured
+// envelope. Unwrap returns the matching ksir sentinel (if the code maps
+// to one), so errors.Is(err, ksir.ErrUnknownStream) etc. work across the
+// wire.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the wire error code (api/v1 Code* constants).
+	Code string
+	// Message is the server's human-readable detail.
+	Message string
+	// Accepted, when non-nil, is the durably ingested prefix length of a
+	// partially applied batch (see Stream.Add).
+	Accepted *int
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ksir client: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// Unwrap surfaces the library sentinel behind the wire code (nil for
+// transport-level codes like bad_request/internal).
+func (e *APIError) Unwrap() error { return apiv1.Sentinel(e.Code) }
+
+// CreateStream registers a new stream on the server. Zero-valued request
+// fields inherit the server's defaults; set req.Lambda to express λ
+// explicitly (including λ=0, the paper's pure-influence setting).
+func (c *Client) CreateStream(ctx context.Context, req apiv1.CreateStreamRequest) (apiv1.StreamInfo, error) {
+	var info apiv1.StreamInfo
+	err := c.do(ctx, http.MethodPost, "/v1/streams", req, &info)
+	return info, err
+}
+
+// ListStreams returns every registered stream with its counters.
+func (c *Client) ListStreams(ctx context.Context) ([]apiv1.StreamInfo, error) {
+	var resp apiv1.ListStreamsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Streams, nil
+}
+
+// CloseStream unregisters a stream; subsequent operations on it fail with
+// ksir.ErrUnknownStream (routes) or ksir.ErrStreamClosed (live handles).
+func (c *Client) CloseStream(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/streams/"+url.PathEscape(name), nil, nil)
+}
+
+// Stream returns a handle for the named stream. No request is made; the
+// name is validated by the first call through the handle.
+func (c *Client) Stream(name string) *Stream {
+	return &Stream{c: c, name: name, path: "/v1/streams/" + url.PathEscape(name)}
+}
+
+// Stream is a client-side handle to one named stream.
+type Stream struct {
+	c    *Client
+	name string
+	path string
+}
+
+// Name returns the stream name this handle addresses.
+func (s *Stream) Name() string { return s.name }
+
+// Add ingests posts (one request; the server applies them in order and
+// stops at the first rejected post). It returns how many posts were
+// accepted: len(posts) on success, and on a partial-batch rejection the
+// accepted prefix length — the rejected post is posts[accepted]; fix or
+// drop it and resend posts[accepted:], not the whole batch. Accepted
+// posts stay in the stream and become visible at their bucket boundary.
+func (s *Stream) Add(ctx context.Context, posts ...apiv1.Post) (accepted int, err error) {
+	var resp apiv1.AcceptedResponse
+	if err := s.c.do(ctx, http.MethodPost, s.path+"/posts", posts, &resp); err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Accepted != nil {
+			return *apiErr.Accepted, err
+		}
+		return 0, err
+	}
+	return resp.Accepted, nil
+}
+
+// Flush advances the stream clock to now, ingesting everything buffered.
+func (s *Stream) Flush(ctx context.Context, now int64) (apiv1.FlushResponse, error) {
+	var resp apiv1.FlushResponse
+	err := s.c.do(ctx, http.MethodPost, s.path+"/flush", apiv1.FlushRequest{Now: now}, &resp)
+	return resp, err
+}
+
+// Query answers a k-SIR query against the last published bucket; the
+// response's Bucket field reports which one.
+func (s *Stream) Query(ctx context.Context, req apiv1.QueryRequest) (apiv1.QueryResponse, error) {
+	var resp apiv1.QueryResponse
+	err := s.c.do(ctx, http.MethodPost, s.path+"/query", req, &resp)
+	return resp, err
+}
+
+// Stats returns the stream's configuration and counters.
+func (s *Stream) Stats(ctx context.Context) (apiv1.StreamInfo, error) {
+	var info apiv1.StreamInfo
+	err := s.c.do(ctx, http.MethodGet, s.path+"/stats", nil, &info)
+	return info, err
+}
+
+// SubscribeRequest configures a standing query delivered over SSE.
+type SubscribeRequest struct {
+	// K is the result size (required).
+	K int
+	// Keywords are the query keywords (required).
+	Keywords []string
+	// Every is the refresh interval in stream time; zero means the
+	// stream's bucket interval.
+	Every time.Duration
+	// OnlyOnChange suppresses refreshes whose result set is unchanged.
+	OnlyOnChange bool
+	// Algorithm is mttd (default) | mtts | topk.
+	Algorithm string
+	// Epsilon is the approximation knob ε (0 means the default).
+	Epsilon float64
+}
+
+func (r SubscribeRequest) query() url.Values {
+	qs := url.Values{}
+	qs.Set("k", strconv.Itoa(r.K))
+	qs.Set("keywords", strings.Join(r.Keywords, ","))
+	if r.Every > 0 {
+		qs.Set("every", r.Every.String())
+	}
+	if r.OnlyOnChange {
+		qs.Set("only_changed", "true")
+	}
+	if r.Algorithm != "" {
+		qs.Set("algorithm", r.Algorithm)
+	}
+	if r.Epsilon > 0 {
+		qs.Set("epsilon", strconv.FormatFloat(r.Epsilon, 'g', -1, 64))
+	}
+	return qs
+}
+
+// do sends one JSON request and decodes the response (out may be nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("ksir client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("ksir client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("ksir client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("ksir client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, tolerating
+// non-envelope bodies (proxies, panics).
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env apiv1.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Err.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Err.Code, Message: env.Err.Message, Accepted: env.Accepted}
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = http.StatusText(resp.StatusCode)
+	}
+	return &APIError{Status: resp.StatusCode, Code: apiv1.CodeInternal, Message: msg}
+}

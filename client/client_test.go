@@ -1,0 +1,483 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/internal/server"
+)
+
+// newServer boots a hub-backed in-process server over a tiny two-topic
+// model and returns an SDK client pointed at it.
+func newServer(t *testing.T) *Client {
+	t.Helper()
+	soccer := []string{"goal", "striker", "keeper", "league", "derby", "penalty"}
+	basket := []string{"dunk", "rebound", "playoffs", "court", "buzzer", "triple"}
+	rng := rand.New(rand.NewSource(1))
+	var corpus []string
+	for i := 0; i < 200; i++ {
+		words := soccer
+		if i%2 == 1 {
+			words = basket
+		}
+		var b []string
+		for j := 0; j < 6; j++ {
+			b = append(b, words[rng.Intn(len(words))])
+		}
+		corpus = append(corpus, strings.Join(b, " "))
+	}
+	m, err := ksir.TrainModel(corpus, ksir.WithTopics(2), ksir.WithIterations(40),
+		ksir.WithSeed(1), ksir.WithPriors(0.5, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := ksir.NewHub()
+	srv := httptest.NewServer(server.NewHub(hub, m,
+		ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2}))
+	t.Cleanup(srv.Close)
+	return New(srv.URL)
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+
+	info, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "feed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "feed" || info.BucketSec != 60 {
+		t.Errorf("create info = %+v", info)
+	}
+
+	feed := c.Stream("feed")
+	if _, err := feed.Add(ctx,
+		apiv1.Post{ID: 1, Time: 10, Text: "late goal wins the derby"},
+		apiv1.Post{ID: 2, Time: 20, Text: "what a dunk in the playoffs"},
+		apiv1.Post{ID: 3, Time: 30, Text: "keeper saves the penalty", Refs: []int64{1}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := feed.Flush(ctx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Active != 3 || fr.Bucket == 0 {
+		t.Errorf("flush = %+v", fr)
+	}
+
+	res, err := feed.Query(ctx, apiv1.QueryRequest{K: 2, Keywords: []string{"goal", "league"}, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Posts) == 0 || res.Score <= 0 || res.Bucket != fr.Bucket {
+		t.Errorf("query = %+v", res)
+	}
+	if len(res.Explain) != len(res.Posts) {
+		t.Errorf("explanations: %d vs %d posts", len(res.Explain), len(res.Posts))
+	}
+
+	stats, err := feed.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Active != 3 || stats.Elements != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	streams, err := c.ListStreams(ctx)
+	if err != nil || len(streams) != 1 {
+		t.Fatalf("list = %v %v", streams, err)
+	}
+	if err := c.CloseStream(ctx, "feed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := feed.Stats(ctx); !errors.Is(err, ksir.ErrUnknownStream) {
+		t.Errorf("stats after close err = %v", err)
+	}
+}
+
+// The typed error taxonomy survives the wire: SDK callers use errors.Is
+// against the ksir sentinels exactly as in-process callers do.
+func TestClientErrorMapping(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "s"})
+	if !errors.Is(err, ksir.ErrStreamExists) {
+		t.Errorf("duplicate create err = %v, want ErrStreamExists", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 409 || apiErr.Code != apiv1.CodeStreamExists {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+
+	if _, err := c.Stream("nope").Query(ctx, apiv1.QueryRequest{K: 1, Keywords: []string{"goal"}}); !errors.Is(err, ksir.ErrUnknownStream) {
+		t.Errorf("unknown stream err = %v", err)
+	}
+
+	s := c.Stream("s")
+	if _, err := s.Add(ctx, apiv1.Post{ID: 1, Time: 100, Text: "goal"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(ctx, apiv1.Post{ID: 2, Time: 50, Text: "goal"}); !errors.Is(err, ksir.ErrOutOfOrder) {
+		t.Errorf("out-of-order err = %v, want ErrOutOfOrder", err)
+	}
+	if _, err := s.Flush(ctx, 10); !errors.Is(err, ksir.ErrOutOfOrder) {
+		t.Errorf("backwards flush err = %v, want ErrOutOfOrder", err)
+	}
+	if _, err := s.Query(ctx, apiv1.QueryRequest{K: 0}); !errors.Is(err, ksir.ErrBadQuery) {
+		t.Errorf("k=0 err = %v, want ErrBadQuery", err)
+	}
+	if _, err := s.Add(ctx, apiv1.Post{ID: 3, Time: 0, Text: "goal"}); !errors.Is(err, ksir.ErrBadPost) {
+		t.Errorf("zero-time err = %v, want ErrBadPost", err)
+	}
+}
+
+// A partially applied batch reports its durable prefix: the error
+// envelope carries accepted, and the SDK returns it alongside the typed
+// error.
+func TestClientPartialBatchAccepted(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Stream("p")
+	n, err := p.Add(ctx,
+		apiv1.Post{ID: 1, Time: 10, Text: "goal striker"},
+		apiv1.Post{ID: 2, Time: 20, Text: "dunk rebound"},
+		apiv1.Post{ID: 3, Time: 5, Text: "late"}, // out of order: rejected
+		apiv1.Post{ID: 4, Time: 30, Text: "never examined"},
+	)
+	if !errors.Is(err, ksir.ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	if n != 2 {
+		t.Errorf("accepted = %d, want 2", n)
+	}
+	fr, err := p.Flush(ctx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Active != 2 {
+		t.Errorf("active = %d, want the durable prefix 2", fr.Active)
+	}
+}
+
+// The satellite contract for Subscribe/OnlyOnChange over the wire: every
+// SSE event carries the bucket sequence it was computed at (id field ==
+// body bucket), and refreshes whose result set is unchanged are
+// suppressed, so the received sequence skips the quiet buckets.
+func TestClientSSESubscribeOnlyOnChange(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	live := c.Stream("live")
+
+	events := make(chan Event, 16)
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- live.Subscribe(subCtx, SubscribeRequest{
+			K: 1, Keywords: []string{"goal"}, OnlyOnChange: true,
+		}, func(ev Event) error {
+			events <- ev
+			return nil
+		})
+	}()
+	// Wait until the standing query is registered server-side before
+	// ingesting, so no refresh can be missed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := live.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Subscriptions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Bucket seq 1: first matching post → refresh fires.
+	// Bucket seq 2: nothing new → suppressed by only_changed.
+	// Bucket seq 3: better post → refresh fires.
+	// Bucket seq 4: nothing new → suppressed.
+	if _, err := live.Add(ctx, apiv1.Post{ID: 1, Time: 30, Text: "goal striker league"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Flush(ctx, 120); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Add(ctx, apiv1.Post{ID: 2, Time: 150, Text: "goal goal striker league derby"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Flush(ctx, 240); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Event
+	for len(got) < 2 {
+		select {
+		case ev := <-events:
+			got = append(got, ev)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out with %d events: %+v", len(got), got)
+		}
+	}
+	// No third event: the suppressed buckets must stay silent.
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected extra event: %+v", ev)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	for i, ev := range got {
+		if ev.Type != "refresh" {
+			t.Errorf("event %d type = %q", i, ev.Type)
+		}
+		if ev.Bucket == 0 || ev.Bucket != ev.Result.Bucket {
+			t.Errorf("event %d bucket mismatch: id=%d body=%d", i, ev.Bucket, ev.Result.Bucket)
+		}
+	}
+	// The two refreshes observed buckets 1 and 3: seq 2 and 4 were
+	// unchanged and suppressed.
+	if got[0].Bucket != 1 || got[1].Bucket != 3 {
+		t.Errorf("event buckets = [%d %d], want [1 3]", got[0].Bucket, got[1].Bucket)
+	}
+	if got[0].Result.Posts[0].ID != 1 || got[1].Result.Posts[0].ID != 2 {
+		t.Errorf("event posts = [%d %d], want [1 2]",
+			got[0].Result.Posts[0].ID, got[1].Result.Posts[0].ID)
+	}
+
+	// Cancelling the context ends Subscribe with ctx.Err().
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Subscribe returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe did not return after cancel")
+	}
+}
+
+// A Subscribe handler can end the stream cleanly with ErrStopSubscription.
+func TestClientSSEHandlerStop(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "once"}); err != nil {
+		t.Fatal(err)
+	}
+	once := c.Stream("once")
+	done := make(chan error, 1)
+	go func() {
+		done <- once.Subscribe(ctx, SubscribeRequest{K: 1, Keywords: []string{"goal"}},
+			func(Event) error { return ErrStopSubscription })
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := once.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Subscriptions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := once.Add(ctx, apiv1.Post{ID: 1, Time: 30, Text: "goal striker"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := once.Flush(ctx, 120); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Subscribe = %v, want nil after ErrStopSubscription", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe did not stop")
+	}
+}
+
+// A standing query that can never produce a result (keywords outside the
+// model vocabulary) is rejected up front with a typed error instead of a
+// 200 event stream that only ever heartbeats.
+func TestClientSSERejectsUnanswerableQuery(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Stream("v").Subscribe(ctx, SubscribeRequest{K: 1, Keywords: []string{"zzztypo"}},
+		func(Event) error {
+			t.Error("handler called for unanswerable query")
+			return nil
+		})
+	if !errors.Is(err, ksir.ErrBadQuery) {
+		t.Errorf("err = %v, want ErrBadQuery", err)
+	}
+}
+
+// Closing a stream out of the hub ends live SSE subscriptions with a
+// final "closed" event instead of leaving them heartbeating forever.
+func TestClientSSEStreamClosed(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "gone"}); err != nil {
+		t.Fatal(err)
+	}
+	gone := c.Stream("gone")
+	events := make(chan Event, 4)
+	done := make(chan error, 1)
+	go func() {
+		done <- gone.Subscribe(ctx, SubscribeRequest{K: 1, Keywords: []string{"goal"}},
+			func(ev Event) error {
+				events <- ev
+				return nil
+			})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := gone.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Subscriptions == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.CloseStream(ctx, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Subscribe = %v, want nil after server-side close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Subscribe still blocked after the stream was closed")
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != "closed" {
+			t.Errorf("final event type = %q, want closed", ev.Type)
+		}
+	default:
+		t.Error("no closed event delivered")
+	}
+}
+
+// The acceptance bar: concurrent multi-stream ingest and query through
+// the SDK, under -race — the paper's "thousands of users" shape driven
+// end to end over the wire.
+func TestClientConcurrentMultiStream(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	const streams = 3
+	for i := 0; i < streams; i++ {
+		if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: fmt.Sprintf("s%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, streams*4)
+	for i := 0; i < streams; i++ {
+		st := c.Stream(fmt.Sprintf("s%d", i))
+		// Two writers per stream: the server-side handles serialize them.
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(st *Stream, w int) {
+				defer wg.Done()
+				for j := 0; j < 40; j++ {
+					text := "goal striker league"
+					if j%2 == 1 {
+						text = "dunk rebound playoffs"
+					}
+					id := int64(w*1000 + j + 1)
+					_, err := st.Add(ctx, apiv1.Post{ID: id, Time: int64(1 + j*10), Text: text})
+					// Interleaved writers race the stream clock; a typed
+					// out-of-order rejection is expected, anything else is
+					// a bug.
+					if err != nil && !errors.Is(err, ksir.ErrOutOfOrder) {
+						errs <- fmt.Errorf("%s writer %d: %v", st.Name(), w, err)
+						return
+					}
+					if j%10 == 9 {
+						if _, err := st.Flush(ctx, int64(1+j*10)); err != nil && !errors.Is(err, ksir.ErrOutOfOrder) {
+							errs <- fmt.Errorf("%s flush: %v", st.Name(), err)
+							return
+						}
+					}
+				}
+			}(st, w)
+		}
+		// Two readers per stream: buckets never move backwards.
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(st *Stream) {
+				defer wg.Done()
+				var last int64 = -1
+				for j := 0; j < 30; j++ {
+					res, err := st.Query(ctx, apiv1.QueryRequest{K: 3, Keywords: []string{"goal"}})
+					if err != nil {
+						errs <- fmt.Errorf("%s query: %v", st.Name(), err)
+						return
+					}
+					if res.Bucket < last {
+						errs <- fmt.Errorf("%s bucket went backwards %d -> %d", st.Name(), last, res.Bucket)
+						return
+					}
+					last = res.Bucket
+				}
+			}(st)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every stream answers with data after a final flush.
+	for i := 0; i < streams; i++ {
+		st := c.Stream(fmt.Sprintf("s%d", i))
+		if _, err := st.Flush(ctx, 500); err != nil && !errors.Is(err, ksir.ErrOutOfOrder) {
+			t.Fatal(err)
+		}
+		info, err := st.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Active == 0 {
+			t.Errorf("stream s%d empty after concurrent ingest", i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	apiv1 "github.com/social-streams/ksir/api/v1"
+)
+
+// Event is one Server-Sent Event from a standing query: a refresh of the
+// k most representative posts as of Bucket, or the final "closed"
+// notification when the stream is closed out of the hub.
+type Event struct {
+	// Type is the SSE event name: "refresh", or "closed" when the stream
+	// was closed server-side (the event stream ends after it and
+	// Subscribe returns nil).
+	Type string
+	// Bucket is the ingested-bucket sequence number the refresh observed
+	// (the SSE id field). With OnlyOnChange, consecutive Buckets can jump:
+	// suppressed refreshes leave no event.
+	Bucket int64
+	// Result is the refreshed query answer; Result.Bucket equals Bucket.
+	Result apiv1.QueryResponse
+}
+
+// ErrStopSubscription is the sentinel a Subscribe handler returns to end
+// the subscription cleanly (Subscribe then returns nil).
+var ErrStopSubscription = errors.New("ksir client: stop subscription")
+
+// Subscribe registers a standing query on the server and streams its
+// refreshes to fn until ctx is cancelled (returns ctx.Err()), fn returns
+// an error (returned as-is, except ErrStopSubscription which maps to
+// nil), the stream is closed server-side (fn sees a final "closed" event
+// and Subscribe returns nil), or the connection breaks.
+//
+// Subscribe blocks; run it in its own goroutine when consuming
+// alongside other work.
+func (s *Stream) Subscribe(ctx context.Context, req SubscribeRequest, fn func(Event) error) error {
+	if fn == nil {
+		return fmt.Errorf("ksir client: nil handler")
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		s.c.base+s.path+"/subscribe?"+req.query().Encode(), nil)
+	if err != nil {
+		return fmt.Errorf("ksir client: %w", err)
+	}
+	httpReq.Header.Set("Accept", "text/event-stream")
+	resp, err := s.c.hc.Do(httpReq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("ksir client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+
+	// Minimal SSE parser: accumulate event/id/data fields until a blank
+	// line dispatches the event. Comment lines (": ping") are ignored.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var typ, id string
+	var data []string
+	dispatch := func() error {
+		defer func() { typ, id, data = "", "", nil }()
+		if len(data) == 0 {
+			return nil
+		}
+		ev := Event{Type: typ}
+		ev.Bucket, _ = strconv.ParseInt(id, 10, 64)
+		if err := json.Unmarshal([]byte(strings.Join(data, "\n")), &ev.Result); err != nil {
+			return fmt.Errorf("ksir client: bad event payload: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrStopSubscription) {
+				return errStopped
+			}
+			return err
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				if err == errStopped {
+					return nil
+				}
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / heartbeat
+		case strings.HasPrefix(line, "event:"):
+			typ = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(strings.TrimPrefix(line, "id:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("ksir client: reading event stream: %w", err)
+	}
+	return nil
+}
+
+// errStopped is the internal marker for a handler-requested stop.
+var errStopped = errors.New("stopped")

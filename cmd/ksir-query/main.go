@@ -1,189 +1,122 @@
-// Command ksir-query demonstrates end-to-end k-SIR query processing: it
-// generates (or loads) a synthetic stream, trains a topic model on it,
-// replays the stream through the engine, and answers keyword queries —
-// either the ones passed via -q, or interactively from stdin.
+// Command ksir-query is a terminal client for a running ksir-server,
+// built on the client SDK: it answers one-shot keyword queries, runs an
+// interactive query loop, and follows standing queries over SSE.
 //
 // Usage:
 //
-//	ksir-query -profile twitter -n 5000 -q "w00042 w00619" -k 5
-//	ksir-query -profile reddit -n 5000            # interactive
+//	ksir-query -addr http://localhost:8080 -q "goal league" -k 5
+//	ksir-query -stream feed -q "soccer" -explain
+//	ksir-query -stream feed -q "soccer" -watch -every 15m   # SSE follow
+//	ksir-query -list                                        # streams + stats
+//	ksir-query                                              # interactive
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
-	"github.com/social-streams/ksir/internal/baselines"
-	"github.com/social-streams/ksir/internal/core"
-	"github.com/social-streams/ksir/internal/dataset"
-	"github.com/social-streams/ksir/internal/experiments"
-	"github.com/social-streams/ksir/internal/jsonl"
-	"github.com/social-streams/ksir/internal/score"
-	"github.com/social-streams/ksir/internal/stream"
-	"github.com/social-streams/ksir/internal/textproc"
-	"github.com/social-streams/ksir/internal/topicmodel"
+	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/client"
 )
 
 func main() {
 	var (
-		profile = flag.String("profile", "twitter", "dataset shape: aminer|reddit|twitter")
-		n       = flag.Int("n", 5000, "number of elements")
-		z       = flag.Int("z", 20, "number of topics")
+		addr    = flag.String("addr", "http://localhost:8080", "ksir-server base URL")
+		stream  = flag.String("stream", "default", "stream name")
 		k       = flag.Int("k", 5, "result size")
 		q       = flag.String("q", "", "space-separated query keywords (empty: interactive)")
 		alg     = flag.String("alg", "mttd", "algorithm: mtts|mttd|topk")
-		seed    = flag.Int64("seed", 1, "seed")
-		in      = flag.String("in", "", "load a JSON-lines stream (ksir-gen output) instead of generating")
-		eta     = flag.Float64("eta", 0, "influence rescale eta (0: profile default)")
+		epsilon = flag.Float64("epsilon", 0, "approximation knob ε (0: server default)")
+		explain = flag.Bool("explain", false, "show per-post gain breakdowns")
+		list    = flag.Bool("list", false, "list the server's streams and exit")
+		watch   = flag.Bool("watch", false, "follow the query as an SSE standing query")
+		every   = flag.Duration("every", 0, "refresh interval for -watch (0: stream bucket)")
 	)
 	flag.Parse()
 
-	var p dataset.Profile
-	switch strings.ToLower(*profile) {
-	case "aminer":
-		p = dataset.AMinerLike(*n)
-	case "reddit":
-		p = dataset.RedditLike(*n)
-	case "twitter":
-		p = dataset.TwitterLike(*n)
-	default:
-		fatal(fmt.Errorf("unknown profile %q", *profile))
-	}
-	p.Topics = *z
-	if *eta > 0 {
-		p.Eta = *eta
+	c := client.New(*addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *list {
+		streams, err := c.ListStreams(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if len(streams) == 0 {
+			fmt.Println("no streams registered")
+			return
+		}
+		for _, s := range streams {
+			fmt.Printf("%-20s active=%-7d now=%-10d bucket=%-6d subs=%-4d window=%ds/%ds λ=%.2f η=%.0f\n",
+				s.Name, s.Active, s.Now, s.Bucket, s.Subscriptions, s.WindowSec, s.BucketSec, s.Lambda, s.Eta)
+		}
+		return
 	}
 
-	var elems []*stream.Element
-	var docs [][]textproc.WordID
-	var vocab *textproc.Vocabulary
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+	st := c.Stream(*stream)
+	if *watch {
+		if *q == "" {
+			fatal(fmt.Errorf("-watch needs -q keywords"))
 		}
-		loaded, dangling, err := jsonl.Read(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
+		req := client.SubscribeRequest{
+			K:            *k,
+			Keywords:     strings.Fields(*q),
+			Every:        *every,
+			Algorithm:    *alg,
+			Epsilon:      *epsilon,
+			OnlyOnChange: true,
 		}
-		if dangling > 0 {
-			fmt.Fprintf(os.Stderr, "warning: dropped %d dangling references\n", dangling)
-		}
-		elems, docs, vocab = loaded.Elements, loaded.Docs, loaded.Vocab
-		if len(elems) == 0 {
-			fatal(fmt.Errorf("empty stream %q", *in))
-		}
-		p.Duration = elems[len(elems)-1].TS
-		fmt.Fprintf(os.Stderr, "loaded %d elements from %s\n", len(elems), *in)
-	} else {
-		fmt.Fprintf(os.Stderr, "generating %d elements (%s-like)...\n", p.Elements, p.Name)
-		ds, err := dataset.Generate(p, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		elems, docs, vocab = ds.Elements, ds.Docs, ds.Vocab
-	}
-
-	fmt.Fprintf(os.Stderr, "training topic model (z=%d)...\n", *z)
-	start := time.Now()
-	var model *topicmodel.Model
-	var err error
-	if p.Style == dataset.Retweet && p.AvgLen < 10 {
-		model, _, err = topicmodel.TrainBTM(docs, topicmodel.BTMConfig{
-			Topics: *z, VocabSize: vocab.Size(), Iterations: 40, Seed: *seed,
+		fmt.Fprintf(os.Stderr, "watching %q on stream %q (ctrl-c to stop)...\n", *q, *stream)
+		err := st.Subscribe(ctx, req, func(ev client.Event) error {
+			fmt.Printf("-- refresh at bucket %d (score %.4f, %d active) --\n", ev.Bucket, ev.Result.Score, ev.Result.Active)
+			printPosts(ev.Result)
+			return nil
 		})
-	} else {
-		model, _, err = topicmodel.TrainLDA(docs, topicmodel.LDAConfig{
-			Topics: *z, VocabSize: vocab.Size(), Iterations: 40, Seed: *seed,
-		})
-	}
-	if err != nil {
-		fatal(err)
-	}
-	inf := topicmodel.NewInferencer(model, *seed)
-	for i, e := range elems {
-		e.Topics = inf.InferDoc(docs[i])
-	}
-	fmt.Fprintf(os.Stderr, "trained in %v\n", time.Since(start).Round(time.Millisecond))
-
-	g, err := core.NewEngine(core.Config{
-		Model:        model,
-		WindowLength: p.Duration/4 + 1,
-		Params:       scoreParams(p),
-	})
-	if err != nil {
-		fatal(err)
-	}
-	buckets, err := stream.Partition(elems, p.Duration/96+1)
-	if err != nil {
-		fatal(err)
-	}
-	for _, b := range buckets {
-		if err := g.Ingest(b.End, b.Elems); err != nil {
+		if err != nil && ctx.Err() == nil {
 			fatal(err)
 		}
-	}
-	fmt.Fprintf(os.Stderr, "stream replayed: %d active elements at t=%d\n\n", g.NumActive(), g.Now())
-
-	algorithm := core.MTTD
-	switch strings.ToLower(*alg) {
-	case "mtts":
-		algorithm = core.MTTS
-	case "mttd":
-		algorithm = core.MTTD
-	case "topk":
-		algorithm = core.TopkRep
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+		return
 	}
 
 	answer := func(keywords []string) {
-		var ids []textproc.WordID
-		for _, kw := range keywords {
-			if id, ok := vocab.ID(kw); ok {
-				ids = append(ids, id)
-			}
-		}
-		if len(ids) == 0 {
-			fmt.Println("no keyword in vocabulary; try e.g.:", strings.Join(vocab.TopWords(5), " "))
+		start := time.Now()
+		res, err := st.Query(ctx, apiv1.QueryRequest{
+			K: *k, Keywords: keywords, Algorithm: *alg, Epsilon: *epsilon, Explain: *explain,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksir-query:", err)
 			return
 		}
-		x := inf.InferDense(ids).Truncate(8, 0.02)
-		start := time.Now()
-		res, err := g.Query(core.Query{K: *k, X: x, Epsilon: 0.1, Algorithm: algorithm})
-		if err != nil {
-			fatal(err)
-		}
-		dur := time.Since(start)
-		fmt.Printf("%s answered in %v: score=%.4f evaluated %d/%d active\n",
-			algorithm, dur.Round(time.Microsecond), res.Score, res.Evaluated, res.ActiveAtQuery)
-		for i, e := range res.Elements {
-			var words []string
-			for _, tc := range e.Doc.Terms {
-				words = append(words, vocab.Word(tc.Word))
+		fmt.Printf("%s answered in %v: score=%.4f evaluated %d/%d active (bucket %d)\n",
+			strings.ToUpper(*alg), time.Since(start).Round(time.Microsecond),
+			res.Score, res.Evaluated, res.Active, res.Bucket)
+		printPosts(res)
+		for _, ex := range res.Explain {
+			kind := "semantic"
+			if ex.Influence > ex.Semantic {
+				kind = "influence"
 			}
-			fmt.Printf("  %d. e%-6d t=%-8d refs_in=%-3d %s\n",
-				i+1, e.ID, e.TS, g.Window().NumChildren(e.ID), strings.Join(words, " "))
+			fmt.Printf("     post %d: gain %.4f (%.4f sem + %.4f infl, mostly %s; %d new words)\n",
+				ex.Post.ID, ex.Gain, ex.Semantic, ex.Influence, kind, ex.NewWords)
 		}
-		// Contrast with plain top-k relevance.
-		rel := baselines.RelTopK(experiments.Actives(g), x, *k)
-		var relIDs []string
-		for _, e := range rel {
-			relIDs = append(relIDs, fmt.Sprintf("e%d", e.ID))
-		}
-		fmt.Printf("  (REL top-%d would return: %s)\n\n", *k, strings.Join(relIDs, " "))
 	}
 
 	if *q != "" {
 		answer(strings.Fields(*q))
 		return
 	}
-	fmt.Printf("interactive mode — enter keywords (try: %s)\n", strings.Join(vocab.TopWords(5), " "))
+	info, err := st.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("interactive mode — stream %q, %d active posts at t=%d\n", *stream, info.Active, info.Now)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("ksir> ")
@@ -198,8 +131,10 @@ func main() {
 	}
 }
 
-func scoreParams(p dataset.Profile) score.Params {
-	return score.Params{Lambda: 0.5, Eta: p.Eta}
+func printPosts(res apiv1.QueryResponse) {
+	for i, p := range res.Posts {
+		fmt.Printf("  %d. post %-8d t=%-10d %s\n", i+1, p.ID, p.Time, p.Text)
+	}
 }
 
 func fatal(err error) {

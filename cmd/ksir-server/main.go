@@ -1,13 +1,16 @@
-// Command ksir-server serves k-SIR queries over HTTP for a live stream.
+// Command ksir-server serves k-SIR queries over HTTP for live streams.
 // It loads a trained model (ksir model file) or trains one from a text
-// corpus at startup, then accepts posts and queries:
+// corpus at startup, registers a "default" stream in a multi-tenant hub,
+// and serves the versioned /v1 API (plus the legacy route aliases):
 //
 //	ksir-server -corpus corpus.txt -topics 50 -addr :8080
 //	ksir-server -model model.bin -addr :8080
 //
-//	curl -XPOST localhost:8080/posts -d '{"id":1,"time":60,"text":"late goal wins the derby"}'
-//	curl -XPOST localhost:8080/flush -d '{"now":120}'
-//	curl -XPOST localhost:8080/query -d '{"k":10,"keywords":["soccer"],"explain":true}'
+//	curl -XPOST localhost:8080/v1/streams -d '{"name":"feed","bucket_sec":60}'
+//	curl -XPOST localhost:8080/v1/streams/feed/posts -d '{"id":1,"time":60,"text":"late goal wins the derby"}'
+//	curl -XPOST localhost:8080/v1/streams/feed/flush -d '{"now":120}'
+//	curl -XPOST localhost:8080/v1/streams/feed/query -d '{"k":10,"keywords":["soccer"],"explain":true}'
+//	curl -N  'localhost:8080/v1/streams/feed/subscribe?k=5&keywords=soccer&every=15m'
 package main
 
 import (
@@ -33,8 +36,9 @@ func main() {
 		saveModel = flag.String("save-model", "", "after training, save the model here")
 		window    = flag.Duration("window", 24*time.Hour, "sliding window length T")
 		bucket    = flag.Duration("bucket", 15*time.Minute, "batch update interval L")
-		lambda    = flag.Float64("lambda", 0.5, "semantic/influence trade-off")
+		lambda    = flag.Float64("lambda", 0.5, "semantic/influence trade-off (0 = pure influence)")
 		eta       = flag.Float64("eta", 20, "influence rescale")
+		shards    = flag.Int("shards", 0, "topic shards for list maintenance (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -77,18 +81,18 @@ func main() {
 		fatal(fmt.Errorf("need -model or -corpus"))
 	}
 
-	st, err := ksir.New(model, ksir.Options{
-		Window: *window,
-		Bucket: *bucket,
-		Lambda: *lambda,
-		Eta:    *eta,
-	})
-	if err != nil {
+	defaults := ksir.Options{Window: *window, Bucket: *bucket, Lambda: *lambda, Eta: *eta}
+	// WithLambda keeps -lambda 0 (pure influence) expressible; passing the
+	// same options to NewHub makes streams created over POST /v1/streams
+	// inherit the deployment's tuning (λ and shard count included).
+	sopts := []ksir.StreamOption{ksir.WithLambda(*lambda), ksir.WithShards(*shards)}
+	hub := ksir.NewHub()
+	if _, err := hub.Create(server.DefaultStream, model, defaults, sopts...); err != nil {
 		fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, server.New(st)); err != nil {
+	fmt.Fprintf(os.Stderr, "serving /v1 on %s (default stream %q)\n", *addr, server.DefaultStream)
+	if err := http.ListenAndServe(*addr, server.NewHub(hub, model, defaults, sopts...)); err != nil {
 		fatal(err)
 	}
 }

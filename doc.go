@@ -17,9 +17,16 @@
 //	model, err := ksir.TrainModel(texts, ksir.WithTopics(50))
 //	st, err := ksir.New(model, ksir.Options{Window: 24 * time.Hour})
 //	st.Add(ksir.Post{ID: 1, Time: now, Text: "...", Refs: []int64{...}})
-//	res, err := st.Query(ksir.Query{K: 10, Keywords: []string{"soccer"}})
+//	res, err := st.Query(ctx, ksir.Query{K: 10, Keywords: []string{"soccer"}})
 //
 // Queries are served in real time by the MTTS ((1/2 − ε)-approximate) and
 // MTTD ((1 − 1/e − ε)-approximate) algorithms over per-topic ranked lists;
 // see internal/core for the algorithms and DESIGN.md for the system map.
+//
+// For serving many tenants, Hub registers named streams and moves the
+// per-stream single-writer discipline into the library; errors.go defines
+// the typed error taxonomy (errors.Is against ksir.Err*); Subscribe turns
+// a query into a standing query refreshed at bucket boundaries. The
+// api/v1 and client packages expose all of it over a versioned REST + SSE
+// wire API with a Go SDK.
 package ksir

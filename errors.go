@@ -1,0 +1,44 @@
+package ksir
+
+import "errors"
+
+// The package's error taxonomy. Every error returned by the public API
+// wraps exactly one of these sentinels, so callers branch with errors.Is
+// instead of matching message strings, and the HTTP layer can map each
+// class to a status code (see api/v1):
+//
+//	res, err := st.Query(ctx, q)
+//	switch {
+//	case errors.Is(err, ksir.ErrBadQuery):     // caller bug: fix the query
+//	case errors.Is(err, ksir.ErrOutOfOrder):   // producer bug: clock skew
+//	}
+//
+// Context errors (context.Canceled, context.DeadlineExceeded) are returned
+// unwrapped from cancelled queries.
+var (
+	// ErrBadOptions reports invalid stream configuration (New, Hub.Create).
+	ErrBadOptions = errors.New("ksir: invalid options")
+	// ErrBadPost reports a post that can never be ingested: non-positive
+	// timestamp, duplicate ID, or a malformed bucket.
+	ErrBadPost = errors.New("ksir: invalid post")
+	// ErrOutOfOrder reports a timestamp-ordering violation: a post older
+	// than the stream's last accepted time, or a Flush into the past.
+	ErrOutOfOrder = errors.New("ksir: out of order")
+	// ErrBadQuery reports an unanswerable query: K ≤ 0, no keywords or
+	// vector, out-of-range topics or weights, unknown algorithm, or
+	// keywords entirely outside the model vocabulary.
+	ErrBadQuery = errors.New("ksir: bad query")
+	// ErrBadSubscription reports an invalid standing-query registration.
+	ErrBadSubscription = errors.New("ksir: bad subscription")
+	// ErrUnknownStream reports a Hub lookup of a name that is not
+	// registered (or was already closed).
+	ErrUnknownStream = errors.New("ksir: unknown stream")
+	// ErrStreamExists reports a Hub.Create/Adopt of a name already in use.
+	ErrStreamExists = errors.New("ksir: stream already exists")
+	// ErrStreamClosed reports an operation on a stream handle whose stream
+	// has been closed out of the Hub.
+	ErrStreamClosed = errors.New("ksir: stream closed")
+	// ErrNotActive reports a post that is no longer in the sliding window
+	// (e.g. Explain after further ingestion expired it).
+	ErrNotActive = errors.New("ksir: post no longer active")
+)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -115,7 +116,7 @@ func main() {
 		id, st.Active())
 
 	// "Representative recent work on database systems."
-	res, err := st.Query(ksir.Query{
+	res, err := st.Query(context.Background(), ksir.Query{
 		K:        4,
 		Keywords: []string{"query", "index", "transaction"},
 	})

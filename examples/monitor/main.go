@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -74,7 +75,7 @@ func main() {
 			if err := st.Flush(sec); err != nil {
 				log.Fatal(err)
 			}
-			res, err := st.Query(query)
+			res, err := st.Query(context.Background(), query)
 			if err != nil {
 				log.Fatal(err)
 			}

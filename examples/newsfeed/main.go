@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -105,7 +106,7 @@ func main() {
 	// A user asks for a representative feed about the cup final.
 	query := ksir.Query{K: 5, Keywords: []string{"final", "goal", "penalty"}}
 
-	feed, err := st.Query(query)
+	feed, err := st.Query(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func main() {
 	// Contrast: plain top-k by individual score returns near-duplicates
 	// of the single hottest post.
 	query.Algorithm = ksir.TopK
-	topk, err := st.Query(query)
+	topk, err := st.Query(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

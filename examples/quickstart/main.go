@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -83,7 +84,7 @@ func main() {
 	fmt.Printf("\n%d active posts at t=%d\n", st.Active(), st.Now())
 
 	// 4. Query: the k most representative posts about soccer right now.
-	res, err := st.Query(ksir.Query{
+	res, err := st.Query(context.Background(), ksir.Query{
 		K:        2,
 		Keywords: []string{"league", "goal"},
 	})

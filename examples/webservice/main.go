@@ -1,22 +1,23 @@
-// Webservice: runs the k-SIR HTTP server in-process and drives it as a
-// client would — ingesting posts, flushing buckets, and issuing queries
-// with explanations over REST. This is the many-readers deployment §2
-// motivates; see cmd/ksir-server for the standalone binary.
+// Webservice: runs the k-SIR HTTP server in-process and drives it through
+// the client SDK — creating streams in the multi-tenant hub, ingesting
+// posts, issuing queries with explanations, and following a standing
+// query over SSE. This is the many-readers deployment §2 motivates; see
+// cmd/ksir-server for the standalone binary.
 //
 //	go run ./examples/webservice
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
-	"strings"
 	"time"
 
 	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/client"
 	"github.com/social-streams/ksir/internal/server"
 )
 
@@ -35,45 +36,81 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := ksir.New(model, ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := httptest.NewServer(server.New(st))
+	defaults := ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2}
+	hub := ksir.NewHub()
+	srv := httptest.NewServer(server.NewHub(hub, model, defaults))
 	defer srv.Close()
 	fmt.Println("server listening at", srv.URL)
 
-	// Ingest a batch of posts over REST.
-	posts := []server.PostRequest{
+	ctx := context.Background()
+	c := client.New(srv.URL)
+
+	// Create two tenant streams over /v1: a soccer feed and a
+	// pure-influence (λ=0) variant of the same feed.
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "sports"}); err != nil {
+		log.Fatal(err)
+	}
+	lambdaZero := 0.0
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "sports-influence", Lambda: &lambdaZero}); err != nil {
+		log.Fatal(err)
+	}
+	// Typed errors survive the wire: creating a duplicate is detectable
+	// with errors.Is.
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "sports"}); !errors.Is(err, ksir.ErrStreamExists) {
+		log.Fatalf("expected ErrStreamExists, got %v", err)
+	}
+
+	// Follow a standing query over SSE while we ingest.
+	events := make(chan client.Event, 8)
+	subCtx, stopSub := context.WithCancel(ctx)
+	defer stopSub()
+	go func() {
+		err := c.Stream("sports").Subscribe(subCtx, client.SubscribeRequest{
+			K: 2, Keywords: []string{"goal", "league"}, OnlyOnChange: true,
+		}, func(ev client.Event) error {
+			events <- ev
+			return nil
+		})
+		if err != nil && subCtx.Err() == nil {
+			log.Println("subscribe:", err)
+		}
+		close(events)
+	}()
+	time.Sleep(100 * time.Millisecond) // let the subscription register
+
+	// Ingest a batch of posts into both streams.
+	posts := []apiv1.Post{
 		{ID: 1, Time: 60, Text: "late goal wins the derby for the league leaders"},
 		{ID: 2, Time: 120, Text: "what a dunk to open the playoffs"},
 		{ID: 3, Time: 180, Text: "keeper saves the penalty in the derby"},
 		{ID: 4, Time: 240, Text: "rebound and buzzer beater seal the court", Refs: []int64{2}},
 		{ID: 5, Time: 300, Text: "the striker scores again", Refs: []int64{1}},
 	}
-	mustPost(srv.URL+"/posts", posts)
-	mustPost(srv.URL+"/flush", server.FlushRequest{Now: 360})
+	for _, name := range []string{"sports", "sports-influence"} {
+		st := c.Stream(name)
+		if _, err := st.Add(ctx, posts...); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := st.Flush(ctx, 360); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	// Check stats.
-	resp, err := http.Get(srv.URL + "/stats")
+	// Check stats over /v1.
+	for _, info := range mustList(ctx, c) {
+		fmt.Printf("stream %-18s λ=%.1f: %d active posts at t=%d (bucket %d)\n",
+			info.Name, info.Lambda, info.Active, info.Now, info.Bucket)
+	}
+
+	// Query with explanations through the SDK.
+	qr, err := c.Stream("sports").Query(ctx, apiv1.QueryRequest{
+		K: 2, Keywords: []string{"goal", "league"}, Explain: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var stats map[string]any
-	json.NewDecoder(resp.Body).Decode(&stats)
-	resp.Body.Close()
-	fmt.Printf("stats: %.0f active posts at t=%.0f\n", stats["active"], stats["now"])
-
-	// Query with explanations.
-	body := mustPost(srv.URL+"/query", server.QueryRequest{
-		K: 2, Keywords: []string{"goal", "league"}, Explain: true,
-	})
-	var qr server.QueryResponse
-	if err := json.Unmarshal(body, &qr); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nquery 'goal league' → score %.4f (evaluated %d/%d)\n",
-		qr.Score, qr.Evaluated, qr.Active)
+	fmt.Printf("\nquery 'goal league' → score %.4f (evaluated %d/%d, bucket %d)\n",
+		qr.Score, qr.Evaluated, qr.Active, qr.Bucket)
 	for i, p := range qr.Posts {
 		fmt.Printf("  %d. [post %d] %s\n", i+1, p.ID, p.Text)
 	}
@@ -86,22 +123,22 @@ func main() {
 		fmt.Printf("  post %d: gain %.4f (%.4f semantic + %.4f influence, mostly %s; %d new words)\n",
 			ex.Post.ID, ex.Gain, ex.Semantic, ex.Influence, kind, ex.NewWords)
 	}
+
+	// The standing query saw the same bucket the queries did.
+	select {
+	case ev := <-events:
+		fmt.Printf("\nSSE refresh at bucket %d: %d posts, score %.4f\n",
+			ev.Bucket, len(ev.Result.Posts), ev.Result.Score)
+	case <-time.After(2 * time.Second):
+		fmt.Println("\nno SSE refresh within 2s")
+	}
+	stopSub()
 }
 
-func mustPost(url string, v any) []byte {
-	raw, err := json.Marshal(v)
+func mustList(ctx context.Context, c *client.Client) []apiv1.StreamInfo {
+	streams, err := c.ListStreams(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var buf bytes.Buffer
-	buf.ReadFrom(resp.Body)
-	if resp.StatusCode >= 300 {
-		log.Fatalf("POST %s: %d %s", strings.TrimPrefix(url, "http://"), resp.StatusCode, buf.String())
-	}
-	return buf.Bytes()
+	return streams
 }

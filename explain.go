@@ -43,7 +43,7 @@ func (s *Stream) Explain(res Result, q Query) ([]Explanation, error) {
 		for _, p := range res.Posts {
 			e, ok := win.Get(stream.ElemID(p.ID))
 			if !ok {
-				err = fmt.Errorf("ksir: post %d is no longer active; explain before ingesting further", p.ID)
+				err = fmt.Errorf("%w: post %d; explain before ingesting further", ErrNotActive, p.ID)
 				return
 			}
 			set = append(set, e)

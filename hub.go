@@ -1,0 +1,261 @@
+package ksir
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hub is a named, multi-tenant registry of streams — the deployment §2
+// motivates ("thousands of users submit different queries at the same
+// time") widened to many tenants: each scenario (a city's feed, one
+// conference's papers, a product's mentions) gets its own named stream
+// with its own window, model and standing queries.
+//
+// Hub also moves the single-writer discipline into the library: every
+// stream is wrapped in a StreamHandle whose write operations (Add,
+// AddBatch, Flush, SwapModel, Subscribe, Unsubscribe) are serialized by a
+// per-stream mutex, so wire servers and multi-goroutine producers stop
+// hand-rolling their own locks. Queries stay lock-free (they read the
+// engine's published snapshot) and never contend with writers — on the
+// same stream or any other.
+//
+// All Hub methods are safe for concurrent use.
+type Hub struct {
+	mu      sync.RWMutex
+	streams map[string]*StreamHandle
+}
+
+// NewHub creates an empty registry.
+func NewHub() *Hub {
+	return &Hub{streams: make(map[string]*StreamHandle)}
+}
+
+// validName rejects names that cannot round-trip through a URL path
+// segment or an index listing.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty stream name", ErrBadOptions)
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("%w: stream name longer than 128 bytes", ErrBadOptions)
+	}
+	if strings.ContainsAny(name, "/ ") {
+		return fmt.Errorf("%w: stream name %q contains '/' or a space", ErrBadOptions, name)
+	}
+	// Control characters (CR/LF/TAB/...) would survive into protocol
+	// lines — SSE comments, logs, listings — as raw line breaks.
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("%w: stream name contains control character %q", ErrBadOptions, r)
+		}
+	}
+	// "." and ".." survive url.PathEscape but are path-cleaned away by
+	// HTTP routers, leaving the stream unreachable over the wire.
+	if name == "." || name == ".." {
+		return fmt.Errorf("%w: stream name %q is a path dot segment", ErrBadOptions, name)
+	}
+	return nil
+}
+
+// Create registers a new stream under name, built over m with the given
+// options. It fails with ErrStreamExists if the name is taken and
+// ErrBadOptions for an invalid name or configuration.
+func (h *Hub) Create(name string, m *Model, opts Options, sopts ...StreamOption) (*StreamHandle, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	st, err := New(m, opts, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return h.register(name, st)
+}
+
+// Adopt registers an existing stream under name. The caller must stop
+// writing to st directly: after Adopt, all writes go through the returned
+// handle (which serializes them).
+func (h *Hub) Adopt(name string, st *Stream) (*StreamHandle, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("%w: nil stream", ErrBadOptions)
+	}
+	return h.register(name, st)
+}
+
+func (h *Hub) register(name string, st *Stream) (*StreamHandle, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.streams[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	hs := &StreamHandle{name: name, st: st, done: make(chan struct{})}
+	h.streams[name] = hs
+	return hs, nil
+}
+
+// Get returns the handle registered under name, or ErrUnknownStream.
+func (h *Hub) Get(name string) (*StreamHandle, error) {
+	h.mu.RLock()
+	hs, ok := h.streams[name]
+	h.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	return hs, nil
+}
+
+// List returns the registered stream names, sorted.
+func (h *Hub) List() []string {
+	h.mu.RLock()
+	names := make([]string, 0, len(h.streams))
+	for name := range h.streams {
+		names = append(names, name)
+	}
+	h.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered streams.
+func (h *Hub) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.streams)
+}
+
+// Close unregisters name and marks its handle closed: in-flight operations
+// finish, subsequent ones fail with ErrStreamClosed. It returns
+// ErrUnknownStream for a name that was never registered (or already
+// closed).
+func (h *Hub) Close(name string) error {
+	h.mu.Lock()
+	hs, ok := h.streams[name]
+	delete(h.streams, name)
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
+	}
+	hs.closed.Store(true)
+	close(hs.done)
+	return nil
+}
+
+// StreamHandle is a Hub-managed stream. Write operations are serialized by
+// an internal mutex (honoring the Stream's one-writer contract), so any
+// number of goroutines may call them; queries and stats bypass the mutex
+// entirely and read the published snapshot, as on a raw Stream.
+type StreamHandle struct {
+	name string
+
+	mu     sync.Mutex // serializes the writer side
+	st     *Stream
+	closed atomic.Bool   // flag, not mutex-guarded: reads must never contend with writers
+	done   chan struct{} // closed by Hub.Close; see Done
+}
+
+// Name returns the name the handle is registered under.
+func (hs *StreamHandle) Name() string { return hs.name }
+
+// Stream returns the underlying stream for read-only use (Model, Options,
+// Explain). Callers must not invoke its write methods directly — that
+// would bypass the handle's serialization.
+func (hs *StreamHandle) Stream() *Stream { return hs.st }
+
+// write runs fn under the writer mutex, failing fast once closed.
+func (hs *StreamHandle) write(fn func(*Stream) error) error {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.closed.Load() {
+		return fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+	}
+	return fn(hs.st)
+}
+
+// Add appends one post (serialized with the handle's other writers).
+func (hs *StreamHandle) Add(p Post) error {
+	return hs.write(func(st *Stream) error { return st.Add(p) })
+}
+
+// AddBatch appends posts in order, stopping at the first rejected post and
+// reporting how many were accepted.
+func (hs *StreamHandle) AddBatch(posts []Post) (accepted int, err error) {
+	err = hs.write(func(st *Stream) error {
+		accepted, err = st.AddBatch(posts)
+		return err
+	})
+	return accepted, err
+}
+
+// Flush ingests everything buffered up to stream time now.
+func (hs *StreamHandle) Flush(now int64) error {
+	return hs.write(func(st *Stream) error { return st.Flush(now) })
+}
+
+// SwapModel replaces the topic model, serialized with the other writers.
+func (hs *StreamHandle) SwapModel(m *Model) error {
+	return hs.write(func(st *Stream) error { return st.SwapModel(m) })
+}
+
+// Subscribe registers a standing query (see Stream.Subscribe), serialized
+// with the handle's writers so any goroutine may call it.
+//
+// Handlers fire inside Add/Flush while the handle's writer mutex is held:
+// a handler must not call the handle's write methods (self-deadlock). To
+// manage subscriptions from within a handler, cancel the subscription's
+// context or use the Stream's own Subscribe/Unsubscribe — the handler is
+// already on the writer goroutine, and both are re-entrancy-safe there.
+func (hs *StreamHandle) Subscribe(ctx context.Context, q Query, every time.Duration, handler func(Result), opts ...SubscribeOption) (*Subscription, error) {
+	var sub *Subscription
+	err := hs.write(func(st *Stream) error {
+		var err error
+		sub, err = st.Subscribe(ctx, q, every, handler, opts...)
+		return err
+	})
+	return sub, err
+}
+
+// Unsubscribe removes a standing query, serialized with the writers. It is
+// a no-op on a closed handle.
+func (hs *StreamHandle) Unsubscribe(sub *Subscription) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.closed.Load() {
+		return
+	}
+	hs.st.Unsubscribe(sub)
+}
+
+// Query answers a k-SIR query. It takes no lock: like Stream.Query it pins
+// the published snapshot, so queries on any number of handles run in
+// parallel with each other and with ingestion.
+func (hs *StreamHandle) Query(ctx context.Context, q Query) (Result, error) {
+	if hs.closed.Load() {
+		return Result{}, fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+	}
+	return hs.st.Query(ctx, q)
+}
+
+// Explain recomputes a result's per-post contribution breakdown (see
+// Stream.Explain). Lock-free like Query.
+func (hs *StreamHandle) Explain(res Result, q Query) ([]Explanation, error) {
+	if hs.closed.Load() {
+		return nil, fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+	}
+	return hs.st.Explain(res, q)
+}
+
+// Stats reports the stream's counters as of the last published bucket.
+// Lock-free like Query.
+func (hs *StreamHandle) Stats() StreamStats { return hs.st.Stats() }
+
+// Done returns a channel closed when the stream is closed out of the Hub
+// — the signal long-lived consumers (e.g. SSE connections) select on to
+// shut down instead of waiting on a stream that will never ingest again.
+func (hs *StreamHandle) Done() <-chan struct{} { return hs.done }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -269,13 +270,19 @@ func TestQueryPinsBucketAcrossIngest(t *testing.T) {
 	}
 	snap := g.acquire()
 	v := snap.view()
-	before := v.mtts(f.queries[0])
+	before, err := v.mtts(context.Background(), f.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if err := g.Ingest(f.buckets[1].End, f.buckets[1].Elems); err != nil {
 		t.Fatal(err)
 	}
 	// The pinned snapshot still answers for bucket 1.
-	again := v.mtts(f.queries[0])
+	again, err := v.mtts(context.Background(), f.queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if keyOf(before) != keyOf(again) || again.BucketSeq != 1 {
 		t.Fatalf("pinned snapshot drifted: %+v vs %+v", keyOf(before), keyOf(again))
 	}

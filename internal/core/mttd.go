@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"github.com/social-streams/ksir/internal/score"
 	"github.com/social-streams/ksir/internal/stream"
@@ -18,7 +19,10 @@ import (
 // element admitted if its true gain still reaches τ. The loop stops when S
 // is full or τ descends below τ′ = f(S,x)·ε/k. Theorem 4.4: the result is
 // (1 − 1/e − ε)-approximate.
-func (v *view) mttd(q Query) Result {
+//
+// Cancellation is polled between threshold descents (once per τ round): a
+// canceled ctx aborts with ctx.Err() before the next retrieve/evaluate pass.
+func (v *view) mttd(ctx context.Context, q Query) (Result, error) {
 	tr := newTraversalOpt(v, q.X, !q.DisableVisitedMarking)
 	eps := q.Epsilon
 	k := q.K
@@ -30,6 +34,9 @@ func (v *view) mttd(q Query) Result {
 	tau := tr.ub() // τ starts at the global upper bound (line 3)
 	tauEnd := 0.0
 	for tau >= tauEnd && tau > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		// retrieve(τ): pull elements whose upper bound reaches τ (lines
 		// 13–19). Their cached key is the exact singleton score δ(e, x),
 		// an upper bound on any future marginal gain.
@@ -54,7 +61,7 @@ func (v *view) mttd(q Query) Result {
 			if gain >= tau {
 				s.Add(top.elem)
 				if s.Len() == k {
-					return v.mttdResult(q, s, tr, evaluated)
+					return v.mttdResult(s, tr, evaluated), nil
 				}
 			} else if gain > 0 {
 				heap.Push(buf, gainEntry{elem: top.elem, gain: gain})
@@ -70,10 +77,10 @@ func (v *view) mttd(q Query) Result {
 			break
 		}
 	}
-	return v.mttdResult(q, s, tr, evaluated)
+	return v.mttdResult(s, tr, evaluated), nil
 }
 
-func (v *view) mttdResult(q Query, s *score.CandidateSet, tr *traversal, evaluated int) Result {
+func (v *view) mttdResult(s *score.CandidateSet, tr *traversal, evaluated int) Result {
 	return Result{
 		Elements:      s.Members(),
 		Score:         s.Value(),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"github.com/social-streams/ksir/internal/score"
@@ -23,7 +24,10 @@ type sieveCand struct {
 // the ranked lists, and stops as soon as the upper bound UB(x) of every
 // unevaluated element falls below the minimum admission threshold TH of the
 // unfilled candidates. Theorem 4.2: the best candidate is (1/2 − ε)-optimal.
-func (v *view) mtts(q Query) Result {
+//
+// Cancellation is polled every checkEvery retrievals: a canceled ctx aborts
+// with ctx.Err() instead of draining the remaining list descent.
+func (v *view) mtts(ctx context.Context, q Query) (Result, error) {
 	tr := newTraversalOpt(v, q.X, !q.DisableVisitedMarking)
 	eps := q.Epsilon
 	k := float64(q.K)
@@ -36,6 +40,11 @@ func (v *view) mtts(q Query) Result {
 	th := 0.0 // minimum admission threshold among unfilled candidates
 	ub := tr.ub()
 	for q.DisableEarlyTermination || ub >= th {
+		if evaluated%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		e, ok := tr.pop()
 		if !ok {
 			break
@@ -107,5 +116,5 @@ func (v *view) mtts(q Query) Result {
 		res.Elements = best.Members()
 		res.Score = best.Value()
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/social-streams/ksir/internal/stream"
@@ -114,7 +115,19 @@ func (r Result) IDs() []stream.ElemID {
 // traverses that immutable state lock-free, so an in-flight Ingest neither
 // blocks it nor leaks partially applied updates into its result.
 func (g *Engine) Query(q Query) (Result, error) {
+	return g.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: the algorithms poll ctx between
+// ranked-list descents (MTTD's threshold rounds, and every checkEvery
+// retrievals in the MTTS/TopkRep streaming loops), so an abandoned query
+// releases its snapshot pin promptly instead of draining the lists. On
+// cancellation it returns ctx.Err() and an empty result.
+func (g *Engine) QueryContext(ctx context.Context, q Query) (Result, error) {
 	if err := q.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	snap := g.acquire()
@@ -122,12 +135,17 @@ func (g *Engine) Query(q Query) (Result, error) {
 	v := snap.view()
 	switch q.Algorithm {
 	case MTTS:
-		return v.mtts(q), nil
+		return v.mtts(ctx, q)
 	case MTTD:
-		return v.mttd(q), nil
+		return v.mttd(ctx, q)
 	case TopkRep:
-		return v.topkRep(q), nil
+		return v.topkRep(ctx, q)
 	default:
 		return Result{}, fmt.Errorf("core: unknown algorithm %d", int(q.Algorithm))
 	}
 }
+
+// checkEvery is how many ranked-list retrievals the streaming loops process
+// between context polls: cheap enough to bound cancellation latency, coarse
+// enough to keep ctx.Err out of the per-element hot path.
+const checkEvery = 256

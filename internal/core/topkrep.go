@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"github.com/social-streams/ksir/internal/score"
 	"github.com/social-streams/ksir/internal/stream"
@@ -13,12 +14,17 @@ import (
 // and influence overlaps, so as a k-SIR answer it is only 1/k-approximate —
 // the experiments use it to show that classic top-k processing is not
 // enough for representativeness.
-func (v *view) topkRep(q Query) Result {
+func (v *view) topkRep(ctx context.Context, q Query) (Result, error) {
 	tr := newTraversalOpt(v, q.X, true)
 	top := &minScoreHeap{}
 	evaluated := 0
 
 	for {
+		if evaluated%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Threshold-algorithm stop: once the k-th best exact score reaches
 		// the upper bound of everything unseen, the top-k is final.
 		if top.Len() == q.K && (*top)[0].score >= tr.ub() {
@@ -54,7 +60,7 @@ func (v *view) topkRep(q Query) Result {
 		Retrieved:     tr.retrieved,
 		ActiveAtQuery: v.numActive,
 		BucketSeq:     v.seq,
-	}
+	}, nil
 }
 
 type scoredElem struct {

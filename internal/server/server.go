@@ -1,155 +1,252 @@
-// Package server exposes a ksir.Stream over HTTP — the deployment shape
-// §2 motivates ("thousands of users could submit different queries at the
-// same time and each query should be processed in real-time"): one writer
-// ingests the stream; many readers query concurrently.
+// Package server exposes a ksir.Hub over HTTP — the deployment shape §2
+// motivates ("thousands of users could submit different queries at the
+// same time and each query should be processed in real-time") widened to
+// many named streams: per-stream writers ingest; any number of readers
+// query concurrently; standing queries stream over SSE.
 //
-//	POST /posts   {"id":1,"time":60,"text":"...","refs":[2,3]}   → 202
-//	POST /flush   {"now":120}                                     → {"active":n,"now":t}
-//	POST /query   {"k":10,"keywords":["soccer"],"algorithm":"mttd","explain":true}
-//	GET  /stats                                                   → {"active":n,"now":t,"subscriptions":m}
-//	GET  /healthz                                                 → 200 ok
+// The versioned surface (see api/v1 for the wire contract):
+//
+//	POST   /v1/streams                     create a stream
+//	GET    /v1/streams                     list streams
+//	DELETE /v1/streams/{name}              close a stream
+//	POST   /v1/streams/{name}/posts       ingest one post or a batch → 202
+//	POST   /v1/streams/{name}/flush       advance the stream clock
+//	POST   /v1/streams/{name}/query       answer a k-SIR query
+//	GET    /v1/streams/{name}/stats       configuration + counters
+//	GET    /v1/streams/{name}/subscribe   standing query over SSE
+//	GET    /healthz                        liveness
+//
+// Errors use the structured envelope {"error":{"code","message"}} with
+// the typed ksir errors mapped to stable codes and status codes.
+//
+// The pre-/v1 routes (/posts, /flush, /query, /stats) remain as thin
+// aliases onto the stream named "default", preserving their request
+// shapes, success responses and method/ordering status codes; errors now
+// use the same structured envelope and status mapping as /v1 (previously
+// a flat {"error":"message"} string, with every post rejection a blanket
+// 409 — malformed posts are now 400, out-of-order stays 409).
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 
 	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
 )
 
-// Server is an http.Handler serving one stream. Ingestion (POST /posts,
-// /flush) is serialized by an internal mutex, honoring the Stream contract;
-// queries take no lock at all — each pins the engine snapshot of the last
-// ingested bucket, so query handlers run truly in parallel with each other
-// and with ingestion (the response reports the observed bucket).
+// DefaultStream is the hub name the legacy (unversioned) routes operate
+// on.
+const DefaultStream = "default"
+
+// Legacy wire aliases, kept so pre-/v1 integrations (and their tests)
+// compile and serialize unchanged; the canonical definitions live in
+// api/v1.
+type (
+	// PostRequest is the wire form of one post (or a batch).
+	PostRequest = apiv1.Post
+	// FlushRequest advances the stream clock.
+	FlushRequest = apiv1.FlushRequest
+	// QueryRequest is the wire form of a k-SIR query.
+	QueryRequest = apiv1.QueryRequest
+	// QueryResponse carries the result and optional explanations.
+	QueryResponse = apiv1.QueryResponse
+)
+
+// Server is an http.Handler serving a Hub of streams. Ingestion is
+// serialized per stream by the Hub's handles (the library owns the
+// single-writer discipline now); queries take no lock at all — each pins
+// the engine snapshot of the last ingested bucket, so query handlers run
+// truly in parallel with each other and with ingestion (the response
+// reports the observed bucket).
 type Server struct {
-	mux sync.Mutex // guards Add/Flush
-	st  *ksir.Stream
-	h   *http.ServeMux
+	hub      *ksir.Hub
+	model    *ksir.Model
+	defaults ksir.Options
+	sopts    []ksir.StreamOption
+	h        *http.ServeMux
 }
 
-// New wraps a stream.
+// New wraps a single stream, registered in a fresh Hub as "default" — the
+// legacy single-tenant constructor. New streams created over /v1 share
+// the wrapped stream's model and default options (λ inherited literally,
+// so a λ=0 default stream seeds λ=0 tenants).
 func New(st *ksir.Stream) *Server {
-	s := &Server{st: st, h: http.NewServeMux()}
-	s.h.HandleFunc("/posts", s.handlePosts)
-	s.h.HandleFunc("/flush", s.handleFlush)
-	s.h.HandleFunc("/query", s.handleQuery)
-	s.h.HandleFunc("/stats", s.handleStats)
+	hub := ksir.NewHub()
+	if _, err := hub.Adopt(DefaultStream, st); err != nil {
+		panic(err) // fresh hub, valid constant name: unreachable
+	}
+	return NewHub(hub, st.Model(), st.Options(), ksir.WithLambda(st.Options().Lambda))
+}
+
+// NewHub serves an existing Hub. model, defaults and sopts seed streams
+// created over POST /v1/streams (request fields override them; pass
+// ksir.WithLambda/ksir.WithShards here so wire-created streams inherit
+// the deployment's tuning, λ=0 included); the legacy route aliases
+// resolve the hub entry named "default" (404 when absent).
+func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ksir.StreamOption) *Server {
+	s := &Server{hub: hub, model: model, defaults: defaults, sopts: sopts, h: http.NewServeMux()}
+
+	// Versioned surface (method-qualified patterns; ServeMux answers 405
+	// for a known path with the wrong method).
+	s.h.HandleFunc("POST /v1/streams", s.handleCreateStream)
+	s.h.HandleFunc("GET /v1/streams", s.handleListStreams)
+	s.h.HandleFunc("DELETE /v1/streams/{name}", s.handleCloseStream)
+	s.h.HandleFunc("POST /v1/streams/{name}/posts", s.named(s.handlePosts))
+	s.h.HandleFunc("POST /v1/streams/{name}/flush", s.named(s.handleFlush))
+	s.h.HandleFunc("POST /v1/streams/{name}/query", s.named(s.handleQuery))
+	s.h.HandleFunc("GET /v1/streams/{name}/stats", s.named(s.handleStats))
+	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.named(s.handleSubscribe))
+
+	// Legacy aliases onto the default stream. Method checks stay inside
+	// the handlers to keep the historical 405 status behavior.
+	s.h.HandleFunc("/posts", s.legacy(http.MethodPost, s.handlePosts))
+	s.h.HandleFunc("/flush", s.legacy(http.MethodPost, s.handleFlush))
+	s.h.HandleFunc("/query", s.legacy(http.MethodPost, s.handleQuery))
+	s.h.HandleFunc("/stats", s.legacy(http.MethodGet, s.handleLegacyStats))
 	s.h.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
 }
 
+// Hub returns the served hub (for embedding callers that also manage
+// streams programmatically).
+func (s *Server) Hub() *ksir.Hub { return s.hub }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
 
-// PostRequest is the wire form of one post (or a batch).
-type PostRequest struct {
-	ID   int64   `json:"id"`
-	Time int64   `json:"time"`
-	Text string  `json:"text"`
-	Refs []int64 `json:"refs,omitempty"`
+// streamHandler is a route body operating on one resolved stream handle.
+type streamHandler func(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle)
+
+// named resolves the {name} path segment into a hub handle.
+func (s *Server) named(fn streamHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hs, err := s.hub.Get(r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fn(w, r, hs)
+	}
 }
 
-func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+// legacy gates on the historical method check and resolves the default
+// stream.
+func (s *Server) legacy(method string, fn streamHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			httpError(w, http.StatusMethodNotAllowed, apiv1.CodeBadRequest, "%s only", method)
+			return
+		}
+		hs, err := s.hub.Get(DefaultStream)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		fn(w, r, hs)
+	}
+}
+
+func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	dec := json.NewDecoder(r.Body)
-	var posts []PostRequest
 	// Accept either a single object or an array.
-	var probe json.RawMessage
-	if err := dec.Decode(&probe); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	if strings.HasPrefix(strings.TrimSpace(string(probe)), "[") {
-		if err := json.Unmarshal(probe, &posts); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid post array: %v", err)
+	var posts []apiv1.Post
+	if strings.HasPrefix(strings.TrimSpace(string(raw)), "[") {
+		if err := json.Unmarshal(raw, &posts); err != nil {
+			httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid post array: %v", err)
 			return
 		}
 	} else {
-		var one PostRequest
-		if err := json.Unmarshal(probe, &one); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid post: %v", err)
+		var one apiv1.Post
+		if err := json.Unmarshal(raw, &one); err != nil {
+			httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid post: %v", err)
 			return
 		}
-		posts = []PostRequest{one}
+		posts = []apiv1.Post{one}
 	}
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	for _, p := range posts {
-		err := s.st.Add(ksir.Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs})
-		if err != nil {
-			httpError(w, http.StatusConflict, "%v", err)
-			return
+	batch := make([]ksir.Post, len(posts))
+	for i, p := range posts {
+		batch[i] = ksir.Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs}
+	}
+	if accepted, err := hs.AddBatch(batch); err != nil {
+		// The accepted prefix stays in the stream; the envelope reports it
+		// so clients resend from the rejected post, not the whole batch.
+		code, status := apiv1.Classify(err)
+		writeJSONStatus(w, status, apiv1.ErrorEnvelope{
+			Err:      apiv1.ErrorBody{Code: code, Message: err.Error()},
+			Accepted: &accepted,
+		})
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, apiv1.AcceptedResponse{Accepted: len(posts)})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	var req apiv1.FlushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := hs.Flush(req.Now); err != nil {
+		writeError(w, err)
+		return
+	}
+	st := hs.Stats()
+	writeJSON(w, apiv1.FlushResponse{Active: st.Active, Now: st.Now, Bucket: st.Bucket})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	var req apiv1.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	q, err := toQuery(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := hs.Query(r.Context(), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := toResponse(res)
+	if req.Explain {
+		if ex, err := hs.Explain(res, q); err == nil {
+			resp.Explain = ex
 		}
 	}
-	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, map[string]any{"accepted": len(posts)})
+	writeJSON(w, resp)
 }
 
-// FlushRequest advances the stream clock.
-type FlushRequest struct {
-	Now int64 `json:"now"`
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
+	writeJSON(w, streamInfo(hs))
 }
 
-func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req FlushRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
-	s.mux.Lock()
-	defer s.mux.Unlock()
-	if err := s.st.Flush(req.Now); err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
-		return
-	}
-	writeJSON(w, map[string]any{"active": s.st.Active(), "now": s.st.Now()})
+// handleLegacyStats keeps the historical flat /stats shape.
+func (s *Server) handleLegacyStats(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
+	st := hs.Stats()
+	writeJSON(w, map[string]any{
+		"active":        st.Active,
+		"now":           st.Now,
+		"subscriptions": st.Subscriptions,
+	})
 }
 
-// QueryRequest is the wire form of a k-SIR query.
-type QueryRequest struct {
-	K         int             `json:"k"`
-	Keywords  []string        `json:"keywords,omitempty"`
-	Vector    map[int]float64 `json:"vector,omitempty"`
-	Epsilon   float64         `json:"epsilon,omitempty"`
-	Algorithm string          `json:"algorithm,omitempty"` // mttd (default) | mtts | topk
-	Explain   bool            `json:"explain,omitempty"`
-}
-
-// QueryResponse carries the result and optional explanations. Bucket is the
-// ingested-bucket sequence number the query observed (snapshot visibility:
-// all other fields are consistent with exactly that bucket).
-type QueryResponse struct {
-	Posts     []ksir.Post        `json:"posts"`
-	Score     float64            `json:"score"`
-	Evaluated int                `json:"evaluated"`
-	Active    int                `json:"active"`
-	Bucket    int64              `json:"bucket"`
-	Explain   []ksir.Explanation `json:"explain,omitempty"`
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
-		return
-	}
+// toQuery converts the wire query, folding parse failures into the typed
+// taxonomy so they map to 400/bad_query.
+func toQuery(req apiv1.QueryRequest) (ksir.Query, error) {
 	q := ksir.Query{K: req.K, Keywords: req.Keywords, Vector: req.Vector, Epsilon: req.Epsilon}
 	switch strings.ToLower(req.Algorithm) {
 	case "", "mttd":
@@ -159,40 +256,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "topk":
 		q.Algorithm = ksir.TopK
 	default:
-		httpError(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
-		return
+		return ksir.Query{}, fmt.Errorf("%w: unknown algorithm %q", ksir.ErrBadQuery, req.Algorithm)
 	}
-	res, err := s.st.Query(q)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	resp := QueryResponse{
+	return q, nil
+}
+
+// toResponse is the one place a ksir.Result becomes its wire form (shared
+// by the query route and SSE refreshes, so the two cannot drift).
+func toResponse(res ksir.Result) apiv1.QueryResponse {
+	return apiv1.QueryResponse{
 		Posts:     res.Posts,
 		Score:     res.Score,
 		Evaluated: res.Evaluated,
 		Active:    res.Active,
 		Bucket:    res.Bucket,
 	}
-	if req.Explain {
-		ex, err := s.st.Explain(res, q)
-		if err == nil {
-			resp.Explain = ex
-		}
-	}
-	writeJSON(w, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
+func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
+	st := hs.Stats()
+	opts := hs.Stream().Options()
+	return apiv1.StreamInfo{
+		Name:          hs.Name(),
+		Active:        st.Active,
+		Now:           st.Now,
+		Bucket:        st.Bucket,
+		Subscriptions: st.Subscriptions,
+		Elements:      st.Elements,
+		WindowSec:     int64(opts.Window.Seconds()),
+		BucketSec:     int64(opts.Bucket.Seconds()),
+		Lambda:        opts.Lambda,
+		Eta:           opts.Eta,
 	}
-	writeJSON(w, map[string]any{
-		"active":        s.st.Active(),
-		"now":           s.st.Now(),
-		"subscriptions": s.st.Subscriptions(),
-	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -203,8 +298,31 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// writeJSONStatus writes a JSON body with a non-200 status; the header
+// must be set before WriteHeader snapshots it.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps a typed library error onto the wire envelope. Context
+// cancellations surface as 499-style client disconnects; there is no one
+// to answer, so the status is best-effort.
+func writeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusServiceUnavailable, apiv1.CodeInternal, "%v", err)
+		return
+	}
+	code, status := apiv1.Classify(err)
+	httpError(w, status, code, "%v", err)
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiv1.ErrorEnvelope{Err: apiv1.ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
+)
+
+// handleCreateStream registers a new stream over the server's model.
+// Unset fields inherit the server defaults; lambda is a pointer so λ=0
+// (pure influence) is expressible on the wire.
+func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.CreateStreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	opts := s.defaults
+	if req.WindowSec != 0 {
+		opts.Window = time.Duration(req.WindowSec) * time.Second
+	}
+	if req.BucketSec != 0 {
+		opts.Bucket = time.Duration(req.BucketSec) * time.Second
+	}
+	if req.Eta != 0 {
+		opts.Eta = req.Eta
+	}
+	// Server-wide defaults first, request overrides last (a later
+	// WithLambda wins).
+	sopts := append([]ksir.StreamOption(nil), s.sopts...)
+	if req.Lambda != nil {
+		sopts = append(sopts, ksir.WithLambda(*req.Lambda))
+	}
+	hs, err := s.hub.Create(req.Name, s.model, opts, sopts...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONStatus(w, http.StatusCreated, streamInfo(hs))
+}
+
+func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
+	resp := apiv1.ListStreamsResponse{Streams: []apiv1.StreamInfo{}}
+	for _, name := range s.hub.List() {
+		hs, err := s.hub.Get(name)
+		if err != nil {
+			continue // closed between List and Get
+		}
+		resp.Streams = append(resp.Streams, streamInfo(hs))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
+	if err := s.hub.Close(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// sseBuffer is how many refreshes an SSE connection may fall behind
+// before the oldest pending event is dropped (the latest state wins; a
+// standing query is a state feed, not a log).
+const sseBuffer = 32
+
+// handleSubscribe registers a standing query and streams its refreshes as
+// Server-Sent Events until the client disconnects. Parameters:
+//
+//	k        result size (required, > 0)
+//	keywords comma- or space-separated query keywords (required)
+//	every    refresh interval: Go duration ("90s") or integer seconds;
+//	         default: the stream's bucket interval
+//	only_changed  "true" suppresses refreshes with an unchanged result set
+//	algorithm     mttd (default) | mtts | topk
+//	epsilon       approximation knob ε
+//
+// Each event is `event: refresh` with `id:` and the body's "bucket" field
+// carrying the bucket sequence the refresh observed.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, apiv1.CodeInternal, "response writer does not support streaming")
+		return
+	}
+	req, every, onlyChanged, err := parseSubscribeParams(r, hs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q, err := toQuery(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Pre-flight the standing query once: an unanswerable query (e.g.
+	// keywords outside the model vocabulary) gets an immediate 400 here
+	// instead of a 200 event stream that only ever heartbeats.
+	if _, err := hs.Query(r.Context(), q); err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// The subscription handler runs on the writer goroutine inside
+	// Add/Flush; it must never block, so refreshes are handed to the SSE
+	// loop through a bounded channel with drop-oldest overflow.
+	events := make(chan apiv1.QueryResponse, sseBuffer)
+	deliver := func(res ksir.Result) {
+		ev := toResponse(res)
+		for {
+			select {
+			case events <- ev:
+				return
+			default:
+				select { // shed the oldest pending refresh
+				case <-events:
+				default:
+				}
+			}
+		}
+	}
+	var subOpts []ksir.SubscribeOption
+	if onlyChanged {
+		subOpts = append(subOpts, ksir.OnlyOnChange())
+	}
+	// Refresh failures are isolated per subscription by the library; for
+	// the wire consumer they are invisible (the next successful refresh
+	// supersedes), so the hook is only a debugging seam.
+	sub, err := hs.Subscribe(r.Context(), q, every, deliver, subOpts...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer hs.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// An immediate comment confirms the subscription is live before the
+	// first bucket boundary.
+	fmt.Fprintf(w, ": subscribed stream=%s k=%d every=%s\n\n", hs.Name(), q.K, every)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-hs.Done():
+			// The stream was closed out of the hub: tell the consumer and
+			// end the event stream instead of heartbeating forever.
+			fmt.Fprint(w, "event: closed\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		case <-heartbeat.C:
+			// Comment line: keeps proxies from idling the connection out.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case ev := <-events:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: refresh\nid: %d\ndata: %s\n\n", ev.Bucket, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+func parseSubscribeParams(r *http.Request, hs *ksir.StreamHandle) (req apiv1.QueryRequest, every time.Duration, onlyChanged bool, err error) {
+	qs := r.URL.Query()
+	k, err := strconv.Atoi(qs.Get("k"))
+	if err != nil {
+		return req, 0, false, fmt.Errorf("%w: k must be an integer, got %q", ksir.ErrBadSubscription, qs.Get("k"))
+	}
+	req.K = k
+	req.Keywords = strings.FieldsFunc(qs.Get("keywords"), func(r rune) bool {
+		return r == ',' || r == ' '
+	})
+	req.Algorithm = qs.Get("algorithm")
+	if eps := qs.Get("epsilon"); eps != "" {
+		req.Epsilon, err = strconv.ParseFloat(eps, 64)
+		if err != nil {
+			return req, 0, false, fmt.Errorf("%w: bad epsilon %q", ksir.ErrBadSubscription, eps)
+		}
+	}
+	every = hs.Stream().Options().Bucket
+	if ev := qs.Get("every"); ev != "" {
+		if d, derr := time.ParseDuration(ev); derr == nil {
+			every = d
+		} else if sec, serr := strconv.Atoi(ev); serr == nil {
+			every = time.Duration(sec) * time.Second
+		} else {
+			return req, 0, false, fmt.Errorf("%w: bad refresh interval %q", ksir.ErrBadSubscription, ev)
+		}
+	}
+	onlyChanged = qs.Get("only_changed") == "true" || qs.Get("only_changed") == "1"
+	return req, every, onlyChanged, nil
+}

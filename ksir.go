@@ -1,7 +1,9 @@
 package ksir
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -29,27 +31,75 @@ type Options struct {
 	// Bucket is the batch-update interval L (default 15min).
 	Bucket time.Duration
 	// Lambda ∈ [0,1] trades semantic vs influence score (default 0.5).
+	//
+	// Historical quirk: the zero value of this field means "use the
+	// default", which makes the paper's pure-influence setting λ=0
+	// unreachable through it. Pass WithLambda(0) to New to set λ
+	// explicitly, including to zero.
 	Lambda float64
 	// Eta > 0 rescales the influence score (default 20; use larger values
 	// for retweet-heavy streams, the paper uses 200 for Twitter).
 	Eta float64
 }
 
-func (o *Options) fill() error {
+// StreamOption tunes a Stream beyond the core paper parameters of Options.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	lambda     float64
+	lambdaSet  bool
+	shards     int
+	onSubError func(*Subscription, error)
+}
+
+// WithLambda sets λ explicitly, distinguishing λ=0 (pure influence) from
+// "unset" — the Options.Lambda field cannot express that difference. It
+// overrides Options.Lambda.
+func WithLambda(l float64) StreamOption {
+	return func(c *streamConfig) { c.lambda, c.lambdaSet = l, true }
+}
+
+// WithShards sets the number of topic shards the engine's ranked lists are
+// partitioned into for parallel maintenance (0, the default, picks
+// min(GOMAXPROCS, topics)). Results are independent of the shard count.
+func WithShards(p int) StreamOption {
+	return func(c *streamConfig) { c.shards = p }
+}
+
+// WithSubscriptionErrorHandler installs the stream-wide fallback hook for
+// standing-query failures: any subscription refresh that errors and has no
+// per-subscription OnError hook reports here. Failures never abort
+// ingestion (see Subscribe).
+func WithSubscriptionErrorHandler(h func(*Subscription, error)) StreamOption {
+	return func(c *streamConfig) { c.onSubError = h }
+}
+
+func (o *Options) fill(cfg *streamConfig) error {
 	if o.Window == 0 {
 		o.Window = 24 * time.Hour
 	}
 	if o.Bucket == 0 {
 		o.Bucket = 15 * time.Minute
 	}
-	if o.Lambda == 0 {
+	if cfg.lambdaSet {
+		o.Lambda = cfg.lambda
+	} else if o.Lambda == 0 {
 		o.Lambda = 0.5
 	}
 	if o.Eta == 0 {
 		o.Eta = 20
 	}
 	if o.Window <= 0 || o.Bucket <= 0 || o.Bucket > o.Window {
-		return fmt.Errorf("ksir: need 0 < Bucket <= Window, got %v / %v", o.Bucket, o.Window)
+		return fmt.Errorf("%w: need 0 < Bucket <= Window, got %v / %v", ErrBadOptions, o.Bucket, o.Window)
+	}
+	if math.IsNaN(o.Lambda) || o.Lambda < 0 || o.Lambda > 1 {
+		return fmt.Errorf("%w: lambda must be in [0,1], got %v", ErrBadOptions, o.Lambda)
+	}
+	if o.Eta <= 0 {
+		return fmt.Errorf("%w: eta must be positive, got %v", ErrBadOptions, o.Eta)
+	}
+	if cfg.shards < 0 {
+		return fmt.Errorf("%w: shard count must be non-negative, got %d", ErrBadOptions, cfg.shards)
 	}
 	return nil
 }
@@ -113,13 +163,19 @@ type Stream struct {
 	// operation so a query never mixes an old model with a new engine.
 	me   atomic.Pointer[modelEngine]
 	opts Options
+	cfg  streamConfig
 
 	bucketLen stream.Time
 	pending   []*stream.Element
-	lastTime  stream.Time
+	// pendingIDs mirrors pending for O(1) duplicate detection at Add time
+	// (together with the window's active set), so a duplicate is rejected
+	// before it can poison the bucket it would be batched into.
+	pendingIDs map[stream.ElemID]struct{}
+	lastTime   stream.Time
 
 	subs   []*Subscription
 	subSeq int64
+	nsubs  atomic.Int64 // len(subs), readable off the writer goroutine
 }
 
 // modelEngine binds a topic model to the engine built over it.
@@ -128,25 +184,41 @@ type modelEngine struct {
 	engine *core.Engine
 }
 
-// New creates a Stream over a trained model.
-func New(m *Model, opts Options) (*Stream, error) {
+// New creates a Stream over a trained model. StreamOptions refine the core
+// Options (and WithLambda overrides Options.Lambda, including to zero).
+func New(m *Model, opts Options, sopts ...StreamOption) (*Stream, error) {
 	if m == nil {
-		return nil, fmt.Errorf("ksir: nil model")
+		return nil, fmt.Errorf("%w: nil model", ErrBadOptions)
 	}
-	if err := opts.fill(); err != nil {
+	var cfg streamConfig
+	for _, o := range sopts {
+		o(&cfg)
+	}
+	if err := opts.fill(&cfg); err != nil {
 		return nil, err
 	}
-	eng, err := newEngineForModel(m, opts)
+	eng, err := newEngineForModel(m, opts, cfg.shards)
 	if err != nil {
 		return nil, err
 	}
 	s := &Stream{
-		opts:      opts,
-		bucketLen: stream.Time(opts.Bucket / time.Second),
+		opts:       opts,
+		cfg:        cfg,
+		bucketLen:  stream.Time(opts.Bucket / time.Second),
+		pendingIDs: make(map[stream.ElemID]struct{}),
 	}
 	s.me.Store(&modelEngine{model: m, engine: eng})
 	return s, nil
 }
+
+// Model returns the stream's current topic model (the one queries are
+// inferred against; SwapModel replaces it).
+func (s *Stream) Model() *Model { return s.me.Load().model }
+
+// Options returns the stream's resolved options — every defaulted field
+// filled in, and Lambda as actually configured (so WithLambda(0) reads
+// back as 0).
+func (s *Stream) Options() Options { return s.opts }
 
 // Add appends one post to the stream. Posts must arrive in non-decreasing
 // time order. The post is buffered and ingested when its bucket completes
@@ -155,16 +227,28 @@ func New(m *Model, opts Options) (*Stream, error) {
 func (s *Stream) Add(p Post) error {
 	ts := stream.Time(p.Time)
 	if ts <= 0 {
-		return fmt.Errorf("ksir: post %d has non-positive time %d", p.ID, p.Time)
+		return fmt.Errorf("%w: post %d has non-positive time %d", ErrBadPost, p.ID, p.Time)
 	}
 	if ts < s.lastTime {
-		return fmt.Errorf("ksir: post %d at %d arrives after time %d", p.ID, p.Time, s.lastTime)
+		return fmt.Errorf("%w: post %d at %d arrives after time %d", ErrOutOfOrder, p.ID, p.Time, s.lastTime)
+	}
+	// A bucket boundary that has been ingested (e.g. by Flush) is closed:
+	// a post at or before it can never be ingested — reject it now as
+	// out-of-order instead of poisoning the bucket it would be batched
+	// into.
+	if ingested := s.me.Load().engine.Now(); ts <= ingested {
+		return fmt.Errorf("%w: post %d at %d is at or before the last ingested boundary %d", ErrOutOfOrder, p.ID, p.Time, int64(ingested))
 	}
 	// Complete buckets before this post's bucket.
 	if err := s.advanceTo(ts); err != nil {
 		return err
 	}
-	m := s.me.Load().model
+	me := s.me.Load()
+	id := stream.ElemID(p.ID)
+	if _, dup := s.pendingIDs[id]; dup || me.engine.Window().Known(id) {
+		return fmt.Errorf("%w: duplicate post ID %d", ErrBadPost, p.ID)
+	}
+	m := me.model
 	ids := m.tokenIDs(p.Text)
 	refs := make([]stream.ElemID, len(p.Refs))
 	for i, r := range p.Refs {
@@ -179,8 +263,22 @@ func (s *Stream) Add(p Post) error {
 		Text:   p.Text,
 	}
 	s.pending = append(s.pending, e)
+	s.pendingIDs[id] = struct{}{}
 	s.lastTime = ts
 	return nil
+}
+
+// AddBatch appends posts in order, stopping at the first rejected post. It
+// returns how many posts were accepted; when err is non-nil the posts after
+// the rejected one were not examined. Equivalent to calling Add in a loop,
+// packaged for wire servers and bulk loaders.
+func (s *Stream) AddBatch(posts []Post) (int, error) {
+	for i, p := range posts {
+		if err := s.Add(p); err != nil {
+			return i, err
+		}
+	}
+	return len(posts), nil
 }
 
 // advanceTo ingests completed buckets so that the pending buffer only holds
@@ -218,10 +316,22 @@ func (s *Stream) flushBucket(end stream.Time) error {
 		}
 	}
 	s.pending = rest
+	s.forgetPending(batch)
 	if err := s.me.Load().engine.Ingest(end, batch); err != nil {
-		return err
+		// Ordering and duplicates are pre-checked in Add, so an engine
+		// rejection here is an internal invariant violation.
+		return fmt.Errorf("%w: %v", ErrBadPost, err)
 	}
-	return s.fireSubscriptions(int64(end))
+	s.fireSubscriptions(int64(end))
+	return nil
+}
+
+// forgetPending drops a batch moving out of the pending buffer from the
+// duplicate-detection set.
+func (s *Stream) forgetPending(batch []*stream.Element) {
+	for _, e := range batch {
+		delete(s.pendingIDs, e.ID)
+	}
 }
 
 // Flush ingests everything buffered up to and including time now, making it
@@ -229,7 +339,7 @@ func (s *Stream) flushBucket(end stream.Time) error {
 func (s *Stream) Flush(now int64) error {
 	ts := stream.Time(now)
 	if ts < s.lastTime {
-		return fmt.Errorf("ksir: flush time %d before last post %d", now, s.lastTime)
+		return fmt.Errorf("%w: flush time %d before last post %d", ErrOutOfOrder, now, s.lastTime)
 	}
 	if err := s.advanceTo(ts + 1); err != nil {
 		return err
@@ -237,12 +347,11 @@ func (s *Stream) Flush(now int64) error {
 	if len(s.pending) > 0 || ts > s.me.Load().engine.Now() {
 		batch := s.pending
 		s.pending = nil
+		s.forgetPending(batch)
 		if err := s.me.Load().engine.Ingest(ts, batch); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrBadPost, err)
 		}
-		if err := s.fireSubscriptions(int64(ts)); err != nil {
-			return err
-		}
+		s.fireSubscriptions(int64(ts))
 	}
 	s.lastTime = ts
 	return nil
@@ -255,6 +364,37 @@ func (s *Stream) Now() int64 { return int64(s.me.Load().engine.Now()) }
 // Active returns the number of active elements n_t.
 func (s *Stream) Active() int { return s.me.Load().engine.NumActive() }
 
+// StreamStats is a point-in-time summary of one stream, consistent with the
+// last published bucket (the same snapshot queries observe).
+type StreamStats struct {
+	// Active is the number of elements in the sliding window, n_t.
+	Active int
+	// Now is the stream time of the last ingested bucket boundary.
+	Now int64
+	// Bucket is the published bucket sequence number (Result.Bucket of a
+	// query issued now).
+	Bucket int64
+	// Subscriptions is the number of standing queries registered.
+	Subscriptions int
+	// Elements is the total number of elements ingested over the stream's
+	// lifetime (expired ones included).
+	Elements int64
+}
+
+// Stats reports the stream's current counters. Like Query it reads the
+// published snapshot and is safe to call concurrently with ingestion.
+func (s *Stream) Stats() StreamStats {
+	eng := s.me.Load().engine
+	es := eng.Stats()
+	return StreamStats{
+		Active:        eng.NumActive(),
+		Now:           int64(eng.Now()),
+		Bucket:        es.Buckets,
+		Subscriptions: s.Subscriptions(),
+		Elements:      es.ElementsIngested,
+	}
+}
+
 // Query answers a k-SIR query against the currently ingested window.
 //
 // Snapshot visibility: a query observes exactly the state at the end of the
@@ -266,9 +406,16 @@ func (s *Stream) Active() int { return s.me.Load().engine.NumActive() }
 // never a partial state. Result.Bucket reports which bucket was observed.
 // Posts buffered in the current, incomplete bucket are not yet visible —
 // call Flush to force them in.
-func (s *Stream) Query(q Query) (Result, error) {
+//
+// Cancellation: ctx is polled between ranked-list descents; a cancelled or
+// expired context aborts the query with ctx.Err() (unwrapped) and releases
+// the snapshot promptly. A nil ctx is treated as context.Background().
+func (s *Stream) Query(ctx context.Context, q Query) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if q.K <= 0 {
-		return Result{}, fmt.Errorf("ksir: query needs K > 0")
+		return Result{}, fmt.Errorf("%w: query needs K > 0", ErrBadQuery)
 	}
 	me := s.me.Load()
 	x, err := queryVector(me.model, q)
@@ -284,11 +431,14 @@ func (s *Stream) Query(q Query) (Result, error) {
 	case TopK:
 		alg = core.TopkRep
 	default:
-		return Result{}, fmt.Errorf("ksir: unknown algorithm %d", q.Algorithm)
+		return Result{}, fmt.Errorf("%w: unknown algorithm %d", ErrBadQuery, q.Algorithm)
 	}
-	res, err := me.engine.Query(core.Query{K: q.K, X: x, Epsilon: q.Epsilon, Algorithm: alg})
+	res, err := me.engine.QueryContext(ctx, core.Query{K: q.K, X: x, Epsilon: q.Epsilon, Algorithm: alg})
 	if err != nil {
-		return Result{}, err
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{}, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	out := Result{
 		Score:     res.Score,
@@ -316,10 +466,10 @@ func queryVector(m *Model, q Query) (topicmodel.TopicVec, error) {
 		var sum float64
 		for t, w := range q.Vector {
 			if t < 0 || t >= m.tm.Z {
-				return topicmodel.TopicVec{}, fmt.Errorf("ksir: topic %d out of range [0,%d)", t, m.tm.Z)
+				return topicmodel.TopicVec{}, fmt.Errorf("%w: topic %d out of range [0,%d)", ErrBadQuery, t, m.tm.Z)
 			}
 			if w < 0 {
-				return topicmodel.TopicVec{}, fmt.Errorf("ksir: negative weight %v for topic %d", w, t)
+				return topicmodel.TopicVec{}, fmt.Errorf("%w: negative weight %v for topic %d", ErrBadQuery, w, t)
 			}
 			if w > 0 {
 				idx = append(idx, t)
@@ -327,7 +477,7 @@ func queryVector(m *Model, q Query) (topicmodel.TopicVec, error) {
 			}
 		}
 		if sum == 0 {
-			return topicmodel.TopicVec{}, fmt.Errorf("ksir: query vector is all zeros")
+			return topicmodel.TopicVec{}, fmt.Errorf("%w: query vector is all zeros", ErrBadQuery)
 		}
 		sort.Ints(idx)
 		v := topicmodel.TopicVec{
@@ -341,7 +491,7 @@ func queryVector(m *Model, q Query) (topicmodel.TopicVec, error) {
 		return v, nil
 	}
 	if len(q.Keywords) == 0 {
-		return topicmodel.TopicVec{}, fmt.Errorf("ksir: query needs Keywords or Vector")
+		return topicmodel.TopicVec{}, fmt.Errorf("%w: query needs Keywords or Vector", ErrBadQuery)
 	}
 	var ids []textproc.WordID
 	for _, kw := range q.Keywords {
@@ -349,7 +499,7 @@ func queryVector(m *Model, q Query) (topicmodel.TopicVec, error) {
 	}
 	x := m.inf.InferDense(ids).Truncate(8, 0.02)
 	if x.Len() == 0 {
-		return topicmodel.TopicVec{}, fmt.Errorf("ksir: no query keyword appears in the model vocabulary")
+		return topicmodel.TopicVec{}, fmt.Errorf("%w: no query keyword appears in the model vocabulary", ErrBadQuery)
 	}
 	return x, nil
 }

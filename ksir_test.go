@@ -1,6 +1,7 @@
 package ksir
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -100,7 +101,7 @@ func TestStreamEndToEnd(t *testing.T) {
 		t.Fatal("no active posts")
 	}
 
-	res, err := st.Query(Query{K: 5, Keywords: []string{"goal", "league"}})
+	res, err := st.Query(context.Background(), Query{K: 5, Keywords: []string{"goal", "league"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestStreamQueryAlgorithms(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range []Algorithm{MTTD, MTTS, TopK} {
-		res, err := st.Query(Query{K: 3, Keywords: []string{"dunk"}, Algorithm: alg})
+		res, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"dunk"}, Algorithm: alg})
 		if err != nil {
 			t.Fatalf("alg %d: %v", alg, err)
 		}
@@ -155,7 +156,7 @@ func TestStreamQueryAlgorithms(t *testing.T) {
 			t.Errorf("alg %d returned nothing", alg)
 		}
 	}
-	if _, err := st.Query(Query{K: 3, Keywords: []string{"dunk"}, Algorithm: Algorithm(9)}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"dunk"}, Algorithm: Algorithm(9)}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -178,7 +179,7 @@ func TestStreamQueryByVector(t *testing.T) {
 	if err := st.Flush(400); err != nil {
 		t.Fatal(err)
 	}
-	res, err := st.Query(Query{K: 3, Vector: map[int]float64{0: 2, 1: 2}})
+	res, err := st.Query(context.Background(), Query{K: 3, Vector: map[int]float64{0: 2, 1: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +187,13 @@ func TestStreamQueryByVector(t *testing.T) {
 		t.Error("vector query returned nothing")
 	}
 	// Invalid vectors.
-	if _, err := st.Query(Query{K: 3, Vector: map[int]float64{7: 1}}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3, Vector: map[int]float64{7: 1}}); err == nil {
 		t.Error("out-of-range topic accepted")
 	}
-	if _, err := st.Query(Query{K: 3, Vector: map[int]float64{0: -1}}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3, Vector: map[int]float64{0: -1}}); err == nil {
 		t.Error("negative weight accepted")
 	}
-	if _, err := st.Query(Query{K: 3, Vector: map[int]float64{0: 0}}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3, Vector: map[int]float64{0: 0}}); err == nil {
 		t.Error("zero vector accepted")
 	}
 }
@@ -221,13 +222,13 @@ func TestStreamValidation(t *testing.T) {
 	if err := st.Flush(10); err == nil {
 		t.Error("flush before last post accepted")
 	}
-	if _, err := st.Query(Query{K: 0, Keywords: []string{"goal"}}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 0, Keywords: []string{"goal"}}); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := st.Query(Query{K: 3}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3}); err == nil {
 		t.Error("query without keywords or vector accepted")
 	}
-	if _, err := st.Query(Query{K: 3, Keywords: []string{"zzzzunknown"}}); err == nil {
+	if _, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"zzzzunknown"}}); err == nil {
 		t.Error("all-unknown keywords accepted")
 	}
 }
@@ -254,7 +255,7 @@ func TestStreamExpiry(t *testing.T) {
 	if st.Active() != 0 {
 		t.Errorf("active = %d after drain (was %d)", st.Active(), firstActive)
 	}
-	res, err := st.Query(Query{K: 3, Keywords: []string{"goal"}})
+	res, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"goal"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func ExampleStream_Query() {
 	st.Add(Post{ID: 1, Time: 10, Text: "late goal wins the derby"})
 	st.Add(Post{ID: 2, Time: 20, Text: "what a dunk in the playoffs"})
 	st.Flush(60)
-	res, err := st.Query(Query{K: 1, Keywords: []string{"league", "goal"}})
+	res, err := st.Query(context.Background(), Query{K: 1, Keywords: []string{"league", "goal"}})
 	if err != nil {
 		panic(err)
 	}

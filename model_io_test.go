@@ -2,6 +2,7 @@ package ksir
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -96,7 +97,7 @@ func TestLoadedModelServesQueries(t *testing.T) {
 	if err := st.Flush(300); err != nil {
 		t.Fatal(err)
 	}
-	res, err := st.Query(Query{K: 3, Keywords: []string{"goal"}})
+	res, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"goal"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ksir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,11 +22,12 @@ type liveElem struct {
 
 // newEngineForModel builds a core engine for a model under the stream's
 // options (shared by New and SwapModel).
-func newEngineForModel(m *Model, opts Options) (*core.Engine, error) {
+func newEngineForModel(m *Model, opts Options, shards int) (*core.Engine, error) {
 	return core.NewEngine(core.Config{
 		Model:        m.tm,
 		WindowLength: stream.Time(opts.Window / time.Second),
 		Params:       score.Params{Lambda: opts.Lambda, Eta: opts.Eta},
+		Shards:       shards,
 	})
 }
 
@@ -40,7 +42,7 @@ func docFromIDs(ids []textproc.WordID) textproc.Document {
 // QueryByText answers a k-SIR query whose vector is inferred from a whole
 // document — the query-by-document paradigm of [39] (e.g., "find posts
 // representative of the topics of this article").
-func (s *Stream) QueryByText(k int, text string, opts ...QueryOption) (Result, error) {
+func (s *Stream) QueryByText(ctx context.Context, k int, text string, opts ...QueryOption) (Result, error) {
 	q := Query{K: k}
 	for _, opt := range opts {
 		opt(&q)
@@ -49,21 +51,21 @@ func (s *Stream) QueryByText(k int, text string, opts ...QueryOption) (Result, e
 	ids := m.tokenIDs(text)
 	x := m.inf.InferDense(ids).Truncate(8, 0.02)
 	if x.Len() == 0 {
-		return Result{}, fmt.Errorf("ksir: no word of the query document is in the model vocabulary")
+		return Result{}, fmt.Errorf("%w: no word of the query document is in the model vocabulary", ErrBadQuery)
 	}
 	q.Vector = make(map[int]float64, x.Len())
 	for i := range x.Topics {
 		q.Vector[int(x.Topics[i])] = x.Probs[i]
 	}
-	return s.Query(q)
+	return s.Query(ctx, q)
 }
 
 // QueryPersonalized answers a k-SIR query whose vector is inferred from a
 // user's recent posts — the personalized-search paradigm of [19]. History
 // entries are weighted equally; pass the most recent N posts of the user.
-func (s *Stream) QueryPersonalized(k int, history []string, opts ...QueryOption) (Result, error) {
+func (s *Stream) QueryPersonalized(ctx context.Context, k int, history []string, opts ...QueryOption) (Result, error) {
 	if len(history) == 0 {
-		return Result{}, fmt.Errorf("ksir: personalized query needs at least one history post")
+		return Result{}, fmt.Errorf("%w: personalized query needs at least one history post", ErrBadQuery)
 	}
 	var all []string
 	all = append(all, history...)
@@ -75,7 +77,7 @@ func (s *Stream) QueryPersonalized(k int, history []string, opts ...QueryOption)
 		}
 		joined += h
 	}
-	return s.QueryByText(k, joined, opts...)
+	return s.QueryByText(ctx, k, joined, opts...)
 }
 
 // QueryOption tweaks paradigm helpers without widening their signatures.
@@ -90,8 +92,9 @@ func WithAlgorithm(a Algorithm) QueryOption { return func(q *Query) { q.Algorith
 // QueryMany answers a batch of queries concurrently over the same window
 // state, the deployment mode the paper motivates ("thousands of users could
 // submit different queries at the same time", §2). Results are returned in
-// input order; the first error aborts the batch.
-func (s *Stream) QueryMany(queries []Query, parallelism int) ([]Result, error) {
+// input order; the first error aborts the batch. Cancelling ctx aborts the
+// queries still in flight.
+func (s *Stream) QueryMany(ctx context.Context, queries []Query, parallelism int) ([]Result, error) {
 	if parallelism <= 0 {
 		parallelism = 4
 	}
@@ -108,7 +111,7 @@ func (s *Stream) QueryMany(queries []Query, parallelism int) ([]Result, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i], errs[i] = s.Query(queries[i])
+			results[i], errs[i] = s.Query(ctx, queries[i])
 		}(i)
 	}
 	wg.Wait()
@@ -131,7 +134,7 @@ func (s *Stream) QueryMany(queries []Query, parallelism int) ([]Result, error) {
 // SwapModel must be called from the same goroutine as Add/Flush.
 func (s *Stream) SwapModel(m *Model) error {
 	if m == nil {
-		return fmt.Errorf("ksir: nil model")
+		return fmt.Errorf("%w: nil model", ErrBadOptions)
 	}
 	// Collect the live elements (window order does not matter; Ingest
 	// replays them bucket-free at their original timestamps).
@@ -144,7 +147,7 @@ func (s *Stream) SwapModel(m *Model) error {
 	})
 	now := cur.Now()
 
-	eng, err := newEngineForModel(m, s.opts)
+	eng, err := newEngineForModel(m, s.opts, s.cfg.shards)
 	if err != nil {
 		return err
 	}

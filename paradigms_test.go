@@ -1,6 +1,7 @@
 package ksir
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func newTwoTopicStream(t *testing.T) *Stream {
 
 func TestQueryByText(t *testing.T) {
 	st := newTwoTopicStream(t)
-	res, err := st.QueryByText(3, "an article about the league title race and a dramatic goal")
+	res, err := st.QueryByText(context.Background(), 3, "an article about the league title race and a dramatic goal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestQueryByText(t *testing.T) {
 	if !strings.Contains(res.Posts[0].Text, "goal") {
 		t.Errorf("top post off-topic for soccer article: %q", res.Posts[0].Text)
 	}
-	if _, err := st.QueryByText(3, "zzz qqq www"); err == nil {
+	if _, err := st.QueryByText(context.Background(), 3, "zzz qqq www"); err == nil {
 		t.Error("out-of-vocabulary document accepted")
 	}
 }
@@ -62,7 +63,7 @@ func TestQueryPersonalized(t *testing.T) {
 		"that dunk was incredible",
 		"rebound stats are wild",
 	}
-	res, err := st.QueryPersonalized(3, history, WithAlgorithm(MTTS), WithEpsilon(0.2))
+	res, err := st.QueryPersonalized(context.Background(), 3, history, WithAlgorithm(MTTS), WithEpsilon(0.2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestQueryPersonalized(t *testing.T) {
 	if !strings.Contains(res.Posts[0].Text, "dunk") {
 		t.Errorf("top post off-topic for basketball fan: %q", res.Posts[0].Text)
 	}
-	if _, err := st.QueryPersonalized(3, nil); err == nil {
+	if _, err := st.QueryPersonalized(context.Background(), 3, nil); err == nil {
 		t.Error("empty history accepted")
 	}
 }
@@ -85,7 +86,7 @@ func TestQueryMany(t *testing.T) {
 		{K: 3, Keywords: []string{"league", "playoffs"}},
 		{K: 1, Keywords: []string{"derby"}},
 	}
-	results, err := st.QueryMany(queries, 3)
+	results, err := st.QueryMany(context.Background(), queries, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestQueryMany(t *testing.T) {
 		}
 	}
 	// Batch results must match individual queries (same window state).
-	solo, err := st.Query(queries[0])
+	solo, err := st.Query(context.Background(), queries[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestQueryMany(t *testing.T) {
 		t.Errorf("batch result diverges: %v vs %v", solo.Score, results[0].Score)
 	}
 	// Errors propagate.
-	if _, err := st.QueryMany([]Query{{K: 0}}, 2); err == nil {
+	if _, err := st.QueryMany(context.Background(), []Query{{K: 0}}, 2); err == nil {
 		t.Error("invalid query in batch accepted")
 	}
 	// Degenerate parallelism values normalize.
-	if _, err := st.QueryMany(queries, -1); err != nil {
+	if _, err := st.QueryMany(context.Background(), queries, -1); err != nil {
 		t.Error(err)
 	}
 }
@@ -121,7 +122,7 @@ func TestQueryMany(t *testing.T) {
 func TestSwapModelKeepsWindow(t *testing.T) {
 	st := newTwoTopicStream(t)
 	before := st.Active()
-	resBefore, err := st.Query(Query{K: 3, Keywords: []string{"goal"}})
+	resBefore, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"goal"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSwapModelKeepsWindow(t *testing.T) {
 	if st.Active() != before {
 		t.Errorf("active count changed by swap: %d → %d", before, st.Active())
 	}
-	res, err := st.Query(Query{K: 3, Keywords: []string{"goal"}})
+	res, err := st.Query(context.Background(), Query{K: 3, Keywords: []string{"goal"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestSwapModelPreservesReferences(t *testing.T) {
 	if err := st.SwapModel(m2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := st.Query(Query{K: 5, Keywords: []string{"goal", "dunk"}})
+	res, err := st.Query(context.Background(), Query{K: 5, Keywords: []string{"goal", "dunk"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package ksir
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -11,7 +13,7 @@ func TestSubscribeFiresOnSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fired []int64
-	sub, err := st.Subscribe(Query{K: 2, Keywords: []string{"goal"}}, 5*time.Minute,
+	sub, err := st.Subscribe(context.Background(), Query{K: 2, Keywords: []string{"goal"}}, 5*time.Minute,
 		func(res Result) { fired = append(fired, st.Now()) })
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +66,7 @@ func TestSubscribeOnlyOnChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	var results []Result
-	_, err = st.Subscribe(Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+	_, err = st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
 		func(res Result) { results = append(results, res) }, OnlyOnChange())
 	if err != nil {
 		t.Fatal(err)
@@ -101,25 +103,215 @@ func TestSubscribeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := func(Result) {}
-	if _, err := st.Subscribe(Query{K: 0, Keywords: []string{"x"}}, time.Hour, h); err == nil {
+	if _, err := st.Subscribe(context.Background(), Query{K: 0, Keywords: []string{"x"}}, time.Hour, h); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := st.Subscribe(Query{K: 1}, time.Hour, h); err == nil {
+	if _, err := st.Subscribe(context.Background(), Query{K: 1}, time.Hour, h); err == nil {
 		t.Error("empty query accepted")
 	}
-	if _, err := st.Subscribe(Query{K: 1, Keywords: []string{"x"}}, time.Second, h); err == nil {
+	if _, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"x"}}, time.Second, h); err == nil {
 		t.Error("interval below bucket accepted")
 	}
-	if _, err := st.Subscribe(Query{K: 1, Keywords: []string{"x"}}, time.Hour, nil); err == nil {
+	if _, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"x"}}, time.Hour, nil); err == nil {
 		t.Error("nil handler accepted")
 	}
 	st.Unsubscribe(nil) // must not panic
 }
 
+// A failing standing query must not abort the ingest that triggered it:
+// the error goes to the subscription's hook, healthy subscriptions still
+// fire, and the bucket lands.
+func TestSubscriptionErrorIsolation(t *testing.T) {
+	var streamHookCalls int
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2},
+		WithSubscriptionErrorHandler(func(_ *Subscription, err error) {
+			streamHookCalls++
+			if !errors.Is(err, ErrBadQuery) {
+				t.Errorf("stream hook got %v, want ErrBadQuery", err)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "zzzz" passes Subscribe validation (non-empty keywords) but fails at
+	// refresh time: no keyword is in the model vocabulary.
+	var subHookErrs []error
+	bad, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"zzzz"}}, time.Minute,
+		func(Result) { t.Error("failing subscription delivered a result") },
+		OnError(func(err error) { subHookErrs = append(subHookErrs, err) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second failing subscription without its own hook falls back to the
+	// stream-wide handler.
+	if _, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"qqqq"}}, time.Minute,
+		func(Result) { t.Error("failing subscription delivered a result") }); err != nil {
+		t.Fatal(err)
+	}
+	var good []Result
+	if _, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+		func(res Result) { good = append(good, res) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Add(Post{ID: 1, Time: 30, Text: "goal striker league"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(120); err != nil {
+		t.Fatalf("ingest aborted by failing subscription: %v", err)
+	}
+	if len(good) == 0 {
+		t.Error("healthy subscription starved by the failing one")
+	}
+	if len(subHookErrs) == 0 || !errors.Is(subHookErrs[0], ErrBadQuery) {
+		t.Errorf("per-subscription hook errs = %v, want ErrBadQuery", subHookErrs)
+	}
+	if streamHookCalls == 0 {
+		t.Error("stream-wide hook never called for the hookless subscription")
+	}
+	if bad.Failures() == 0 {
+		t.Error("failure counter not incremented")
+	}
+	// Each delivered result carries the bucket sequence it was computed at.
+	for _, res := range good {
+		if res.Bucket <= 0 {
+			t.Errorf("subscription result missing bucket seq: %+v", res.Bucket)
+		}
+	}
+}
+
+// A subscription's context bounds its lifetime: once cancelled it stops
+// firing and is removed at the next bucket boundary.
+func TestSubscribeContextCancel(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var fired int
+	if _, err := st.Subscribe(ctx, Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+		func(Result) { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(Post{ID: 1, Time: 30, Text: "goal striker"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(120); err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("subscription never fired before cancel")
+	}
+	n := fired
+	cancel()
+	if err := st.Add(Post{ID: 2, Time: 200, Text: "goal league"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(300); err != nil {
+		t.Fatal(err)
+	}
+	if fired != n {
+		t.Error("subscription fired after its context was cancelled")
+	}
+	if st.Subscriptions() != 0 {
+		t.Errorf("cancelled subscription still registered: %d", st.Subscriptions())
+	}
+}
+
+// Handlers run on the writer goroutine mid-sweep; a handler
+// unsubscribing itself (one-shot standing query) must neither fire again
+// nor be resurrected by the sweep's bookkeeping.
+func TestSubscriptionReentrantUnsubscribe(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	var sub *Subscription
+	sub, err = st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+		func(Result) {
+			fired++
+			st.Unsubscribe(sub) // one-shot
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(Post{ID: 1, Time: 30, Text: "goal striker"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(120); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if st.Subscriptions() != 0 {
+		t.Fatalf("subscription resurrected: %d registered", st.Subscriptions())
+	}
+	// Further changing buckets must not re-fire the removed subscription.
+	if err := st.Add(Post{ID: 2, Time: 150, Text: "goal goal league"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(240); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("one-shot subscription fired %d times", fired)
+	}
+}
+
+// A handler registering a new standing query mid-sweep: the new
+// subscription must survive the sweep (not be dropped) and start firing
+// at a later bucket boundary.
+func TestSubscriptionReentrantSubscribe(t *testing.T) {
+	st, err := New(trainTestModel(t), Options{Window: time.Hour, Bucket: time.Minute, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var childFired int
+	registered := false
+	_, err = st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+		func(Result) {
+			if registered {
+				return
+			}
+			registered = true
+			if _, err := st.Subscribe(context.Background(), Query{K: 1, Keywords: []string{"goal"}}, time.Minute,
+				func(Result) { childFired++ }); err != nil {
+				t.Errorf("re-entrant subscribe: %v", err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(Post{ID: 1, Time: 30, Text: "goal striker"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(120); err != nil {
+		t.Fatal(err)
+	}
+	if !registered {
+		t.Fatal("parent never fired")
+	}
+	if st.Subscriptions() != 2 {
+		t.Fatalf("re-entrant subscription dropped: %d registered", st.Subscriptions())
+	}
+	if err := st.Add(Post{ID: 2, Time: 150, Text: "goal goal league"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(300); err != nil {
+		t.Fatal(err)
+	}
+	if childFired == 0 {
+		t.Error("re-entrant subscription never fired")
+	}
+}
+
 func TestExplainResult(t *testing.T) {
 	st := newTwoTopicStream(t)
 	q := Query{K: 3, Keywords: []string{"goal", "league"}}
-	res, err := st.Query(q)
+	res, err := st.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

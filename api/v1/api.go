@@ -17,6 +17,8 @@
 //	POST   /v1/streams/{name}/query        QueryRequest → QueryResponse
 //	GET    /v1/streams/{name}/stats        → StreamInfo
 //	GET    /v1/streams/{name}/subscribe    → text/event-stream (SSE)
+//	POST   /v1/streams/{name}/checkpoint   → StreamInfo (durable servers;
+//	       409 persist_disabled without -data-dir)
 //
 // SSE: each refresh of the standing query is one event
 //
@@ -57,18 +59,35 @@ type CreateStreamRequest struct {
 }
 
 // StreamInfo describes one stream: its configuration and its counters as
-// of the last published bucket.
+// of the last published bucket. Persist is present only on durable
+// deployments (a server started with -data-dir).
 type StreamInfo struct {
-	Name          string  `json:"name"`
-	Active        int     `json:"active"`
-	Now           int64   `json:"now"`
-	Bucket        int64   `json:"bucket"`
-	Subscriptions int     `json:"subscriptions"`
-	Elements      int64   `json:"elements"`
-	WindowSec     int64   `json:"window_sec"`
-	BucketSec     int64   `json:"bucket_sec"`
-	Lambda        float64 `json:"lambda"`
-	Eta           float64 `json:"eta"`
+	Name          string       `json:"name"`
+	Active        int          `json:"active"`
+	Now           int64        `json:"now"`
+	Bucket        int64        `json:"bucket"`
+	Subscriptions int          `json:"subscriptions"`
+	Elements      int64        `json:"elements"`
+	WindowSec     int64        `json:"window_sec"`
+	BucketSec     int64        `json:"bucket_sec"`
+	Lambda        float64      `json:"lambda"`
+	Eta           float64      `json:"eta"`
+	Persist       *PersistInfo `json:"persist,omitempty"`
+}
+
+// PersistInfo reports a durable stream's WAL and checkpoint counters (the
+// wire form of ksir.PersistStats).
+type PersistInfo struct {
+	// WALSeq is the last durable operation sequence number; it grows
+	// monotonically across checkpoints and restarts.
+	WALSeq uint64 `json:"wal_seq"`
+	// WALBytes is the live WAL segment size (0 right after a checkpoint).
+	WALBytes int64 `json:"wal_bytes"`
+	// CheckpointBucket is the bucket sequence covered by the latest
+	// checkpoint, -1 if none has been taken yet.
+	CheckpointBucket int64 `json:"checkpoint_bucket"`
+	// Checkpoints counts checkpoints taken since the server started.
+	Checkpoints int64 `json:"checkpoints"`
 }
 
 // ListStreamsResponse is the GET /v1/streams body.
@@ -151,6 +170,15 @@ const (
 	CodeStreamExists    = "stream_exists"
 	CodeStreamClosed    = "stream_closed"
 	CodeNotActive       = "not_active"
+	// CodeModelVersion: an on-disk artifact (model file, checkpoint, WAL)
+	// from an incompatible format version or a different model.
+	CodeModelVersion = "model_version"
+	// CodePersist: a durability failure — the operation may have been
+	// applied in memory but could not be made durable.
+	CodePersist = "persist_failure"
+	// CodePersistDisabled: a durability operation (e.g. forcing a
+	// checkpoint) on a server running without -data-dir.
+	CodePersistDisabled = "persist_disabled"
 	CodeInternal        = "internal"
 )
 
@@ -171,6 +199,9 @@ var errClasses = []errClass{
 	{ksir.ErrStreamExists, CodeStreamExists, http.StatusConflict},
 	{ksir.ErrStreamClosed, CodeStreamClosed, http.StatusGone},
 	{ksir.ErrNotActive, CodeNotActive, http.StatusConflict},
+	{ksir.ErrModelVersion, CodeModelVersion, http.StatusInternalServerError},
+	{ksir.ErrPersist, CodePersist, http.StatusInternalServerError},
+	{ksir.ErrPersistDisabled, CodePersistDisabled, http.StatusConflict},
 }
 
 // Classify maps a library error to its wire code and HTTP status. Errors

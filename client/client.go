@@ -157,10 +157,23 @@ func (s *Stream) Query(ctx context.Context, req apiv1.QueryRequest) (apiv1.Query
 	return resp, err
 }
 
-// Stats returns the stream's configuration and counters.
+// Stats returns the stream's configuration and counters. On a durable
+// server (started with -data-dir) Info.Persist carries the WAL and
+// checkpoint counters; it is nil otherwise.
 func (s *Stream) Stats(ctx context.Context) (apiv1.StreamInfo, error) {
 	var info apiv1.StreamInfo
 	err := s.c.do(ctx, http.MethodGet, s.path+"/stats", nil, &info)
+	return info, err
+}
+
+// Checkpoint forces an immediate durability checkpoint: the stream's
+// full state is serialized to disk and its write-ahead log truncated.
+// It fails with ksir.ErrPersistDisabled (409 persist_disabled) when the
+// server runs without a data directory. The returned info reflects the
+// stream just after the checkpoint.
+func (s *Stream) Checkpoint(ctx context.Context) (apiv1.StreamInfo, error) {
+	var info apiv1.StreamInfo
+	err := s.c.do(ctx, http.MethodPost, s.path+"/checkpoint", nil, &info)
 	return info, err
 }
 

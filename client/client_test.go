@@ -16,9 +16,9 @@ import (
 	"github.com/social-streams/ksir/internal/server"
 )
 
-// newServer boots a hub-backed in-process server over a tiny two-topic
-// model and returns an SDK client pointed at it.
-func newServer(t *testing.T) *Client {
+// testClientModel trains the tiny two-topic model the client suite runs
+// against.
+func testClientModel(t *testing.T) *ksir.Model {
 	t.Helper()
 	soccer := []string{"goal", "striker", "keeper", "league", "derby", "penalty"}
 	basket := []string{"dunk", "rebound", "playoffs", "court", "buzzer", "triple"}
@@ -40,6 +40,14 @@ func newServer(t *testing.T) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return m
+}
+
+// newServer boots a hub-backed in-process server over a tiny two-topic
+// model and returns an SDK client pointed at it.
+func newServer(t *testing.T) *Client {
+	t.Helper()
+	m := testClientModel(t)
 	hub := ksir.NewHub()
 	srv := httptest.NewServer(server.NewHub(hub, m,
 		ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2}))
@@ -479,5 +487,94 @@ func TestClientConcurrentMultiStream(t *testing.T) {
 		if info.Active == 0 {
 			t.Errorf("stream s%d empty after concurrent ingest", i)
 		}
+	}
+}
+
+// newDurableServer boots a durable (data-dir backed) server and returns
+// the SDK client, the directory, and the model for reboots.
+func newDurableServer(t *testing.T, dir string) *Client {
+	t.Helper()
+	m := testClientModel(t)
+	hub, err := ksir.OpenHub(dir, m, ksir.PersistOptions{Fsync: ksir.FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.NewHub(hub, m,
+		ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2}))
+	t.Cleanup(func() { srv.Close(); hub.CloseAll() })
+	return New(srv.URL)
+}
+
+// Checkpoint through the SDK: counters in the returned info, typed 409 on
+// an in-memory server, and the persist block visible through Stats.
+func TestClientCheckpoint(t *testing.T) {
+	ctx := context.Background()
+	c := newDurableServer(t, t.TempDir())
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "feed"}); err != nil {
+		t.Fatal(err)
+	}
+	feed := c.Stream("feed")
+	for i := 0; i < 8; i++ {
+		if _, err := feed.Add(ctx, apiv1.Post{ID: int64(i + 1), Time: int64(70 * (i + 1)), Text: "goal keeper derby"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := feed.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Persist == nil || stats.Persist.WALSeq != 8 {
+		t.Fatalf("pre-checkpoint persist stats = %+v, want wal_seq 8", stats.Persist)
+	}
+	info, err := feed.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Persist == nil || info.Persist.Checkpoints != 1 || info.Persist.WALBytes != 0 {
+		t.Errorf("checkpoint info = %+v, want 1 checkpoint, empty WAL", info.Persist)
+	}
+
+	// In-memory server: the SDK maps 409/persist_disabled back onto the
+	// library sentinel.
+	mem := newServer(t)
+	if _, err := mem.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "feed"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Stream("feed").Checkpoint(ctx); !errors.Is(err, ksir.ErrPersistDisabled) {
+		t.Errorf("in-memory checkpoint error = %v, want ksir.ErrPersistDisabled", err)
+	}
+	if st, err := mem.Stream("feed").Stats(ctx); err != nil || st.Persist != nil {
+		t.Errorf("in-memory stats carry a persist block: %+v, %v", st.Persist, err)
+	}
+}
+
+// The SDK survives a server restart over the same data directory: posts
+// ingested before the "crash" answer identically after.
+func TestClientRecoveryAcrossRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c := newDurableServer(t, dir)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "feed"}); err != nil {
+		t.Fatal(err)
+	}
+	feed := c.Stream("feed")
+	for i := 0; i < 20; i++ {
+		if _, err := feed.Add(ctx, apiv1.Post{ID: int64(i + 1), Time: int64(45 * (i + 1)), Text: "dunk rebound buzzer"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := apiv1.QueryRequest{K: 4, Keywords: []string{"dunk", "rebound"}}
+	before, err := feed.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newDurableServer(t, dir) // crash + reboot (first hub never closed)
+	after, err := c2.Stream("feed").Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", after.Posts) != fmt.Sprintf("%+v", before.Posts) || after.Bucket != before.Bucket {
+		t.Errorf("post-restart answer diverges:\n got %+v\nwant %+v", after, before)
 	}
 }

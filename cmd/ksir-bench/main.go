@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|all")
+		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|all")
 		scale    = flag.String("scale", "default", "preset scale: small|default")
 		elements = flag.Int("elements", 0, "override stream size per dataset")
 		queries  = flag.Int("queries", 0, "override workload size")
@@ -204,6 +204,22 @@ func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string) error {
 		}
 		if jsonDir != "" {
 			path := filepath.Join(jsonDir, "BENCH_concurrent.json")
+			if err := experiments.WriteBenchJSON(path, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
+		}
+	}
+	if want("persist") {
+		t, entries, err := lab.Persist(nil)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "BENCH_persist.json")
 			if err := experiments.WriteBenchJSON(path, entries); err != nil {
 				return err
 			}

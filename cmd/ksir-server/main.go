@@ -6,6 +6,14 @@
 //	ksir-server -corpus corpus.txt -topics 50 -addr :8080
 //	ksir-server -model model.bin -addr :8080
 //
+// With -data-dir the hub is durable: every stream's accepted posts are
+// write-ahead logged and its state periodically checkpointed under the
+// directory, all streams are recovered on startup, and SIGINT/SIGTERM
+// triggers a graceful shutdown — drain HTTP, final checkpoint for every
+// stream, closed events to SSE subscribers:
+//
+//	ksir-server -model model.bin -data-dir /var/lib/ksir -fsync interval
+//
 //	curl -XPOST localhost:8080/v1/streams -d '{"name":"feed","bucket_sec":60}'
 //	curl -XPOST localhost:8080/v1/streams/feed/posts -d '{"id":1,"time":60,"text":"late goal wins the derby"}'
 //	curl -XPOST localhost:8080/v1/streams/feed/flush -d '{"now":120}'
@@ -15,10 +23,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	ksir "github.com/social-streams/ksir"
@@ -39,6 +51,12 @@ func main() {
 		lambda    = flag.Float64("lambda", 0.5, "semantic/influence trade-off (0 = pure influence)")
 		eta       = flag.Float64("eta", 20, "influence rescale")
 		shards    = flag.Int("shards", 0, "topic shards for list maintenance (0 = GOMAXPROCS)")
+
+		dataDir   = flag.String("data-dir", "", "enable durability: WAL + checkpoints per stream under this directory (recovered on startup)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always|interval|never")
+		fsyncInt  = flag.Duration("fsync-interval", time.Second, "max sync lag under -fsync interval")
+		ckptEvery = flag.Int64("checkpoint-every", 64, "buckets between automatic checkpoints")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown HTTP drain budget")
 	)
 	flag.Parse()
 
@@ -86,15 +104,64 @@ func main() {
 	// same options to NewHub makes streams created over POST /v1/streams
 	// inherit the deployment's tuning (λ and shard count included).
 	sopts := []ksir.StreamOption{ksir.WithLambda(*lambda), ksir.WithShards(*shards)}
-	hub := ksir.NewHub()
-	if _, err := hub.Create(server.DefaultStream, model, defaults, sopts...); err != nil {
-		fatal(err)
+
+	var hub *ksir.Hub
+	if *dataDir != "" {
+		policy, err := ksir.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		hub, err = ksir.OpenHub(*dataDir, model, ksir.PersistOptions{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncInt,
+			CheckpointEvery: *ckptEvery,
+		}, sopts...)
+		if err != nil {
+			fatal(err)
+		}
+		if names := hub.List(); len(names) > 0 {
+			fmt.Fprintf(os.Stderr, "recovered %d stream(s) from %s: %v\n", len(names), *dataDir, names)
+		}
+	} else {
+		hub = ksir.NewHub()
+	}
+	if _, err := hub.Get(server.DefaultStream); err != nil {
+		if _, err := hub.Create(server.DefaultStream, model, defaults, sopts...); err != nil {
+			fatal(err)
+		}
 	}
 
+	handler := server.NewHub(hub, model, defaults, sopts...)
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serving /v1 on %s (default stream %q)\n", *addr, server.DefaultStream)
-	if err := http.ListenAndServe(*addr, server.NewHub(hub, model, defaults, sopts...)); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
 		fatal(err)
+	case <-ctx.Done():
 	}
+
+	// Graceful shutdown, in order: (1) end live SSE subscriptions with a
+	// closed event — they never finish on their own and would hold the
+	// drain open to its deadline; (2) drain HTTP, letting ordinary
+	// in-flight requests (ingests included) complete within the budget;
+	// (3) close every stream, whose final checkpoints make all accepted
+	// state durable.
+	fmt.Fprintln(os.Stderr, "shutting down: draining HTTP, checkpointing streams...")
+	handler.StopSubscriptions()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "ksir-server: drain:", err)
+	}
+	if err := hub.CloseAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "ksir-server: final checkpoint:", err)
+	}
+	fmt.Fprintln(os.Stderr, "ksir-server: shutdown complete")
 }
 
 func readLines(path string) ([]string, error) {

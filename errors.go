@@ -41,4 +41,16 @@ var (
 	// ErrNotActive reports a post that is no longer in the sliding window
 	// (e.g. Explain after further ingestion expired it).
 	ErrNotActive = errors.New("ksir: post no longer active")
+	// ErrModelVersion reports an on-disk artifact — model file, checkpoint,
+	// WAL — written by an incompatible format version, or persisted stream
+	// state being opened against a different model than it was built with.
+	ErrModelVersion = errors.New("ksir: unsupported format version")
+	// ErrPersist reports a durability failure: the in-memory operation may
+	// have been applied, but it could not be made durable (WAL append or
+	// checkpoint write failed), or persisted state could not be recovered.
+	ErrPersist = errors.New("ksir: persistence error")
+	// ErrPersistDisabled reports a durability operation (e.g.
+	// StreamHandle.Checkpoint) on a stream that has no persistence — a Hub
+	// built with NewHub instead of OpenHub.
+	ErrPersistDisabled = errors.New("ksir: persistence not enabled")
 )

@@ -2,6 +2,7 @@ package ksir
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,10 +25,16 @@ import (
 // engine's published snapshot) and never contend with writers — on the
 // same stream or any other.
 //
+// A Hub opened with OpenHub is additionally durable: stream state is
+// write-ahead logged and checkpointed under a data directory, and
+// recovered on the next OpenHub (see persistence.go).
+//
 // All Hub methods are safe for concurrent use.
 type Hub struct {
 	mu      sync.RWMutex
 	streams map[string]*StreamHandle
+	// p is the durability configuration (nil for an in-memory hub).
+	p *hubPersist
 }
 
 // NewHub creates an empty registry.
@@ -64,7 +71,10 @@ func validName(name string) error {
 
 // Create registers a new stream under name, built over m with the given
 // options. It fails with ErrStreamExists if the name is taken and
-// ErrBadOptions for an invalid name or configuration.
+// ErrBadOptions for an invalid name or configuration. On a durable hub the
+// stream's directory, manifest and WAL are provisioned before Create
+// returns (and a leftover directory for the name is ErrStreamExists —
+// closed streams keep their durable state).
 func (h *Hub) Create(name string, m *Model, opts Options, sopts ...StreamOption) (*StreamHandle, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -73,12 +83,14 @@ func (h *Hub) Create(name string, m *Model, opts Options, sopts ...StreamOption)
 	if err != nil {
 		return nil, err
 	}
-	return h.register(name, st)
+	return h.registerPersistent(name, st)
 }
 
 // Adopt registers an existing stream under name. The caller must stop
 // writing to st directly: after Adopt, all writes go through the returned
-// handle (which serializes them).
+// handle (which serializes them). On a durable hub the adopted stream's
+// current state is checkpointed immediately, so it is durable from the
+// moment Adopt returns.
 func (h *Hub) Adopt(name string, st *Stream) (*StreamHandle, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -86,16 +98,47 @@ func (h *Hub) Adopt(name string, st *Stream) (*StreamHandle, error) {
 	if st == nil {
 		return nil, fmt.Errorf("%w: nil stream", ErrBadOptions)
 	}
-	return h.register(name, st)
+	return h.registerPersistent(name, st)
 }
 
-func (h *Hub) register(name string, st *Stream) (*StreamHandle, error) {
+// registerPersistent registers the stream and, on a durable hub,
+// provisions its on-disk state first — directory, manifest, WAL, and the
+// initial checkpoint when the stream already has ingested state (Adopt).
+// Provisioning happens under the hub lock, before the handle is
+// reachable through Get: a concurrently created handle can never be
+// observed without its persistence attached (writes on it would bypass
+// the WAL).
+func (h *Hub) registerPersistent(name string, st *Stream) (*StreamHandle, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if _, ok := h.streams[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
 	hs := &StreamHandle{name: name, st: st, done: make(chan struct{})}
+	if h.p != nil {
+		pers, err := h.p.initStream(name, st)
+		if err != nil {
+			return nil, err
+		}
+		hs.pers = pers
+	}
+	h.streams[name] = hs
+	return hs, nil
+}
+
+func (h *Hub) register(name string, st *Stream) (*StreamHandle, error) {
+	return h.registerWith(name, st, nil)
+}
+
+// registerWith inserts a handle with its persistence state already
+// attached (pers may be nil for in-memory streams).
+func (h *Hub) registerWith(name string, st *Stream, pers *streamPersist) (*StreamHandle, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.streams[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	hs := &StreamHandle{name: name, st: st, done: make(chan struct{}), pers: pers}
 	h.streams[name] = hs
 	return hs, nil
 }
@@ -133,7 +176,10 @@ func (h *Hub) Len() int {
 // Close unregisters name and marks its handle closed: in-flight operations
 // finish, subsequent ones fail with ErrStreamClosed. It returns
 // ErrUnknownStream for a name that was never registered (or already
-// closed).
+// closed). On a durable hub, Close waits for the in-flight write (if any),
+// takes a final checkpoint and releases the stream's WAL — the durable
+// state stays on disk and is recovered by the next OpenHub; a checkpoint
+// failure is reported (wrapping ErrPersist) but the stream still closes.
 func (h *Hub) Close(name string) error {
 	h.mu.Lock()
 	hs, ok := h.streams[name]
@@ -142,9 +188,33 @@ func (h *Hub) Close(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
-	hs.closed.Store(true)
+	var perr error
+	if hs.pers != nil {
+		// The writer mutex serializes the final checkpoint behind any
+		// in-flight write; the closed flag set under it fences later ones.
+		hs.mu.Lock()
+		hs.closed.Store(true)
+		perr = hs.pers.finalize(hs.st)
+		hs.mu.Unlock()
+	} else {
+		hs.closed.Store(true)
+	}
 	close(hs.done)
-	return nil
+	return perr
+}
+
+// CloseAll closes every registered stream — the graceful-shutdown sweep:
+// on a durable hub each stream takes its final checkpoint, and every
+// handle's Done channel closes so SSE consumers and other long-lived
+// readers shut down. Errors are joined; streams close regardless.
+func (h *Hub) CloseAll() error {
+	var errs []error
+	for _, name := range h.List() {
+		if err := h.Close(name); err != nil && !errors.Is(err, ErrUnknownStream) {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // StreamHandle is a Hub-managed stream. Write operations are serialized by
@@ -158,6 +228,10 @@ type StreamHandle struct {
 	st     *Stream
 	closed atomic.Bool   // flag, not mutex-guarded: reads must never contend with writers
 	done   chan struct{} // closed by Hub.Close; see Done
+	// pers is the stream's durability state (nil on an in-memory hub).
+	// The serialized writer path is the WAL append point: every accepted
+	// write is logged here, under mu, before the call returns.
+	pers *streamPersist
 }
 
 // Name returns the name the handle is registered under.
@@ -178,29 +252,108 @@ func (hs *StreamHandle) write(fn func(*Stream) error) error {
 	return fn(hs.st)
 }
 
-// Add appends one post (serialized with the handle's other writers).
+// Add appends one post (serialized with the handle's other writers). On a
+// durable hub the accepted post is WAL-logged before Add returns; a
+// logging failure is reported (wrapping ErrPersist) with the post already
+// applied in memory.
 func (hs *StreamHandle) Add(p Post) error {
-	return hs.write(func(st *Stream) error { return st.Add(p) })
+	return hs.write(func(st *Stream) error {
+		if err := st.Add(p); err != nil {
+			return err
+		}
+		if hs.pers != nil {
+			if err := hs.pers.logPost(st, p); err != nil {
+				return err
+			}
+			return hs.pers.maybeCheckpoint(st)
+		}
+		return nil
+	})
 }
 
 // AddBatch appends posts in order, stopping at the first rejected post and
-// reporting how many were accepted.
+// reporting how many were accepted. On a durable hub the accepted prefix
+// is WAL-logged even when a later post is rejected; if both an ingest
+// rejection and a logging failure occur, the returned error joins them
+// (errors.Is matches each), and on a logging failure the posts logged
+// successfully remain durable while the rest are in memory only.
 func (hs *StreamHandle) AddBatch(posts []Post) (accepted int, err error) {
-	err = hs.write(func(st *Stream) error {
+	werr := hs.write(func(st *Stream) error {
 		accepted, err = st.AddBatch(posts)
+		if hs.pers != nil {
+			// Log the whole accepted prefix before considering a
+			// checkpoint: the batch was already applied in memory, so a
+			// mid-prefix checkpoint would capture posts whose WAL records
+			// land after it — records past the watermark that replay
+			// would then wrongly re-apply.
+			var logErr error
+			for _, p := range posts[:accepted] {
+				if logErr = hs.pers.logPost(st, p); logErr != nil {
+					break
+				}
+			}
+			if logErr == nil {
+				logErr = hs.pers.maybeCheckpoint(st)
+			}
+			if logErr != nil {
+				err = errors.Join(err, logErr)
+			}
+		}
 		return err
 	})
+	if werr != nil {
+		err = werr
+	}
 	return accepted, err
 }
 
-// Flush ingests everything buffered up to stream time now.
+// Flush ingests everything buffered up to stream time now (WAL-logged as
+// an explicit boundary on a durable hub).
 func (hs *StreamHandle) Flush(now int64) error {
-	return hs.write(func(st *Stream) error { return st.Flush(now) })
+	return hs.write(func(st *Stream) error {
+		if err := st.Flush(now); err != nil {
+			return err
+		}
+		if hs.pers != nil {
+			if err := hs.pers.logFlush(st, now); err != nil {
+				return err
+			}
+			return hs.pers.maybeCheckpoint(st)
+		}
+		return nil
+	})
 }
 
 // SwapModel replaces the topic model, serialized with the other writers.
+// It is rejected on a durable stream: persisted state is fingerprinted
+// against one model, and recovery would re-open the swapped stream with
+// the original — restart the hub (OpenHub) with the new model instead.
 func (hs *StreamHandle) SwapModel(m *Model) error {
-	return hs.write(func(st *Stream) error { return st.SwapModel(m) })
+	return hs.write(func(st *Stream) error {
+		if hs.pers != nil {
+			return fmt.Errorf("%w: SwapModel on persisted stream %q (re-open the hub with the new model)", ErrPersist, hs.name)
+		}
+		return st.SwapModel(m)
+	})
+}
+
+// Checkpoint forces an immediate checkpoint: the stream's full state is
+// serialized, the snapshot atomically replaces the previous one, and the
+// WAL is truncated. It fails with ErrPersistDisabled on an in-memory hub.
+// The returned stats reflect the stream just after the checkpoint.
+func (hs *StreamHandle) Checkpoint() (PersistStats, error) {
+	var ps PersistStats
+	err := hs.write(func(st *Stream) error {
+		if hs.pers == nil {
+			return fmt.Errorf("%w: stream %q", ErrPersistDisabled, hs.name)
+		}
+		if err := hs.pers.checkpoint(st); err != nil {
+			return err
+		}
+		ps = hs.pers.stats()
+		return nil
+	})
+	return ps, err
 }
 
 // Subscribe registers a standing query (see Stream.Subscribe), serialized
@@ -251,9 +404,16 @@ func (hs *StreamHandle) Explain(res Result, q Query) ([]Explanation, error) {
 	return hs.st.Explain(res, q)
 }
 
-// Stats reports the stream's counters as of the last published bucket.
-// Lock-free like Query.
-func (hs *StreamHandle) Stats() StreamStats { return hs.st.Stats() }
+// Stats reports the stream's counters as of the last published bucket,
+// including the durability counters on a persistent hub. Lock-free like
+// Query.
+func (hs *StreamHandle) Stats() StreamStats {
+	s := hs.st.Stats()
+	if hs.pers != nil {
+		s.Persist = hs.pers.stats()
+	}
+	return s
+}
 
 // Done returns a channel closed when the stream is closed out of the Hub
 // — the signal long-lived consumers (e.g. SSE connections) select on to

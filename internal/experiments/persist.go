@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+)
+
+// persistModel trains (once per Lab) the small model the durability
+// experiment ingests against; the durability numbers measure the WAL and
+// checkpoint machinery, not topic inference, so a compact two-topic model
+// keeps the experiment fast without changing what is measured.
+func (l *Lab) persistModel() (*ksir.Model, error) {
+	if l.persistM != nil {
+		return l.persistM, nil
+	}
+	words := [][]string{
+		{"goal", "striker", "keeper", "league", "derby", "penalty", "midfield", "champions"},
+		{"dunk", "rebound", "playoffs", "court", "buzzer", "triple", "assist", "quarter"},
+	}
+	rng := rand.New(rand.NewSource(l.scale.Seed))
+	texts := make([]string, 400)
+	for i := range texts {
+		ws := words[i%2]
+		var b []string
+		for j := 0; j < 6; j++ {
+			b = append(b, ws[rng.Intn(len(ws))])
+		}
+		texts[i] = strings.Join(b, " ")
+	}
+	m, err := ksir.TrainModel(texts, ksir.WithTopics(2),
+		ksir.WithIterations(l.scale.TopicIters), ksir.WithSeed(l.scale.Seed),
+		ksir.WithPriors(0.5, 0.01))
+	if err != nil {
+		return nil, err
+	}
+	l.persistM = m
+	return m, nil
+}
+
+// persistPosts generates n posts over the persist model's vocabulary with
+// reference chains and bucket-crossing timestamps.
+func persistPosts(n int, seed int64) []ksir.Post {
+	words := []string{"goal", "striker", "keeper", "league", "derby", "penalty",
+		"dunk", "rebound", "playoffs", "court", "buzzer", "triple"}
+	rng := rand.New(rand.NewSource(seed))
+	posts := make([]ksir.Post, n)
+	ts := int64(60)
+	for i := range posts {
+		ts += int64(rng.Intn(8))
+		var b []string
+		for w := 0; w < 5; w++ {
+			b = append(b, words[rng.Intn(len(words))])
+		}
+		p := ksir.Post{ID: int64(i + 1), Time: ts, Text: strings.Join(b, " ")}
+		for r := 0; r < rng.Intn(3) && i > 0; r++ {
+			p.Refs = append(p.Refs, int64(1+rng.Intn(i)))
+		}
+		posts[i] = p
+	}
+	return posts
+}
+
+var persistStreamOpts = ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 5}
+
+// persistIngest feeds posts through a handle and returns the wall time.
+func persistIngest(hs *ksir.StreamHandle, posts []ksir.Post) (time.Duration, error) {
+	start := time.Now()
+	for _, p := range posts {
+		if err := hs.Add(p); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Persist measures the durability subsystem (DESIGN.md §8): WAL append
+// overhead on the ingest path under each fsync policy (the in-memory hub
+// is the zero-overhead baseline), and crash-recovery time by stream size
+// for WAL-only replay vs checkpoint restore.
+func (l *Lab) Persist(sizes []int) (*Table, []BenchEntry, error) {
+	model, err := l.persistModel()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(sizes) == 0 {
+		sizes = []int{1000, 4000, 16000}
+	}
+	t := &Table{
+		Title:  "Durability: WAL append overhead and recovery time vs stream size",
+		Header: []string{"elements", "ingest mem (ms)", "wal never (ms)", "wal interval (ms)", "wal always (ms)", "recover wal (ms)", "recover ckpt (ms)"},
+		Notes: []string{
+			"ingest columns: same posts through an in-memory hub vs durable hubs per fsync policy",
+			"recover columns: OpenHub after an unclean stop — full WAL replay vs checkpoint restore + empty WAL",
+		},
+	}
+	var entries []BenchEntry
+
+	for _, n := range sizes {
+		posts := persistPosts(n, l.scale.Seed)
+
+		// Baseline: no persistence.
+		hub := ksir.NewHub()
+		hs, err := hub.Create("bench", model, persistStreamOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := persistIngest(hs, posts)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Durable ingest per fsync policy (fsync=never's directory is
+		// reused for the recovery measurements below).
+		ingest := map[ksir.FsyncPolicy]time.Duration{}
+		var walDir string
+		for _, policy := range []ksir.FsyncPolicy{ksir.FsyncNever, ksir.FsyncInterval, ksir.FsyncAlways} {
+			dir, err := os.MkdirTemp("", "ksir-persist-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			defer os.RemoveAll(dir)
+			// CheckpointEvery is pushed out of reach so the ingest numbers
+			// measure pure WAL appends and recovery replays every record.
+			dhub, err := ksir.OpenHub(dir, model, ksir.PersistOptions{Fsync: policy, CheckpointEvery: 1 << 30})
+			if err != nil {
+				return nil, nil, err
+			}
+			dhs, err := dhub.Create("bench", model, persistStreamOpts)
+			if err != nil {
+				return nil, nil, err
+			}
+			ingest[policy], err = persistIngest(dhs, posts)
+			if err != nil {
+				return nil, nil, err
+			}
+			if policy == ksir.FsyncNever {
+				walDir = dir // abandoned un-closed: the crash image
+			} else if err := dhub.CloseAll(); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		// Recovery from the crash image: WAL-only replay...
+		startWAL := time.Now()
+		rhub, err := ksir.OpenHub(walDir, model, ksir.PersistOptions{Fsync: ksir.FsyncNever})
+		if err != nil {
+			return nil, nil, err
+		}
+		recoverWAL := time.Since(startWAL)
+		rhs, err := rhub.Get("bench")
+		if err != nil {
+			return nil, nil, err
+		}
+		// ...then checkpoint it and measure the restore path.
+		if _, err := rhs.Checkpoint(); err != nil {
+			return nil, nil, err
+		}
+		if err := rhub.CloseAll(); err != nil {
+			return nil, nil, err
+		}
+		startCkpt := time.Now()
+		chub, err := ksir.OpenHub(walDir, model, ksir.PersistOptions{Fsync: ksir.FsyncNever})
+		if err != nil {
+			return nil, nil, err
+		}
+		recoverCkpt := time.Since(startCkpt)
+		if err := chub.CloseAll(); err != nil {
+			return nil, nil, err
+		}
+
+		t.AddRow(fmt.Sprint(n),
+			fmtMS(float64(base.Nanoseconds())),
+			fmtMS(float64(ingest[ksir.FsyncNever].Nanoseconds())),
+			fmtMS(float64(ingest[ksir.FsyncInterval].Nanoseconds())),
+			fmtMS(float64(ingest[ksir.FsyncAlways].Nanoseconds())),
+			fmtMS(float64(recoverWAL.Nanoseconds())),
+			fmtMS(float64(recoverCkpt.Nanoseconds())))
+		suffix := fmt.Sprintf("-n%d", n)
+		perPost := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(n) / 1e3 }
+		entries = append(entries,
+			BenchEntry{Name: "persist-ingest-baseline" + suffix, Value: perPost(base), Unit: "Microseconds/post"},
+			BenchEntry{Name: "persist-ingest-fsync-never" + suffix, Value: perPost(ingest[ksir.FsyncNever]), Unit: "Microseconds/post"},
+			BenchEntry{Name: "persist-ingest-fsync-interval" + suffix, Value: perPost(ingest[ksir.FsyncInterval]), Unit: "Microseconds/post"},
+			BenchEntry{Name: "persist-ingest-fsync-always" + suffix, Value: perPost(ingest[ksir.FsyncAlways]), Unit: "Microseconds/post"},
+			BenchEntry{Name: "persist-recovery-wal" + suffix, Value: float64(recoverWAL.Nanoseconds()) / 1e6, Unit: "Milliseconds"},
+			BenchEntry{Name: "persist-recovery-checkpoint" + suffix, Value: float64(recoverCkpt.Nanoseconds()) / 1e6, Unit: "Milliseconds"},
+		)
+	}
+	if len(sizes) > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("sizes swept: %v (override with -elements)", sizes))
+	}
+	return t, entries, nil
+}

@@ -1,0 +1,248 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"github.com/social-streams/ksir/internal/core"
+)
+
+// Meta is the small per-stream manifest written once at stream creation,
+// so a stream whose first checkpoint never happened is still recoverable
+// (name, configuration) from its WAL alone.
+type Meta struct {
+	Name string
+	// ModelHash fingerprints the topic model the stream's persisted state
+	// was built against. Recovery refuses to marry this state to a
+	// different model: documents, topics and word IDs would silently
+	// disagree.
+	ModelHash uint64
+	// Resolved stream configuration (durations in nanoseconds, as
+	// time.Duration's underlying representation).
+	WindowNs int64
+	BucketNs int64
+	Lambda   float64
+	Eta      float64
+	Shards   int
+}
+
+// Checkpoint is the full serialized state of one stream at a bucket
+// boundary: everything OpenHub needs to reconstruct the stream without
+// replaying history, plus the op-sequence watermark that tells WAL replay
+// which records are already folded in.
+type Checkpoint struct {
+	Name      string
+	ModelHash uint64
+	// OpSeq is the last WAL sequence whose effect the checkpoint
+	// captures; replay skips records with Seq <= OpSeq.
+	OpSeq uint64
+	// LastTime is the stream's last accepted post/flush time (the
+	// ordering watermark for future Adds).
+	LastTime int64
+	// Core is the engine state: window contents, per-topic ranked-list
+	// tuples (serialized, not recomputed — list scores may legitimately
+	// lag the live scorer, and recovery must reproduce them exactly), and
+	// maintenance counters.
+	Core core.State
+	// Pending are the buffered posts of the current, incomplete bucket in
+	// arrival order. They are stored raw and re-ingested through the
+	// normal Add path on recovery (per-document-seeded inference makes
+	// that byte-identical).
+	Pending []PostRec
+}
+
+// File names inside one stream's directory.
+const (
+	MetaFile       = "meta"
+	CheckpointFile = "checkpoint"
+	checkpointTmp  = "checkpoint.tmp"
+	// CheckpointBak is the previous checkpoint, kept until the next one
+	// lands so a crash mid-replace always leaves a loadable snapshot.
+	CheckpointBak = "checkpoint.bak"
+	WALFile       = "wal"
+)
+
+var (
+	metaMagic = [8]byte{'K', 'S', 'I', 'R', 'M', 'E', 'T', 'A'}
+	ckptMagic = [8]byte{'K', 'S', 'I', 'R', 'C', 'K', 'P', 'T'}
+)
+
+// encodeFile wraps a gob payload in the integrity envelope shared by meta
+// and checkpoint files:
+//
+//	| magic 8B | version u32 | CRC32C(payload) u32 | gob payload |
+func encodeFile(magic [8]byte, v any) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("persist: encoding %s: %w", magic[:], err)
+	}
+	head := make([]byte, 0, 16+payload.Len())
+	head = append(head, magic[:]...)
+	head = appendU32(head, FormatVersion)
+	head = appendU32(head, crc32.Checksum(payload.Bytes(), crcTable))
+	return append(head, payload.Bytes()...), nil
+}
+
+// decodeFile verifies the envelope and decodes the gob payload into v.
+func decodeFile(magic [8]byte, data []byte, v any) error {
+	if len(data) < 16 || !bytes.Equal(data[:8], magic[:]) {
+		return fmt.Errorf("%w: bad %s header", ErrCorrupt, magic[:])
+	}
+	if ver := binary.LittleEndian.Uint32(data[8:]); ver != FormatVersion {
+		return fmt.Errorf("%w: %s file version %d (want %d)", ErrVersion, magic[:], ver, FormatVersion)
+	}
+	payload := data[16:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[12:]) {
+		return fmt.Errorf("%w: %s checksum mismatch", ErrCorrupt, magic[:])
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("%w: decoding %s: %v", ErrCorrupt, magic[:], err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to dir/name via a temp file + fsync + rename
+// + directory fsync, the full sequence needed for the rename to be durable
+// rather than merely atomic.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeFull(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse fsync on directories; the rename itself is
+	// still atomic there, so degrade silently.
+	_ = d.Sync()
+	return nil
+}
+
+// WriteMeta persists the stream manifest (atomically; called once at
+// stream creation).
+func WriteMeta(dir string, m Meta) error {
+	data, err := encodeFile(metaMagic, &m)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, MetaFile, data)
+}
+
+// ReadMeta loads the stream manifest.
+func ReadMeta(dir string) (Meta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if err := decodeFile(metaMagic, data, &m); err != nil {
+		return Meta{}, err
+	}
+	return m, nil
+}
+
+// WriteCheckpoint atomically replaces the stream's checkpoint, rotating
+// the previous one to .bak first. After it returns, the caller may Reset
+// the WAL: every crash window leaves either the new checkpoint, or the
+// .bak plus the still-untruncated WAL.
+func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	data, err := encodeFile(ckptMagic, ck)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeFull(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, CheckpointFile)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, filepath.Join(dir, CheckpointBak)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint loads the stream's latest valid checkpoint: the current
+// file if it decodes cleanly, else the .bak (whose WAL suffix is still on
+// disk — see WriteCheckpoint). It returns (nil, nil) when the stream has
+// never been checkpointed. A version mismatch is reported as ErrVersion
+// even when a fallback exists, so operators see incompatibility rather
+// than a silent restore of older state.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	load := func(name string) (*Checkpoint, error) {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var ck Checkpoint
+		if err := decodeFile(ckptMagic, data, &ck); err != nil {
+			return nil, err
+		}
+		return &ck, nil
+	}
+	ck, err := load(CheckpointFile)
+	switch {
+	case err == nil:
+		return ck, nil
+	case errors.Is(err, ErrVersion):
+		return nil, err
+	case errors.Is(err, fs.ErrNotExist), errors.Is(err, ErrCorrupt):
+		bak, berr := load(CheckpointBak)
+		if berr == nil {
+			return bak, nil
+		}
+		if errors.Is(berr, fs.ErrNotExist) {
+			if errors.Is(err, ErrCorrupt) {
+				return nil, err // corrupt current, nothing to fall back to
+			}
+			return nil, nil // never checkpointed
+		}
+		return nil, berr
+	default:
+		return nil, err
+	}
+}

@@ -1,0 +1,159 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/rankedlist"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+func testCheckpoint() *Checkpoint {
+	e1 := &stream.Element{
+		ID: 1, TS: 100,
+		Doc:    textproc.NewDocument([]textproc.WordID{0, 1, 0}),
+		Topics: topicmodel.TopicVec{Topics: []int32{0, 1}, Probs: []float64{0.75, 0.25}},
+		Text:   "first post",
+	}
+	e2 := &stream.Element{
+		ID: 2, TS: 160,
+		Doc:    textproc.NewDocument([]textproc.WordID{1}),
+		Topics: topicmodel.TopicVec{Topics: []int32{1}, Probs: []float64{1}},
+		Refs:   []stream.ElemID{1},
+		Text:   "second post",
+	}
+	return &Checkpoint{
+		Name:      "feed",
+		ModelHash: 0xfeedbeef,
+		OpSeq:     42,
+		LastTime:  170,
+		Core: core.State{
+			Window: stream.WindowState{
+				Now:       180,
+				WindowLen: 2,
+				Elems: []stream.ExportedElem{
+					{Elem: e1, Active: true, LastRef: 160},
+					{Elem: e2, Active: true, LastRef: 160},
+				},
+			},
+			Lists: [][]rankedlist.Item{
+				{{ID: 1, Score: 0.9, LastRef: 160}, {ID: 2, Score: 0.4, LastRef: 160}},
+				{{ID: 2, Score: 0.7, LastRef: 160}},
+			},
+			Stats: core.Stats{ElementsIngested: 2, Buckets: 3, ListUpserts: 5, ListDeletes: 1},
+		},
+		Pending: []PostRec{{ID: 3, Time: 175, Text: "buffered", Refs: []int64{2}}},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testCheckpoint()
+	if err := WriteCheckpoint(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("checkpoint round trip diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadCheckpointAbsent(t *testing.T) {
+	ck, err := LoadCheckpoint(t.TempDir())
+	if ck != nil || err != nil {
+		t.Errorf("absent checkpoint = %v, %v; want nil, nil", ck, err)
+	}
+}
+
+// A corrupt current checkpoint falls back to the rotated .bak — the crash
+// window between writing the new file and truncating the WAL.
+func TestLoadCheckpointFallsBackToBak(t *testing.T) {
+	dir := t.TempDir()
+	old := testCheckpoint()
+	old.OpSeq = 10
+	if err := WriteCheckpoint(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	niu := testCheckpoint()
+	niu.OpSeq = 20
+	if err := WriteCheckpoint(dir, niu); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the current file's payload.
+	cur := filepath.Join(dir, CheckpointFile)
+	data, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(cur, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OpSeq != 10 {
+		t.Errorf("fallback loaded OpSeq %d, want the .bak's 10", got.OpSeq)
+	}
+	// With no .bak at all, corruption is surfaced, not masked.
+	if err := os.Remove(filepath.Join(dir, CheckpointBak)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt-only load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, testCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(dir, CheckpointFile)
+	data, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] = 0x63 // version field
+	if err := os.WriteFile(cur, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); !errors.Is(err, ErrVersion) {
+		t.Errorf("future-version load = %v, want ErrVersion", err)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Meta{Name: "feed", ModelHash: 7, WindowNs: 1e9, BucketNs: 1e8, Lambda: 0.25, Eta: 20, Shards: 2}
+	if err := WriteMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeta(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("meta round trip: got %+v want %+v", got, want)
+	}
+	// Version mismatch is typed.
+	path := filepath.Join(dir, MetaFile)
+	data, _ := os.ReadFile(path)
+	data[8] = 0x63
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeta(dir); !errors.Is(err, ErrVersion) {
+		t.Errorf("meta version error = %v, want ErrVersion", err)
+	}
+}

@@ -1,0 +1,196 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Kind discriminates WAL record payloads.
+type Kind uint8
+
+const (
+	// KindPost records one accepted post (the Add path).
+	KindPost Kind = 1
+	// KindFlush records an explicit Flush(now) — a forced bucket
+	// boundary. Implicit boundaries (a post arriving past its bucket) are
+	// not logged: replaying the posts reproduces them deterministically.
+	KindFlush Kind = 2
+)
+
+// PostRec is the raw, model-independent form of a post as logged and
+// checkpointed. Replay feeds it back through the normal ingest path, which
+// re-tokenizes and re-infers it; inference is seeded per document, so the
+// rebuilt element is identical to the lost one.
+type PostRec struct {
+	ID   int64
+	Time int64
+	Text string
+	Refs []int64
+}
+
+// Record is one WAL entry.
+type Record struct {
+	// Seq is the per-stream operation sequence number, strictly
+	// increasing across the stream's lifetime (checkpoint truncations do
+	// not reset it). Replay skips records with Seq at or below the loaded
+	// checkpoint's OpSeq, which makes replay idempotent.
+	Seq uint64
+	// Bucket is the stream's published bucket sequence after the
+	// operation was applied (diagnostic: ties every record to the
+	// checkpoint cadence).
+	Bucket int64
+	Kind   Kind
+	// Post is set for KindPost.
+	Post PostRec
+	// FlushNow is set for KindFlush.
+	FlushNow int64
+}
+
+// maxRecordSize bounds one record's payload; a length prefix beyond it is
+// treated as a torn/corrupt tail rather than a 4 GiB allocation.
+const maxRecordSize = 64 << 20
+
+// crcTable is Castagnoli, hardware-accelerated on current CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint-style fixed-width helpers: the record format is fixed
+// little-endian for alignment-free decoding.
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+
+// encode serializes the record as one self-delimiting frame:
+//
+//	| payload len u32 | CRC32C(payload) u32 | payload |
+//	payload = | seq u64 | bucket i64 | kind u8 | body |
+//	post body = | id i64 | time i64 | nrefs u32 | refs i64... | text |
+//	flush body = | now i64 |
+//
+// The CRC covers the whole payload, so a torn write anywhere in the frame
+// is detected; the length prefix lets the reader skip to the next frame
+// boundary (there is none after a torn tail — scanning stops).
+func (r *Record) encode(buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // len + crc placeholders
+	p := len(buf)
+	buf = appendU64(buf, r.Seq)
+	buf = appendI64(buf, r.Bucket)
+	buf = append(buf, byte(r.Kind))
+	switch r.Kind {
+	case KindPost:
+		buf = appendI64(buf, r.Post.ID)
+		buf = appendI64(buf, r.Post.Time)
+		buf = appendU32(buf, uint32(len(r.Post.Refs)))
+		for _, ref := range r.Post.Refs {
+			buf = appendI64(buf, ref)
+		}
+		buf = append(buf, r.Post.Text...)
+	case KindFlush:
+		buf = appendI64(buf, r.FlushNow)
+	default:
+		return nil, fmt.Errorf("persist: unknown record kind %d", r.Kind)
+	}
+	payload := buf[p:]
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("persist: record of %d bytes exceeds the %d byte limit", len(payload), maxRecordSize)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// errTorn is the internal marker for "stop scanning here": a frame that is
+// incomplete or fails its CRC. It never escapes the package — recovery
+// treats it as clean end-of-log.
+var errTorn = fmt.Errorf("persist: torn record")
+
+// decodeFrom reads one record from b, returning the record and the number
+// of bytes consumed. It returns errTorn when b does not hold one complete,
+// CRC-valid frame.
+func decodeFrom(b []byte) (Record, int, error) {
+	if len(b) < 8 {
+		return Record{}, 0, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n < 17 || n > maxRecordSize || len(b) < 8+n {
+		// Too short to hold the header, absurdly long, or truncated: a
+		// torn tail either way.
+		return Record{}, 0, errTorn
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return Record{}, 0, errTorn
+	}
+	var r Record
+	r.Seq = binary.LittleEndian.Uint64(payload)
+	r.Bucket = int64(binary.LittleEndian.Uint64(payload[8:]))
+	r.Kind = Kind(payload[16])
+	body := payload[17:]
+	switch r.Kind {
+	case KindPost:
+		if len(body) < 20 {
+			return Record{}, 0, errTorn
+		}
+		r.Post.ID = int64(binary.LittleEndian.Uint64(body))
+		r.Post.Time = int64(binary.LittleEndian.Uint64(body[8:]))
+		nrefs := int(binary.LittleEndian.Uint32(body[16:]))
+		body = body[20:]
+		if nrefs > len(body)/8 {
+			return Record{}, 0, errTorn
+		}
+		if nrefs > 0 {
+			r.Post.Refs = make([]int64, nrefs)
+			for i := range r.Post.Refs {
+				r.Post.Refs[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+			}
+		}
+		r.Post.Text = string(body[8*nrefs:])
+	case KindFlush:
+		if len(body) != 8 {
+			return Record{}, 0, errTorn
+		}
+		r.FlushNow = int64(binary.LittleEndian.Uint64(body))
+	default:
+		// An unknown kind with a valid CRC is a format from the future;
+		// scanning past it would misinterpret the stream.
+		return Record{}, 0, fmt.Errorf("%w: WAL record kind %d", ErrVersion, r.Kind)
+	}
+	return r, 8 + n, nil
+}
+
+// scan iterates the valid record prefix of data, calling fn for each
+// record, and returns the byte length of that prefix. A torn tail ends the
+// scan cleanly; any other error (fn's, or a future-format record) aborts.
+func scan(data []byte, fn func(Record) error) (int64, error) {
+	var off int64
+	for int(off) < len(data) {
+		rec, n, err := decodeFrom(data[off:])
+		if err == errTorn {
+			return off, nil
+		}
+		if err != nil {
+			return off, err
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// writeFull writes b fully to w (os.File.Write already loops, but keep the
+// invariant explicit for any io.Writer).
+func writeFull(w io.Writer, b []byte) error {
+	n, err := w.Write(b)
+	if err == nil && n != len(b) {
+		err = io.ErrShortWrite
+	}
+	return err
+}

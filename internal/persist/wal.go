@@ -1,0 +1,201 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// WAL is one stream's write-ahead log: an append-only file of framed
+// records (record.go). The ksir layer serializes all appends per stream
+// (the Hub's StreamHandle mutex); the WAL's own mutex exists only to
+// coordinate those appends with the background interval-sync goroutine.
+type WAL struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	size     int64
+	policy   SyncPolicy
+	interval time.Duration
+	lastSync time.Time
+	dirty    bool // bytes appended since the last fsync
+	buf      []byte
+	lastSeq  uint64        // highest Seq ever appended or replayed
+	stopc    chan struct{} // stops the interval-sync goroutine (nil unless SyncInterval)
+}
+
+// OpenWAL opens (creating if absent) the log at path and replays its valid
+// record prefix through replay, in order. A torn or corrupt tail — the
+// normal shape of a crash mid-append — is truncated away so new records
+// append cleanly after the last valid one; it is not an error. replay may
+// be nil. interval is only consulted under SyncInterval (0 means 1s);
+// under that policy a background goroutine syncs dirty bytes every
+// interval, so an idle stream's tail writes reach stable storage within
+// the interval even when no further append ever comes.
+func OpenWAL(path string, policy SyncPolicy, interval time.Duration, replay func(Record) error) (*WAL, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening WAL: %w", err)
+	}
+	w := &WAL{f: f, path: path, policy: policy, interval: interval, lastSync: time.Now()}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: reading WAL: %w", err)
+	}
+	valid, err := scan(data, func(r Record) error {
+		w.lastSeq = r.Seq
+		if replay != nil {
+			return replay(r)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if valid < int64(len(data)) {
+		// Drop the torn tail so the next append starts at a frame
+		// boundary instead of burying a record inside garbage.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seeking WAL: %w", err)
+	}
+	w.size = valid
+	if policy == SyncInterval {
+		w.stopc = make(chan struct{})
+		go w.syncLoop(w.stopc)
+	}
+	return w, nil
+}
+
+// syncLoop flushes dirty bytes every interval until Close (stop is passed
+// in rather than read from the struct — Close nils the field under the
+// mutex while this select polls it).
+func (w *WAL) syncLoop(stop <-chan struct{}) {
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			_ = w.syncLocked() // next append or Close will surface a persistent failure
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Append writes one record and applies the sync policy. The record must
+// carry a Seq greater than every previously appended one.
+func (w *WAL) Append(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("persist: append to closed WAL")
+	}
+	if r.Seq <= w.lastSeq {
+		return fmt.Errorf("persist: WAL sequence moved backwards (%d after %d)", r.Seq, w.lastSeq)
+	}
+	buf, err := r.encode(w.buf[:0])
+	if err != nil {
+		return err
+	}
+	w.buf = buf[:0] // recycle the scratch buffer
+	if err := writeFull(w.f, buf); err != nil {
+		return fmt.Errorf("persist: appending WAL record: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.lastSeq = r.Seq
+	w.dirty = true
+	switch w.policy {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.interval {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage (a no-op when nothing
+// is dirty).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if !w.dirty || w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing WAL: %w", err)
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Reset empties the log — called after a checkpoint has captured every
+// record's effect. Sequence numbers keep counting up across resets, so a
+// record can never be confused with a pre-checkpoint one.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncating WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: rewinding WAL: %w", err)
+	}
+	w.size = 0
+	w.dirty = true
+	return w.syncLocked()
+}
+
+// Size returns the log's current byte length.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// LastSeq returns the highest record sequence appended or replayed.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// Close syncs and closes the log file. Safe to call twice.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if w.stopc != nil {
+		close(w.stopc)
+		w.stopc = nil
+	}
+	serr := w.syncLocked()
+	cerr := w.f.Close()
+	w.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,295 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func postRecord(seq uint64, id int64) Record {
+	return Record{
+		Seq:    seq,
+		Bucket: int64(seq / 3),
+		Kind:   KindPost,
+		Post: PostRec{
+			ID:   id,
+			Time: 100 + id,
+			Text: "späte Tore gewinnen das derby ⚽",
+			Refs: []int64{id - 1, id - 2},
+		},
+	}
+}
+
+func openTestWAL(t *testing.T, path string, replay func(Record) error) *WAL {
+	t.Helper()
+	w, err := OpenWAL(path, SyncNever, 0, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openTestWAL(t, path, nil)
+	want := []Record{
+		postRecord(1, 10),
+		{Seq: 2, Bucket: 1, Kind: KindFlush, FlushNow: 900},
+		{Seq: 3, Bucket: 1, Kind: KindPost, Post: PostRec{ID: 11, Time: 901, Text: ""}}, // no refs, empty text
+	}
+	for _, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.LastSeq() != 3 {
+		t.Errorf("LastSeq = %d", w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	w2 := openTestWAL(t, path, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	defer w2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed records diverge:\n got %+v\nwant %+v", got, want)
+	}
+	if w2.LastSeq() != 3 {
+		t.Errorf("reopened LastSeq = %d", w2.LastSeq())
+	}
+	// Appends continue after the replayed tail.
+	if err := w2.Append(postRecord(4, 12)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRejectsSequenceReuse(t *testing.T) {
+	w := openTestWAL(t, filepath.Join(t.TempDir(), "wal"), nil)
+	defer w.Close()
+	if err := w.Append(postRecord(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(postRecord(5, 2)); err == nil {
+		t.Error("duplicate sequence accepted")
+	}
+	if err := w.Append(postRecord(4, 2)); err == nil {
+		t.Error("backwards sequence accepted")
+	}
+}
+
+// A crash mid-append leaves a torn tail: every truncation point of the
+// final record must recover exactly the preceding records, silently.
+func TestWALTornTailEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	w := openTestWAL(t, path, nil)
+	if err := w.Append(postRecord(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(postRecord(2, 11)); err != nil {
+		t.Fatal(err)
+	}
+	prefix := w.Size()
+	if err := w.Append(postRecord(3, 12)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	for cut := prefix; cut < int64(len(full)); cut++ {
+		torn := filepath.Join(dir, "torn")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var seqs []uint64
+		tw, err := OpenWAL(torn, SyncNever, 0, func(r Record) error {
+			seqs = append(seqs, r.Seq)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+			t.Fatalf("cut at %d: replayed %v, want [1 2]", cut, seqs)
+		}
+		if tw.Size() != prefix {
+			t.Fatalf("cut at %d: size %d, want truncated to %d", cut, tw.Size(), prefix)
+		}
+		// The torn bytes are gone: a new append must land at the frame
+		// boundary and survive a reopen.
+		if err := tw.Append(postRecord(3, 99)); err != nil {
+			t.Fatal(err)
+		}
+		tw.Close()
+		seqs = nil
+		tw2, err := OpenWAL(torn, SyncNever, 0, func(r Record) error {
+			seqs = append(seqs, r.Seq)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw2.Close()
+		if len(seqs) != 3 || seqs[2] != 3 {
+			t.Fatalf("cut at %d: after re-append replayed %v", cut, seqs)
+		}
+	}
+}
+
+// A bit flip inside an earlier record stops replay at the last record
+// before the flip — the valid prefix — rather than erroring or panicking.
+func TestWALCorruptMiddleStopsAtPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	w := openTestWAL(t, path, nil)
+	var bound int64
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := w.Append(postRecord(seq, int64(10+seq))); err != nil {
+			t.Fatal(err)
+		}
+		if seq == 1 {
+			bound = w.Size()
+		}
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[bound+20] ^= 0xff // inside record 2's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	w2, err := OpenWAL(path, SyncNever, 0, func(r Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Errorf("replayed %v, want just the valid prefix [1]", seqs)
+	}
+}
+
+func TestWALUnknownKindIsVersionError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	r := Record{Seq: 1, Kind: KindFlush, FlushNow: 7}
+	buf, err := r.encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Record{Seq: 1, Kind: Kind(0x7f)}).encode(nil); err == nil {
+		t.Fatal("encode accepted an unknown kind")
+	}
+	// Rewrite the kind byte to an unknown value and fix up the CRC so the
+	// frame is valid — a record from a future format, not a torn one.
+	buf[8+16] = 0x7f
+	fixCRC(buf)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenWAL(path, SyncNever, 0, nil)
+	if !errors.Is(err, ErrVersion) {
+		t.Errorf("unknown kind error = %v, want ErrVersion", err)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openTestWAL(t, path, nil)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.Append(postRecord(seq, int64(seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Errorf("size after reset = %d", w.Size())
+	}
+	// Sequences keep counting up across the reset.
+	if err := w.Append(postRecord(3, 3)); err == nil {
+		t.Error("pre-reset sequence accepted after reset")
+	}
+	if err := w.Append(postRecord(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	var seqs []uint64
+	w2 := openTestWAL(t, path, func(r Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	defer w2.Close()
+	if len(seqs) != 1 || seqs[0] != 6 {
+		t.Errorf("post-reset replay = %v, want [6]", seqs)
+	}
+}
+
+func TestWALSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			w, err := OpenWAL(path, policy, 10*time.Millisecond, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seq := uint64(1); seq <= 20; seq++ {
+				if err := w.Append(postRecord(seq, int64(seq))); err != nil {
+					t.Fatal(err)
+				}
+				if policy == SyncInterval && seq == 10 {
+					time.Sleep(15 * time.Millisecond) // cross the sync deadline
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			w2, err := OpenWAL(path, policy, 0, func(Record) error { n++; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			if n != 20 {
+				t.Errorf("replayed %d records, want 20", n)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncInterval, "never": SyncNever, "": SyncInterval,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// fixCRC recomputes the CRC of the first frame in buf in place.
+func fixCRC(buf []byte) {
+	n := binary.LittleEndian.Uint32(buf)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:8+n], crcTable))
+}

@@ -14,6 +14,7 @@
 //	POST   /v1/streams/{name}/query       answer a k-SIR query
 //	GET    /v1/streams/{name}/stats       configuration + counters
 //	GET    /v1/streams/{name}/subscribe   standing query over SSE
+//	POST   /v1/streams/{name}/checkpoint  force a durability checkpoint
 //	GET    /healthz                        liveness
 //
 // Errors use the structured envelope {"error":{"code","message"}} with
@@ -34,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 
 	ksir "github.com/social-streams/ksir"
 	apiv1 "github.com/social-streams/ksir/api/v1"
@@ -69,6 +71,11 @@ type Server struct {
 	defaults ksir.Options
 	sopts    []ksir.StreamOption
 	h        *http.ServeMux
+	// closing ends long-lived SSE connections during graceful shutdown
+	// (see StopSubscriptions): SSE would otherwise hold http.Server.
+	// Shutdown open until its deadline.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // New wraps a single stream, registered in a fresh Hub as "default" — the
@@ -89,7 +96,8 @@ func New(st *ksir.Stream) *Server {
 // the deployment's tuning, λ=0 included); the legacy route aliases
 // resolve the hub entry named "default" (404 when absent).
 func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ksir.StreamOption) *Server {
-	s := &Server{hub: hub, model: model, defaults: defaults, sopts: sopts, h: http.NewServeMux()}
+	s := &Server{hub: hub, model: model, defaults: defaults, sopts: sopts,
+		h: http.NewServeMux(), closing: make(chan struct{})}
 
 	// Versioned surface (method-qualified patterns; ServeMux answers 405
 	// for a known path with the wrong method).
@@ -101,6 +109,7 @@ func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ks
 	s.h.HandleFunc("POST /v1/streams/{name}/query", s.named(s.handleQuery))
 	s.h.HandleFunc("GET /v1/streams/{name}/stats", s.named(s.handleStats))
 	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.named(s.handleSubscribe))
+	s.h.HandleFunc("POST /v1/streams/{name}/checkpoint", s.named(s.handleCheckpoint))
 
 	// Legacy aliases onto the default stream. Method checks stay inside
 	// the handlers to keep the historical 405 status behavior.
@@ -117,6 +126,14 @@ func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ks
 // Hub returns the served hub (for embedding callers that also manage
 // streams programmatically).
 func (s *Server) Hub() *ksir.Hub { return s.hub }
+
+// StopSubscriptions ends every live SSE connection with a final `closed`
+// event. Call it at the start of a graceful shutdown, before
+// http.Server.Shutdown: SSE connections never finish on their own, so
+// without this the drain blocks until its deadline while ordinary
+// in-flight requests are the ones the drain budget was meant for.
+// Idempotent; new subscribe requests after the call end immediately.
+func (s *Server) StopSubscriptions() { s.closeOnce.Do(func() { close(s.closing) }) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
@@ -276,7 +293,7 @@ func toResponse(res ksir.Result) apiv1.QueryResponse {
 func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 	st := hs.Stats()
 	opts := hs.Stream().Options()
-	return apiv1.StreamInfo{
+	info := apiv1.StreamInfo{
 		Name:          hs.Name(),
 		Active:        st.Active,
 		Now:           st.Now,
@@ -288,6 +305,15 @@ func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 		Lambda:        opts.Lambda,
 		Eta:           opts.Eta,
 	}
+	if st.Persist.Enabled {
+		info.Persist = &apiv1.PersistInfo{
+			WALSeq:           st.Persist.WALSeq,
+			WALBytes:         st.Persist.WALBytes,
+			CheckpointBucket: st.Persist.CheckpointBucket,
+			Checkpoints:      st.Persist.Checkpoints,
+		}
+	}
+	return info
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -65,6 +65,18 @@ func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleCheckpoint forces an immediate checkpoint: the stream's full
+// state is made durable and its WAL truncated. 409/persist_disabled on a
+// server running without a data directory. The response is the stream's
+// info just after the checkpoint (persist.checkpoint_bucket reflects it).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
+	if _, err := hs.Checkpoint(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, streamInfo(hs))
+}
+
 // sseBuffer is how many refreshes an SSE connection may fall behind
 // before the oldest pending event is dropped (the latest state wins; a
 // standing query is a state feed, not a log).
@@ -154,6 +166,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Graceful server shutdown: end the event stream now so the
+			// HTTP drain only waits on ordinary in-flight requests.
+			fmt.Fprint(w, "event: closed\ndata: {}\n\n")
+			flusher.Flush()
 			return
 		case <-hs.Done():
 			// The stream was closed out of the hub: tell the consumer and

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// ExportedElem is one archived element plus the per-element window facts
+// that cannot be derived from the element itself.
+type ExportedElem struct {
+	Elem *Element
+	// Active marks membership in A_t. LastRef is t_e and is only
+	// meaningful for active elements.
+	Active  bool
+	LastRef Time
+}
+
+// WindowState is a serializable dump of an ActiveWindow: every archived
+// element (the archive backs duplicate detection and resurrection, so it
+// is part of the state, not an optimization) with the window queue first.
+// Everything else — the reverse reference index, the expiry queue — is
+// derivable and rebuilt on restore.
+type WindowState struct {
+	Now Time
+	// WindowLen says how many leading entries of Elems form the window
+	// queue W_t, in arrival order (the order future window exits replay
+	// in). The remaining entries are the out-of-window archive, sorted by
+	// ID for deterministic files.
+	WindowLen int
+	Elems     []ExportedElem
+}
+
+// Export dumps the window's full state. The returned state shares the
+// window's *Element values (elements are immutable after ingestion), so it
+// is cheap and safe to take while readers run; the caller must serialize
+// Export against Advance, as with all window mutation.
+func (w *ActiveWindow) Export() WindowState {
+	st := WindowState{
+		Now:   w.now,
+		Elems: make([]ExportedElem, 0, len(w.archive)),
+	}
+	inQueue := make(map[ElemID]struct{}, len(w.windowQ)-w.windowHead)
+	for _, e := range w.windowQ[w.windowHead:] {
+		inQueue[e.ID] = struct{}{}
+		st.Elems = append(st.Elems, w.exportOne(e))
+	}
+	st.WindowLen = len(st.Elems)
+	rest := make([]*Element, 0, len(w.archive)-len(inQueue))
+	for id, e := range w.archive {
+		if _, ok := inQueue[id]; !ok {
+			rest = append(rest, e)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].ID < rest[j].ID })
+	for _, e := range rest {
+		st.Elems = append(st.Elems, w.exportOne(e))
+	}
+	return st
+}
+
+func (w *ActiveWindow) exportOne(e *Element) ExportedElem {
+	ex := ExportedElem{Elem: e}
+	if _, ok := w.active[e.ID]; ok {
+		ex.Active = true
+		ex.LastRef = w.lastRef[e.ID]
+	}
+	return ex
+}
+
+// Restore rebuilds a window of length T from an exported state. The
+// derived structures (reverse reference index, expiry queue) are
+// reconstructed from the window queue, and invariants are checked so a
+// corrupt or hand-edited snapshot fails loudly instead of corrupting the
+// stream: a restored window followed by the same Advances behaves
+// identically to the original.
+func Restore(T Time, st WindowState) (*ActiveWindow, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("stream: window length must be positive, got %d", T)
+	}
+	if st.WindowLen < 0 || st.WindowLen > len(st.Elems) {
+		return nil, fmt.Errorf("stream: window queue length %d outside [0, %d]", st.WindowLen, len(st.Elems))
+	}
+	w := NewActiveWindow(T)
+	w.now = st.Now
+	cutoff := st.Now - T
+
+	for i, ex := range st.Elems {
+		e := ex.Elem
+		if e == nil {
+			return nil, fmt.Errorf("stream: nil element at index %d in window state", i)
+		}
+		if _, dup := w.archive[e.ID]; dup {
+			return nil, fmt.Errorf("stream: duplicate element %d in window state", e.ID)
+		}
+		w.archive[e.ID] = e
+		inWindow := i < st.WindowLen
+		if inWindow {
+			if e.TS <= cutoff || e.TS > st.Now {
+				return nil, fmt.Errorf("stream: window-queue element %d at %d outside (%d, %d]", e.ID, e.TS, cutoff, st.Now)
+			}
+			if !ex.Active {
+				return nil, fmt.Errorf("stream: window-queue element %d not marked active", e.ID)
+			}
+			w.windowQ = append(w.windowQ, e)
+		}
+		if ex.Active {
+			if ex.LastRef < e.TS || ex.LastRef <= cutoff {
+				return nil, fmt.Errorf("stream: active element %d has impossible last-ref %d (ts %d, cutoff %d)", e.ID, ex.LastRef, e.TS, cutoff)
+			}
+			w.active[e.ID] = e
+			w.lastRef[e.ID] = ex.LastRef
+			w.expiryQ = append(w.expiryQ, expiryEntry{at: ex.LastRef, id: e.ID})
+		}
+	}
+	// Arrival order is non-decreasing in TS; anything else would replay
+	// window exits in the wrong order.
+	for i := 1; i < st.WindowLen; i++ {
+		if w.windowQ[i].TS < w.windowQ[i-1].TS {
+			return nil, fmt.Errorf("stream: window queue out of order at element %d", w.windowQ[i].ID)
+		}
+	}
+	heap.Init(&w.expiryQ)
+
+	// Rebuild the reverse reference index I_t from the window queue: the
+	// index holds exactly the in-window referrers of known parents, and
+	// every such parent is active (an element with an in-window child has
+	// last-ref past the cutoff by definition).
+	for _, c := range w.windowQ {
+		for _, pid := range c.Refs {
+			if _, known := w.archive[pid]; !known {
+				continue // dangling reference, ignored at ingest too
+			}
+			if _, active := w.active[pid]; !active {
+				return nil, fmt.Errorf("stream: element %d referenced by in-window %d but not active", pid, c.ID)
+			}
+			m := w.children[pid]
+			if m == nil {
+				m = make(map[ElemID]*Element, 4)
+				w.children[pid] = m
+			}
+			m[c.ID] = c
+		}
+	}
+	return w, nil
+}

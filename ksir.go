@@ -379,6 +379,10 @@ type StreamStats struct {
 	// Elements is the total number of elements ingested over the stream's
 	// lifetime (expired ones included).
 	Elements int64
+	// Persist reports the durability counters. It is only populated by
+	// StreamHandle.Stats on a hub opened with OpenHub (Enabled=false
+	// otherwise — a raw Stream has no persistence).
+	Persist PersistStats
 }
 
 // Stats reports the stream's current counters. Like Query it reads the

@@ -72,7 +72,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("ksir: decoding model: %w", err)
 	}
 	if mf.Version != modelFileVersion {
-		return nil, fmt.Errorf("ksir: unsupported model file version %d (want %d)", mf.Version, modelFileVersion)
+		return nil, fmt.Errorf("%w: model file version %d (want %d)", ErrModelVersion, mf.Version, modelFileVersion)
 	}
 	if len(mf.Words) != mf.V || len(mf.Phi) != mf.Z*mf.V || len(mf.PTopic) != mf.Z {
 		return nil, fmt.Errorf("ksir: corrupt model file: %d words, %d phi, %d ptopic for z=%d v=%d",

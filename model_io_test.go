@@ -3,10 +3,14 @@ package ksir
 import (
 	"bytes"
 	"context"
+	"encoding/gob"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/social-streams/ksir/internal/textproc"
 )
 
 func TestModelSaveLoadRoundTrip(t *testing.T) {
@@ -68,6 +72,30 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadModel(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// A model file from another format version fails with the typed sentinel
+// (the same one the durability subsystem uses), so callers branch with
+// errors.Is instead of matching message strings.
+func TestLoadModelVersionMismatchIsTyped(t *testing.T) {
+	m := trainTestModel(t)
+	var buf bytes.Buffer
+	// Re-encode the wire struct with a future version.
+	mf := modelFile{Version: modelFileVersion + 1, Z: m.tm.Z, V: m.tm.V,
+		Phi: m.tm.Phi, PTopic: m.tm.PTopic, Seed: m.seed}
+	for i := 0; i < m.vocab.Size(); i++ {
+		id := textproc.WordID(i)
+		mf.Words = append(mf.Words, m.vocab.Word(id))
+		mf.Freq = append(mf.Freq, m.vocab.Freq(id))
+		mf.DocFreq = append(mf.DocFreq, m.vocab.DocFreq(id))
+	}
+	if err := gob.NewEncoder(&buf).Encode(mf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadModel(&buf)
+	if !errors.Is(err, ErrModelVersion) {
+		t.Errorf("future-version load = %v, want ErrModelVersion", err)
 	}
 }
 

@@ -1,0 +1,493 @@
+package ksir
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/social-streams/ksir/internal/core"
+	"github.com/social-streams/ksir/internal/persist"
+	"github.com/social-streams/ksir/internal/score"
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/textproc"
+)
+
+// FsyncPolicy selects when a stream's write-ahead log is flushed to stable
+// storage (see PersistOptions.Fsync).
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) syncs at most once per FsyncInterval
+	// duration — inline on appends past the deadline, via a background
+	// flusher on idle streams — so data loss after a power failure is
+	// bounded by the interval at a small fraction of FsyncAlways' cost.
+	// Process crashes lose nothing under any policy — the OS holds the
+	// writes.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways syncs after every accepted operation: no acknowledged
+	// write is ever lost, at the price of one disk flush per operation.
+	FsyncAlways
+	// FsyncNever leaves flushing entirely to the operating system.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "interval" or "never" (the -fsync flag
+// values of ksir-server).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "", "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return FsyncInterval, fmt.Errorf("%w: fsync policy must be always, interval or never, got %q", ErrBadOptions, s)
+}
+
+// syncPolicy maps the public enum onto the persist package's.
+func (p FsyncPolicy) syncPolicy() persist.SyncPolicy {
+	switch p {
+	case FsyncAlways:
+		return persist.SyncAlways
+	case FsyncNever:
+		return persist.SyncNever
+	default:
+		return persist.SyncInterval
+	}
+}
+
+// String returns the flag-friendly name of the policy.
+func (p FsyncPolicy) String() string { return p.syncPolicy().String() }
+
+// PersistOptions configures the durability subsystem of a Hub opened with
+// OpenHub. The zero value is a sensible production default: interval
+// fsync (1s), a checkpoint every 64 buckets.
+type PersistOptions struct {
+	// Fsync is the WAL flush policy.
+	Fsync FsyncPolicy
+	// FsyncInterval bounds the sync lag under FsyncInterval (default 1s).
+	FsyncInterval time.Duration
+	// CheckpointEvery is how many ingested buckets may elapse between
+	// automatic checkpoints (default 64; StreamHandle.Checkpoint forces
+	// one at any time). Smaller values shorten recovery, larger values
+	// shrink the steady-state write amplification.
+	CheckpointEvery int64
+}
+
+func (o PersistOptions) withDefaults() PersistOptions {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
+	}
+	return o
+}
+
+// PersistStats reports a stream's durability counters (zero-valued with
+// Enabled=false on non-persistent streams).
+type PersistStats struct {
+	// Enabled says whether the stream is backed by a WAL + checkpoints.
+	Enabled bool
+	// WALSeq is the last operation sequence number appended to (or
+	// recovered from) the WAL; it grows monotonically for the stream's
+	// whole lifetime, across checkpoints and restarts.
+	WALSeq uint64
+	// WALBytes is the size of the live WAL segment (resets to 0 at every
+	// checkpoint).
+	WALBytes int64
+	// CheckpointBucket is the bucket sequence the latest checkpoint
+	// covers, or -1 when the stream has never been checkpointed.
+	CheckpointBucket int64
+	// Checkpoints counts checkpoints taken since the hub was opened.
+	Checkpoints int64
+}
+
+// hubPersist is the hub-wide durability configuration.
+type hubPersist struct {
+	dir       string
+	opts      PersistOptions
+	modelHash uint64
+}
+
+// persistHash fingerprints the model so persisted state is never married
+// to a different model on recovery (word IDs and topic indexes would
+// silently disagree).
+func (m *Model) persistHash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	w(uint64(m.tm.Z))
+	w(uint64(m.tm.V))
+	w(uint64(m.seed))
+	w(uint64(m.vocab.Size()))
+	for i := 0; i < m.vocab.Size(); i++ {
+		word := m.vocab.Word(textproc.WordID(i))
+		w(uint64(len(word)))
+		h.Write([]byte(word))
+	}
+	for _, p := range m.tm.Phi {
+		w(math.Float64bits(p))
+	}
+	for _, p := range m.tm.PTopic {
+		w(math.Float64bits(p))
+	}
+	return h.Sum64()
+}
+
+// persistErr folds persist-layer failures into the public taxonomy:
+// format/model incompatibilities surface as ErrModelVersion, everything
+// else as ErrPersist.
+func persistErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, persist.ErrVersion) {
+		return fmt.Errorf("%w: %v", ErrModelVersion, err)
+	}
+	return fmt.Errorf("%w: %v", ErrPersist, err)
+}
+
+// OpenHub opens a durable Hub over dir: every stream subdirectory found
+// there is recovered — the latest valid checkpoint is loaded and the WAL
+// tail replayed through the normal ingest path — and every stream created
+// afterwards (Create/Adopt) is persisted there. Recovery is exact: a
+// recovered stream answers queries with the same top-k elements and the
+// same bucket sequence as the stream at the moment of its last durable
+// write, and replaying a WAL twice is a no-op (records at or below the
+// checkpoint's operation watermark are skipped).
+//
+// m must be the model the persisted streams were built against (recovery
+// fails with ErrModelVersion otherwise); sopts carry the non-persistable
+// stream configuration — e.g. WithSubscriptionErrorHandler — applied to
+// every recovered stream, while each stream's core parameters (window,
+// bucket, λ, η, shards) come from its own manifest. A torn WAL tail (a
+// crash mid-append) is truncated silently; a checkpoint torn mid-replace
+// falls back to the previous one plus the not-yet-truncated WAL.
+func OpenHub(dir string, m *Model, po PersistOptions, sopts ...StreamOption) (*Hub, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrBadOptions)
+	}
+	if dir == "" {
+		return nil, fmt.Errorf("%w: empty persistence directory", ErrBadOptions)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, persistErr(err)
+	}
+	h := NewHub()
+	h.p = &hubPersist{dir: dir, opts: po.withDefaults(), modelHash: m.persistHash()}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, persistErr(err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		if err := h.recoverStream(filepath.Join(dir, ent.Name()), m, sopts); err != nil {
+			// Unwind the streams already recovered so their WALs close.
+			for _, name := range h.List() {
+				_ = h.Close(name)
+			}
+			return nil, fmt.Errorf("recovering %s: %w", ent.Name(), err)
+		}
+	}
+	return h, nil
+}
+
+// recoverStream rebuilds one stream directory: manifest → checkpoint →
+// WAL tail, then registers the handle.
+func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
+	meta, err := persist.ReadMeta(sdir)
+	if err != nil {
+		return persistErr(err)
+	}
+	if err := validName(meta.Name); err != nil {
+		return err
+	}
+	if meta.ModelHash != h.p.modelHash {
+		return fmt.Errorf("%w: stream %q was persisted against a different model", ErrModelVersion, meta.Name)
+	}
+	ck, err := persist.LoadCheckpoint(sdir)
+	if err != nil {
+		return persistErr(err)
+	}
+	if ck != nil && ck.Name != meta.Name {
+		return persistErr(fmt.Errorf("%w: checkpoint names stream %q, manifest %q", persist.ErrCorrupt, ck.Name, meta.Name))
+	}
+	st, err := restoreStream(m, meta, ck, sopts)
+	if err != nil {
+		return err
+	}
+	var opSeq uint64
+	if ck != nil {
+		opSeq = ck.OpSeq
+	}
+	wal, err := persist.OpenWAL(filepath.Join(sdir, persist.WALFile),
+		h.p.opts.Fsync.syncPolicy(), h.p.opts.FsyncInterval,
+		func(r persist.Record) error {
+			if r.Seq <= opSeq {
+				return nil // already folded into the checkpoint
+			}
+			opSeq = r.Seq
+			switch r.Kind {
+			case persist.KindPost:
+				return st.Add(Post{ID: r.Post.ID, Time: r.Post.Time, Text: r.Post.Text, Refs: r.Post.Refs})
+			case persist.KindFlush:
+				return st.Flush(r.FlushNow)
+			}
+			return fmt.Errorf("%w: WAL record kind %d", persist.ErrVersion, r.Kind)
+		})
+	if err != nil {
+		return persistErr(err)
+	}
+	if wal.LastSeq() > opSeq {
+		opSeq = wal.LastSeq()
+	}
+	ckptBucket := int64(-1)
+	if ck != nil {
+		ckptBucket = ck.Core.Stats.Buckets
+	}
+	pers := newStreamPersist(h.p, meta.Name, sdir, wal, opSeq, ckptBucket)
+	if _, err := h.registerWith(meta.Name, st, pers); err != nil {
+		wal.Close()
+		return err
+	}
+	return nil
+}
+
+// restoreStream rebuilds the Stream value: from its checkpoint when one
+// exists (engine state restored directly, pending posts re-ingested
+// through Add — per-document-seeded inference makes that byte-identical),
+// from scratch otherwise.
+func restoreStream(m *Model, meta persist.Meta, ck *persist.Checkpoint, sopts []StreamOption) (*Stream, error) {
+	opts := Options{
+		Window: time.Duration(meta.WindowNs),
+		Bucket: time.Duration(meta.BucketNs),
+		Eta:    meta.Eta,
+	}
+	// Caller-supplied options first (subscription error handlers and
+	// other non-persistable configuration), the manifest's core
+	// parameters last so they always win.
+	all := append(append([]StreamOption{}, sopts...), WithLambda(meta.Lambda), WithShards(meta.Shards))
+	if ck == nil {
+		return New(m, opts, all...)
+	}
+	var cfg streamConfig
+	for _, o := range all {
+		o(&cfg)
+	}
+	if err := opts.fill(&cfg); err != nil {
+		return nil, err
+	}
+	eng, err := core.Restore(core.Config{
+		Model:        m.tm,
+		WindowLength: stream.Time(opts.Window / time.Second),
+		Params:       score.Params{Lambda: opts.Lambda, Eta: opts.Eta},
+		Shards:       cfg.shards,
+	}, ck.Core)
+	if err != nil {
+		return nil, persistErr(err)
+	}
+	s := &Stream{
+		opts:       opts,
+		cfg:        cfg,
+		bucketLen:  stream.Time(opts.Bucket / time.Second),
+		pendingIDs: make(map[stream.ElemID]struct{}),
+	}
+	s.me.Store(&modelEngine{model: m, engine: eng})
+	for _, p := range ck.Pending {
+		if err := s.Add(Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs}); err != nil {
+			return nil, persistErr(fmt.Errorf("%w: re-ingesting pending post %d: %v", persist.ErrCorrupt, p.ID, err))
+		}
+	}
+	s.lastTime = stream.Time(ck.LastTime)
+	return s, nil
+}
+
+// streamPersist is one stream's durability state, owned by its
+// StreamHandle and mutated only under the handle's writer mutex. The stat*
+// atomics mirror the counters for the lock-free Stats path.
+type streamPersist struct {
+	hp    *hubPersist
+	name  string
+	dir   string
+	wal   *persist.WAL
+	opSeq uint64
+	// ckptBucket is the bucket sequence covered by the latest checkpoint
+	// (-1 before the first one); the auto-checkpoint trigger compares the
+	// live bucket sequence against it.
+	ckptBucket  int64
+	checkpoints int64
+
+	statSeq        atomic.Uint64
+	statBytes      atomic.Int64
+	statCkptBucket atomic.Int64
+	statCkpts      atomic.Int64
+}
+
+func newStreamPersist(hp *hubPersist, name, dir string, wal *persist.WAL, opSeq uint64, ckptBucket int64) *streamPersist {
+	p := &streamPersist{hp: hp, name: name, dir: dir, wal: wal, opSeq: opSeq, ckptBucket: ckptBucket}
+	p.statSeq.Store(opSeq)
+	p.statBytes.Store(wal.Size())
+	p.statCkptBucket.Store(ckptBucket)
+	return p
+}
+
+// initStream provisions the on-disk home of a newly created (or adopted)
+// stream: directory, manifest, empty WAL, and — when the stream already
+// carries ingested or pending state (Adopt) — the initial checkpoint.
+// Called under the hub lock, before the handle becomes reachable. The
+// directory must not already exist: a leftover directory for this name
+// means an earlier incarnation's durable state would be silently mixed
+// with the new stream's, so it surfaces as ErrStreamExists.
+func (hp *hubPersist) initStream(name string, st *Stream) (*streamPersist, error) {
+	sdir := filepath.Join(hp.dir, url.PathEscape(name))
+	if err := os.Mkdir(sdir, 0o755); err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %q has persisted state on disk (close kept it; use a fresh name or data dir)", ErrStreamExists, name)
+		}
+		return nil, persistErr(err)
+	}
+	opts := st.Options()
+	if err := persist.WriteMeta(sdir, persist.Meta{
+		Name:      name,
+		ModelHash: hp.modelHash,
+		WindowNs:  int64(opts.Window),
+		BucketNs:  int64(opts.Bucket),
+		Lambda:    opts.Lambda,
+		Eta:       opts.Eta,
+		Shards:    st.cfg.shards,
+	}); err != nil {
+		return nil, persistErr(err)
+	}
+	wal, err := persist.OpenWAL(filepath.Join(sdir, persist.WALFile),
+		hp.opts.Fsync.syncPolicy(), hp.opts.FsyncInterval, nil)
+	if err != nil {
+		return nil, persistErr(err)
+	}
+	p := newStreamPersist(hp, name, sdir, wal, 0, -1)
+	if st.Stats().Elements > 0 || st.Stats().Now != 0 || len(st.pending) > 0 {
+		if err := p.checkpoint(st); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// appendRecord stamps the next op sequence onto rec, appends it, and
+// refreshes the lock-free stat mirrors. Called under the handle's writer
+// mutex; on error the operation is in memory but not durable — callers
+// surface the error so producers know durability is degraded.
+func (p *streamPersist) appendRecord(rec persist.Record) error {
+	p.opSeq++
+	rec.Seq = p.opSeq
+	if err := p.wal.Append(rec); err != nil {
+		return persistErr(err)
+	}
+	p.statSeq.Store(p.opSeq)
+	p.statBytes.Store(p.wal.Size())
+	return nil
+}
+
+// logPost appends one accepted post to the WAL. It does not run the
+// checkpoint trigger — the caller does, once the whole accepted batch is
+// logged (a checkpoint taken with applied-but-unlogged posts would be
+// followed by their records past its watermark, which replay would then
+// wrongly re-apply).
+func (p *streamPersist) logPost(st *Stream, post Post) error {
+	return p.appendRecord(persist.Record{
+		Bucket: st.Stats().Bucket,
+		Kind:   persist.KindPost,
+		Post:   persist.PostRec{ID: post.ID, Time: post.Time, Text: post.Text, Refs: post.Refs},
+	})
+}
+
+// logFlush appends an explicit flush boundary.
+func (p *streamPersist) logFlush(st *Stream, now int64) error {
+	return p.appendRecord(persist.Record{
+		Bucket:   st.Stats().Bucket,
+		Kind:     persist.KindFlush,
+		FlushNow: now,
+	})
+}
+
+// maybeCheckpoint fires the automatic checkpoint once CheckpointEvery
+// buckets have been ingested past the last one.
+func (p *streamPersist) maybeCheckpoint(st *Stream) error {
+	base := p.ckptBucket
+	if base < 0 {
+		base = 0
+	}
+	if st.Stats().Bucket-base < p.hp.opts.CheckpointEvery {
+		return nil
+	}
+	return p.checkpoint(st)
+}
+
+// checkpoint serializes the stream's full state, atomically replaces the
+// checkpoint file, and truncates the WAL. Called under the handle's
+// writer mutex (no writer runs, so the published engine snapshot IS the
+// latest state).
+func (p *streamPersist) checkpoint(st *Stream) error {
+	ck := &persist.Checkpoint{
+		Name:      p.name,
+		ModelHash: p.hp.modelHash,
+		OpSeq:     p.opSeq,
+		LastTime:  int64(st.lastTime),
+		Core:      st.me.Load().engine.ExportState(),
+	}
+	for _, e := range st.pending {
+		ck.Pending = append(ck.Pending, persist.PostRec{
+			ID:   int64(e.ID),
+			Time: int64(e.TS),
+			Text: e.Text,
+			Refs: refsToInt64(e.Refs),
+		})
+	}
+	if err := persist.WriteCheckpoint(p.dir, ck); err != nil {
+		return persistErr(err)
+	}
+	if err := p.wal.Reset(); err != nil {
+		return persistErr(err)
+	}
+	p.ckptBucket = ck.Core.Stats.Buckets
+	p.checkpoints++
+	p.statCkptBucket.Store(p.ckptBucket)
+	p.statCkpts.Store(p.checkpoints)
+	p.statBytes.Store(0)
+	return nil
+}
+
+// finalize takes the closing checkpoint and releases the WAL. Called by
+// Hub.Close under the handle's writer mutex.
+func (p *streamPersist) finalize(st *Stream) error {
+	ckErr := p.checkpoint(st)
+	if err := p.wal.Close(); err != nil && ckErr == nil {
+		ckErr = persistErr(err)
+	}
+	return ckErr
+}
+
+// stats snapshots the durability counters (lock-free; see StreamHandle.Stats).
+func (p *streamPersist) stats() PersistStats {
+	return PersistStats{
+		Enabled:          true,
+		WALSeq:           p.statSeq.Load(),
+		WALBytes:         p.statBytes.Load(),
+		CheckpointBucket: p.statCkptBucket.Load(),
+		Checkpoints:      p.statCkpts.Load(),
+	}
+}

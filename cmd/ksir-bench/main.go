@@ -9,6 +9,12 @@
 //	ksir-bench -exp all
 //	ksir-bench -exp fig9 -elements 20000 -queries 200
 //	ksir-bench -exp table6 -scale small
+//	ksir-bench -exp engine -short -json . -baseline BENCH_engine.json
+//
+// With -json the perf experiments additionally write machine-readable
+// BENCH_<exp>.json files; -baseline validates the fresh engine file
+// against a committed one and exits non-zero on a >-regress-factor
+// update-time regression (the CI bench smoke gate).
 package main
 
 import (
@@ -25,18 +31,21 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|all")
+		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|engine|all")
 		scale    = flag.String("scale", "default", "preset scale: small|default")
+		short    = flag.Bool("short", false, "CI smoke mode: small scale and reduced workloads")
 		elements = flag.Int("elements", 0, "override stream size per dataset")
 		queries  = flag.Int("queries", 0, "override workload size")
 		seed     = flag.Int64("seed", 42, "master seed")
 		out      = flag.String("out", "", "write output to file (default stdout)")
 		jsonDir  = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
+		baseline = flag.String("baseline", "", "committed BENCH_engine.json to regression-check the fresh engine run against (requires -exp engine and -json)")
+		regress  = flag.Float64("regress-factor", 3, "fail when the fresh engine update-time metric exceeds baseline×factor")
 	)
 	flag.Parse()
 
 	sc := experiments.DefaultScale
-	if *scale == "small" {
+	if *scale == "small" || *short {
 		sc = experiments.SmallScale
 	}
 	if *elements > 0 {
@@ -65,14 +74,19 @@ func main() {
 
 	lab := experiments.NewLab(sc)
 	start := time.Now()
-	if err := run(lab, strings.ToLower(*exp), w, *jsonDir); err != nil {
+	if err := run(lab, strings.ToLower(*exp), w, *jsonDir, *short); err != nil {
 		fatal(err)
+	}
+	if *baseline != "" {
+		if err := checkBaseline(w, *jsonDir, *baseline, *regress); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Fprintf(w, "total wall time: %v (scale: %d elements, %d queries per dataset)\n",
 		time.Since(start).Round(time.Millisecond), sc.Elements, sc.Queries)
 }
 
-func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string) error {
+func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string, short bool) error {
 	want := func(names ...string) bool {
 		if exp == "all" {
 			return true
@@ -226,6 +240,43 @@ func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string) error {
 			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
 		}
 	}
+	if want("engine") {
+		engineQueries := 400
+		if short {
+			engineQueries = 120
+		}
+		t, entries, err := lab.EngineMaintenance(4, engineQueries)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "BENCH_engine.json")
+			if err := experiments.WriteBenchJSON(path, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
+		}
+	}
+	return nil
+}
+
+// checkBaseline is the CI regression gate: schema-validate the freshly
+// written BENCH_engine.json and compare its delta-path update-time metric
+// against the committed baseline.
+func checkBaseline(w io.Writer, jsonDir, baseline string, factor float64) error {
+	if jsonDir == "" {
+		return fmt.Errorf("-baseline requires -json <dir>")
+	}
+	const metric = "engine-update-time-per-element-delta"
+	freshPath := filepath.Join(jsonDir, "BENCH_engine.json")
+	fresh, base, err := experiments.CompareBenchJSON(freshPath, baseline, metric, factor)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline check ok: %s %.2fµs vs committed %.2fµs (limit %.1fx)\n", metric, fresh, base, factor)
 	return nil
 }
 

@@ -11,6 +11,15 @@
 // pointer. Queries pin the published snapshot and traverse it with zero
 // locking, so they never block behind ingest and always observe exactly one
 // bucket boundary.
+//
+// The retired buffer catches up on the bucket it missed by structural
+// delta replay (DESIGN.md §9): the primary application records the net
+// window, scorer-cache and ranked-list operations it performed
+// (bucketDelta), and recycling replays them verbatim — no re-scoring, no
+// second pass through score.Scorer — leaving the recycled buffer
+// byte-identical to the published front. Config.CatchUp selects the
+// legacy full re-apply instead (CatchUpReapply), kept as the measured
+// baseline of the `engine` experiment.
 package core
 
 import (
@@ -38,6 +47,12 @@ type Config struct {
 	// partitioned into for parallel maintenance; topic i belongs to shard
 	// i mod P. 0 picks min(GOMAXPROCS, Z). Results are independent of P.
 	Shards int
+	// CatchUp selects how the recycled buffer catches up on the bucket it
+	// missed: CatchUpDelta (default) replays the recorded structural
+	// delta; CatchUpReapply re-applies the bucket in full (the pre-delta
+	// baseline, kept for the `engine` experiment). Results are identical
+	// under either mode.
+	CatchUp CatchUpMode
 }
 
 // Stats aggregates maintenance counters for the scalability experiments
@@ -45,23 +60,40 @@ type Config struct {
 type Stats struct {
 	ElementsIngested int64
 	Buckets          int64
-	// UpdateTime is the wall time spent applying buckets: window advance,
-	// rescoring, and ranked-list maintenance, counted once per bucket (the
-	// replay onto the recycled buffer and the wait for readers to drain
-	// are concurrency overhead, not maintenance, and are excluded so the
-	// Figure-14 metric stays comparable to the paper's).
-	UpdateTime  time.Duration
+	// UpdateTime is the wall time spent applying buckets to the back
+	// buffer: window advance, rescoring, and ranked-list maintenance,
+	// counted once per bucket. This is the paper's Figure-14 cost; the
+	// catch-up on the recycled buffer is counted separately in ReplayTime,
+	// and the wait for readers to drain (reader latency, not maintenance)
+	// is counted nowhere.
+	UpdateTime time.Duration
+	// ReplayTime is the wall time spent bringing recycled buffers up to
+	// the published front: delta replay under CatchUpDelta, a full second
+	// application under CatchUpReapply. It lags UpdateTime by one bucket
+	// (a bucket's catch-up runs at the start of the next Ingest).
+	ReplayTime  time.Duration
 	ListUpserts int64
 	ListDeletes int64
 }
 
-// UpdateTimePerElement returns the average maintenance time per arriving
-// element (the Figure 14 metric).
+// UpdateTimePerElement returns the average primary maintenance time per
+// arriving element (the Figure 14 metric).
 func (s Stats) UpdateTimePerElement() time.Duration {
 	if s.ElementsIngested == 0 {
 		return 0
 	}
 	return s.UpdateTime / time.Duration(s.ElementsIngested)
+}
+
+// MaintenanceTimePerElement returns the average total maintenance time per
+// arriving element — primary application plus recycled-buffer catch-up —
+// the honest end-to-end cost of keeping both buffers current, and the
+// metric the `engine` experiment compares across CatchUp modes.
+func (s Stats) MaintenanceTimePerElement() time.Duration {
+	if s.ElementsIngested == 0 {
+		return 0
+	}
+	return (s.UpdateTime + s.ReplayTime) / time.Duration(s.ElementsIngested)
 }
 
 // ShardStats counts the ranked-list maintenance done by one topic shard;
@@ -115,10 +147,13 @@ func (b *buffer) thaw() {
 }
 
 // pendingBucket is the last bucket applied to the published buffer but not
-// yet replayed onto the recycled one.
+// yet replayed onto the recycled one. Under CatchUpDelta it carries the
+// recorded structural delta; under CatchUpReapply delta is nil and the raw
+// bucket is re-applied in full.
 type pendingBucket struct {
 	now   stream.Time
 	batch []*stream.Element
+	delta *bucketDelta
 }
 
 // Engine is the k-SIR query processor (Figure 4). Ingest is serialized (one
@@ -136,6 +171,7 @@ type Engine struct {
 	back       *buffer        // working copy, one bucket behind until caught up
 	backSnap   *snapshot      // retired snapshot whose buffer is back; drained before reuse
 	pending    *pendingBucket // bucket to replay onto back before the next one
+	spentDelta *bucketDelta   // last replayed delta, recycled by newBucketDelta
 	stats      Stats
 	shardStats []ShardStats
 }
@@ -169,6 +205,14 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CatchUp == CatchUpDelta {
+		// The twin windows advance in lockstep (primary apply on one,
+		// delta replay on the other), so the writer-path-only structures —
+		// archive, last-ref times, expiry heap — exist once and replay
+		// skips maintaining them. CatchUpReapply re-runs the full Advance
+		// on the second buffer, which must own all of its state.
+		stream.ShareWriterState(a.win, b.win)
+	}
 	g := &Engine{cfg: cfg, numShards: p, back: b}
 	g.shardStats = make([]ShardStats, p)
 	for s := range g.shardStats {
@@ -185,7 +229,10 @@ func (g *Engine) NumShards() int { return g.numShards }
 
 // Window exposes the published window for read-only use by baselines and
 // metrics. Callers must not mutate it, and must not retain it across more
-// than one subsequent Ingest (the buffer behind it is recycled).
+// than one subsequent Ingest (the buffer behind it is recycled). The
+// snapshot-stability caveat of ReadSnapshot applies: Known, LastRef and
+// Export read writer-shared structures and must be serialized against
+// Ingest.
 func (g *Engine) Window() *stream.ActiveWindow { return g.front.Load().buf.win }
 
 // Scorer exposes the published buffer's scorer for baselines that evaluate
@@ -223,38 +270,61 @@ func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	if err := g.validate(now, batch); err != nil {
 		return err
 	}
-
-	// Recycle the previously published buffer: wait until the readers that
-	// pinned it have drained, then replay the bucket it missed.
-	if g.backSnap != nil {
-		g.backSnap.waitDrained()
-		g.backSnap = nil
-	}
-	g.back.thaw()
-	if p := g.pending; p != nil {
-		g.pending = nil
-		if err := g.applyBucket(g.back, p.now, p.batch, false); err != nil {
-			return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
-		}
+	if err := g.recycle(); err != nil {
+		return err
 	}
 
 	// The timer starts here so UpdateTime measures one application of the
 	// bucket — the paper's Figure-14 maintenance cost — and is not
 	// inflated by the drain wait (reader latency, not maintenance) or the
-	// catch-up replay above.
+	// catch-up above (counted in ReplayTime).
 	start := time.Now()
-	if err := g.applyBucket(g.back, now, batch, true); err != nil {
+	var rec *bucketDelta
+	if g.cfg.CatchUp == CatchUpDelta {
+		rec = g.newBucketDelta()
+	}
+	if err := g.applyBucket(g.back, now, batch, true, rec); err != nil {
 		return err
 	}
 	g.stats.ElementsIngested += int64(len(batch))
 	g.stats.Buckets++
 	g.stats.UpdateTime += time.Since(start)
-	g.publish(now, batch)
+	g.publish(now, batch, rec)
 	// A bucket boundary is the natural scheduling point of the whole
 	// design: the new snapshot is out, so let queries that arrived during
 	// the bucket observe it now instead of waiting out a saturating
 	// writer's preemption slice (this matters most at GOMAXPROCS=1).
 	runtime.Gosched()
+	return nil
+}
+
+// recycle readies the back buffer for the next bucket: wait until the
+// readers that pinned its retired snapshot have drained, thaw it, and
+// catch it up on the one bucket it missed while published — by structural
+// delta replay (CatchUpDelta, no re-scoring) or by re-applying the bucket
+// in full (CatchUpReapply).
+func (g *Engine) recycle() error {
+	if g.backSnap != nil {
+		g.backSnap.waitDrained()
+		g.backSnap = nil
+	}
+	g.back.thaw()
+	p := g.pending
+	if p == nil {
+		return nil
+	}
+	g.pending = nil
+	start := time.Now()
+	if p.delta != nil {
+		g.replayDelta(g.back, p.delta)
+		// Recycle the ops slices into the next capture; drop the window
+		// and cache parts so their element references can be collected.
+		p.delta.win, p.delta.cache = nil, score.CacheDelta{}
+		g.spentDelta = p.delta
+	} else if err := g.applyBucket(g.back, p.now, p.batch, false, nil); err != nil {
+		return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
+	}
+	g.stats.ReplayTime += time.Since(start)
 	return nil
 }
 
@@ -280,19 +350,32 @@ func (g *Engine) validate(now stream.Time, batch []*stream.Element) error {
 }
 
 // applyBucket advances one buffer's window by one bucket and maintains its
-// ranked lists, sharded across topics. With primary=false the same bucket is
-// being replayed onto the recycled buffer and the counters are not recounted.
-func (g *Engine) applyBucket(b *buffer, now stream.Time, batch []*stream.Element, primary bool) error {
-	cs, err := b.win.Advance(now, batch)
+// ranked lists, sharded across topics. With rec non-nil the structural
+// outcome — window delta, cache delta, net list ops — is recorded into it
+// for later replay onto the other buffer. With primary=false the same
+// bucket is being re-applied onto the recycled buffer (CatchUpReapply) and
+// the counters are not recounted.
+func (g *Engine) applyBucket(b *buffer, now stream.Time, batch []*stream.Element, primary bool, rec *bucketDelta) error {
+	var cs stream.ChangeSet
+	var err error
+	if rec != nil {
+		cs, rec.win, err = b.win.AdvanceRecorded(now, batch)
+	} else {
+		cs, err = b.win.Advance(now, batch)
+	}
 	if err != nil {
 		return err
 	}
 	// OnChange caches every inserted element's word weights and drops the
 	// expired ones. After this point the shard workers only read the
 	// scorer and window; all their writes go to disjoint shard lists.
-	b.scorer.OnChange(cs)
+	if rec != nil {
+		rec.cache = b.scorer.OnChangeRecorded(cs)
+	} else {
+		b.scorer.OnChange(cs)
+	}
 	ops := g.partition(b, cs)
-	g.runShards(b, ops, primary)
+	g.runShards(b, ops, primary, rec)
 	if primary {
 		// Roll the per-shard counters up into the engine totals.
 		var ups, dels int64
@@ -308,15 +391,16 @@ func (g *Engine) applyBucket(b *buffer, now stream.Time, batch []*stream.Element
 
 // publish freezes the back buffer into an immutable snapshot, swaps it in as
 // the read path, and retires the old snapshot; its buffer becomes the next
-// back buffer once readers drain, with this bucket pending for replay.
-func (g *Engine) publish(now stream.Time, batch []*stream.Element) {
+// back buffer once readers drain, with this bucket (and its recorded delta,
+// under CatchUpDelta) pending for replay.
+func (g *Engine) publish(now stream.Time, batch []*stream.Element, rec *bucketDelta) {
 	b := g.back
 	b.freeze()
 	snap := newSnapshot(b, g.stats, g.shardStats)
 	old := g.front.Swap(snap)
 	g.backSnap = old
 	g.back = old.buf
-	g.pending = &pendingBucket{now: now, batch: batch}
+	g.pending = &pendingBucket{now: now, batch: batch, delta: rec}
 }
 
 // ListLen returns the size of RL_i as of the last published bucket (for

@@ -80,14 +80,19 @@ func Restore(cfg Config, st State) (*Engine, error) {
 	}
 	// Both buffers are rebuilt to the same state (they share the
 	// immutable *Element values, as they do in normal operation); the
-	// back buffer has no pending bucket to catch up on.
-	front, err := restoreBuffer(cfg, st)
+	// back buffer has no pending bucket to catch up on, and adopts the
+	// front's immutable scorer-cache entries by pointer instead of
+	// re-deriving every word weight a second time.
+	front, err := restoreBuffer(cfg, st, nil)
 	if err != nil {
 		return nil, err
 	}
-	back, err := restoreBuffer(cfg, st)
+	back, err := restoreBuffer(cfg, st, front.scorer)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CatchUp == CatchUpDelta {
+		stream.ShareWriterState(front.win, back.win) // see NewEngine
 	}
 	g := &Engine{cfg: cfg, numShards: p, back: back, stats: st.Stats}
 	g.shardStats = make([]ShardStats, p)
@@ -108,8 +113,10 @@ func Restore(cfg Config, st State) (*Engine, error) {
 // restoreBuffer rebuilds one buffer copy from the state: restore the
 // window, warm the scorer cache for every active element (queries read the
 // cache without locking, so it must be complete before publication), and
-// re-insert the ranked-list tuples.
-func restoreBuffer(cfg Config, st State) (*buffer, error) {
+// re-insert the ranked-list tuples. A non-nil warmFrom supplies an
+// already-warmed scorer over the same state whose immutable cache entries
+// are adopted by pointer instead of recomputed.
+func restoreBuffer(cfg Config, st State, warmFrom *score.Scorer) (*buffer, error) {
 	win, err := stream.Restore(cfg.WindowLength, st.Window)
 	if err != nil {
 		return nil, err
@@ -118,11 +125,15 @@ func restoreBuffer(cfg Config, st State) (*buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	var warm stream.ChangeSet
-	win.ForEachActive(func(e *stream.Element) {
-		warm.Inserted = append(warm.Inserted, e)
-	})
-	scorer.OnChange(warm)
+	if warmFrom != nil {
+		scorer.AdoptCache(warmFrom)
+	} else {
+		var warm stream.ChangeSet
+		win.ForEachActive(func(e *stream.Element) {
+			warm.Inserted = append(warm.Inserted, e)
+		})
+		scorer.OnChange(warm)
+	}
 
 	lists := make([]*rankedlist.List, cfg.Model.Z)
 	for i := range lists {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"reflect"
 	"testing"
 
@@ -49,25 +48,23 @@ func engineQueries(t *testing.T, g *Engine) []Result {
 	return out
 }
 
-// sameResults compares two query batches: the selected elements, the
-// active count and the bucket sequence must match exactly; Score may
-// differ in its last ulp, and the Evaluated/Retrieved pruning counters
-// may differ outright. (The set score sums influence contributions while
-// ranging over the reference-index map, so two queries on the SAME engine
-// already jitter in the final bit, and a threshold comparison landing on
-// that bit shifts the pruning counters by one — pre-existing properties
-// of the scorer, not of restore; see TestRestoreIsByteIdentical for the
-// state-level equality that IS exact.)
+// sameResults compares two query batches for exact equality: selected
+// elements, active count, bucket sequence, the Evaluated/Retrieved
+// pruning counters, and the floating-point Score bit for bit. Scoring is
+// fully deterministic — influence sums iterate the reference index in
+// sorted child order and the set functions sum their coverage maps in
+// sorted key order — so a restored engine has no ulp of slack to hide in.
 func sameResults(a, b []Result) error {
 	if len(a) != len(b) {
 		return fmt.Errorf("result counts %d vs %d", len(a), len(b))
 	}
 	for i := range a {
 		x, y := a[i], b[i]
-		if x.ActiveAtQuery != y.ActiveAtQuery || x.BucketSeq != y.BucketSeq {
+		if x.ActiveAtQuery != y.ActiveAtQuery || x.BucketSeq != y.BucketSeq ||
+			x.Evaluated != y.Evaluated || x.Retrieved != y.Retrieved {
 			return fmt.Errorf("query %d counters diverge: %+v vs %+v", i, x, y)
 		}
-		if math.Abs(x.Score-y.Score) > 1e-12*math.Abs(x.Score) {
+		if x.Score != y.Score {
 			return fmt.Errorf("query %d scores diverge: %v vs %v", i, x.Score, y.Score)
 		}
 		if len(x.Elements) != len(y.Elements) {

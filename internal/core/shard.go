@@ -58,15 +58,25 @@ func (g *Engine) partition(b *buffer, cs stream.ChangeSet) [][]listOp {
 	return ops
 }
 
-// runShards executes the per-shard op lists on a worker pool. Each shard is
-// claimed by exactly one worker, so shard list state and shard counters are
-// written race-free; workers share read-only access to the buffer's window
-// and scorer (every element they score is already cached by OnChange).
-func (g *Engine) runShards(b *buffer, ops [][]listOp, primary bool) {
+// runShards executes the per-shard op lists on the worker pool. Each shard
+// is claimed by exactly one worker, so shard list state, shard counters and
+// the recorded delta's per-shard op slices are written race-free; workers
+// share read-only access to the buffer's window and scorer (every element
+// they score is already cached by OnChange).
+func (g *Engine) runShards(b *buffer, ops [][]listOp, primary bool, rec *bucketDelta) {
+	g.runPool(func(s int) bool { return len(ops[s]) > 0 },
+		func(s int) { g.runShard(b, s, ops[s], primary, rec) })
+}
+
+// runPool runs fn(shard) for every shard hasWork reports busy, on a
+// worker pool where each shard is claimed by exactly one worker — the one
+// dispatch scheme shared by primary maintenance (runShards) and delta
+// replay (replayShards), so the two paths cannot drift.
+func (g *Engine) runPool(hasWork func(shard int) bool, fn func(shard int)) {
 	work := make(chan int, g.numShards)
 	busy := 0
-	for s := range ops {
-		if len(ops[s]) > 0 {
+	for s := 0; s < g.numShards; s++ {
+		if hasWork(s) {
 			work <- s
 			busy++
 		}
@@ -77,7 +87,7 @@ func (g *Engine) runShards(b *buffer, ops [][]listOp, primary bool) {
 	}
 	if busy == 1 || g.numShards == 1 {
 		for s := range work {
-			g.runShard(b, s, ops[s], primary)
+			fn(s)
 		}
 		return
 	}
@@ -91,7 +101,7 @@ func (g *Engine) runShards(b *buffer, ops [][]listOp, primary bool) {
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				g.runShard(b, s, ops[s], primary)
+				fn(s)
 			}
 		}()
 	}
@@ -109,21 +119,47 @@ const yieldEvery = 128
 
 // runShard applies one shard's ops: deletes drop expired tuples, upserts
 // recompute δ_i(e) and (re)position the tuple (Algorithm 1 lines 7–13).
-func (g *Engine) runShard(b *buffer, shard int, ops []listOp, primary bool) {
+// With rec non-nil every structural outcome is appended to the delta's
+// op list for this shard — preallocated to the exact op count, owned by
+// this worker, so capture is race-free and allocation-flat — carrying the
+// computed score so replay never rescores.
+func (g *Engine) runShard(b *buffer, shard int, ops []listOp, primary bool, rec *bucketDelta) {
 	start := time.Now()
+	var out []shardOp
+	if rec != nil {
+		// Reuse the recycled slice when it is big enough (newBucketDelta
+		// hands back the previously replayed delta's storage).
+		out = rec.ops[shard]
+		if cap(out) < len(ops) {
+			out = make([]shardOp, 0, len(ops))
+		}
+	}
 	var ups, dels int64
 	for i, op := range ops {
 		if i%yieldEvery == yieldEvery-1 {
 			runtime.Gosched()
 		}
 		if op.del {
-			if b.lists[op.topic].Delete(op.e.ID) {
+			if rec != nil {
+				if rop, ok := b.lists[op.topic].DeleteRecorded(op.e.ID); ok {
+					out = append(out, shardOp{topic: op.topic, op: rop})
+					dels++
+				}
+			} else if b.lists[op.topic].Delete(op.e.ID) {
 				dels++
 			}
 			continue
 		}
-		b.lists[op.topic].Upsert(op.e.ID, b.scorer.TopicScore(op.e, op.topic), op.te)
+		score := b.scorer.TopicScore(op.e, op.topic)
+		if rec != nil {
+			out = append(out, shardOp{topic: op.topic, op: b.lists[op.topic].UpsertRecorded(op.e.ID, score, op.te)})
+		} else {
+			b.lists[op.topic].Upsert(op.e.ID, score, op.te)
+		}
 		ups++
+	}
+	if rec != nil {
+		rec.ops[shard] = out
 	}
 	if primary {
 		ss := &g.shardStats[shard]

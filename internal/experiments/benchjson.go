@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -30,4 +32,73 @@ func WriteBenchJSON(path string, entries []BenchEntry) error {
 		return fmt.Errorf("experiments: writing bench json: %w", err)
 	}
 	return nil
+}
+
+// ReadBenchJSON loads a BENCH_*.json file and validates its schema: a
+// non-empty array of name/value/unit entries with no unknown fields, no
+// duplicate names, and finite values. The CI bench smoke step runs this
+// against both the freshly produced file and the committed baseline, so a
+// malformed trajectory file fails loudly instead of charting garbage.
+func ReadBenchJSON(path string) ([]BenchEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading bench json: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var entries []BenchEntry
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("experiments: %s: malformed bench json: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("experiments: %s: no bench entries", path)
+	}
+	seen := make(map[string]struct{}, len(entries))
+	for i, e := range entries {
+		if e.Name == "" || e.Unit == "" {
+			return nil, fmt.Errorf("experiments: %s: entry %d missing name or unit", path, i)
+		}
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return nil, fmt.Errorf("experiments: %s: entry %q has non-finite value", path, e.Name)
+		}
+		if _, dup := seen[e.Name]; dup {
+			return nil, fmt.Errorf("experiments: %s: duplicate entry %q", path, e.Name)
+		}
+		seen[e.Name] = struct{}{}
+	}
+	return entries, nil
+}
+
+// CompareBenchJSON is the regression gate of the perf trajectory: the
+// metric's value in newPath must not exceed maxRatio times its value in
+// basePath (both files are schema-validated first). It reports the two
+// values on success so CI logs carry the trend.
+func CompareBenchJSON(newPath, basePath, metric string, maxRatio float64) (fresh, base float64, err error) {
+	find := func(entries []BenchEntry, path string) (float64, error) {
+		for _, e := range entries {
+			if e.Name == metric {
+				return e.Value, nil
+			}
+		}
+		return 0, fmt.Errorf("experiments: %s: metric %q not found", path, metric)
+	}
+	newEntries, err := ReadBenchJSON(newPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	baseEntries, err := ReadBenchJSON(basePath)
+	if err != nil {
+		return 0, 0, err
+	}
+	if fresh, err = find(newEntries, newPath); err != nil {
+		return 0, 0, err
+	}
+	if base, err = find(baseEntries, basePath); err != nil {
+		return 0, 0, err
+	}
+	if base > 0 && fresh > maxRatio*base {
+		return fresh, base, fmt.Errorf("experiments: %q regressed: %.3f vs baseline %.3f (limit %.1fx)",
+			metric, fresh, base, maxRatio)
+	}
+	return fresh, base, nil
 }

@@ -6,6 +6,19 @@
 // The ordered structure is a skip list with levels derived deterministically
 // from the element ID, so runs are reproducible without a seed and the
 // expected O(log n) bounds still hold for adversarial insert orders.
+//
+// Two mechanisms serve the engine's double-buffered concurrency
+// architecture (DESIGN.md §6, §9):
+//
+//   - Freeze publishes an O(1) immutable Snapshot sharing the list's
+//     nodes; a mutation while the snapshot is still shared detaches the
+//     list copy-on-write, and Thaw re-enables in-place mutation once the
+//     engine's readers have drained.
+//   - UpsertRecorded/DeleteRecorded return the structural Op each
+//     mutation performed — final tuple, kind, per-level position hints —
+//     and ApplyDelta replays such ops onto a replica list, splicing
+//     recorded tuples verbatim (O(1) for the common short nodes) instead
+//     of recomputing scores.
 package rankedlist
 
 import (
@@ -36,6 +49,21 @@ const maxLevel = 24
 type node struct {
 	item Item
 	next []*node // length = node level; index 0 is the full linked list
+	// inline backs next for the common short nodes (p=1/2 geometric
+	// levels: 75% are ≤ 2), making such nodes a single allocation.
+	inline [2]*node
+}
+
+// newNode allocates a node of the given level, using the inline array
+// when it fits.
+func newNode(item Item, lvl int) *node {
+	n := &node{item: item}
+	if lvl <= len(n.inline) {
+		n.next = n.inline[:lvl:lvl]
+	} else {
+		n.next = make([]*node, lvl)
+	}
+	return n
 }
 
 // List is one ranked list RL_i.
@@ -107,14 +135,20 @@ func (l *List) Upsert(id stream.ElemID, score float64, lastRef stream.Time) {
 		}
 		l.remove(n)
 	}
-	item := Item{ID: id, Score: score, LastRef: lastRef}
-	lvl := nodeLevel(id)
+	l.insert(Item{ID: id, Score: score, LastRef: lastRef})
+}
+
+// insert splices a fresh tuple (id not present) into the list. It returns
+// the node's position hint (predecessor IDs per level, when the node is
+// short enough to hint), which the delta recorder stores for replay.
+func (l *List) insert(item Item) posHint {
+	lvl := nodeLevel(item.ID)
 	if lvl > l.level {
 		l.level = lvl
 	}
 	var pred [maxLevel]*node
 	l.findPredecessors(item, &pred)
-	n := &node{item: item, next: make([]*node, lvl)}
+	n := newNode(item, lvl)
 	for lv := 0; lv < lvl; lv++ {
 		p := pred[lv]
 		if p == nil {
@@ -123,8 +157,9 @@ func (l *List) Upsert(id stream.ElemID, score float64, lastRef stream.Time) {
 		n.next[lv] = p.next[lv]
 		p.next[lv] = n
 	}
-	l.index[id] = n
+	l.index[item.ID] = n
 	l.size++
+	return l.hintOf(&pred, lvl)
 }
 
 // Delete removes the tuple for id, reporting whether it was present
@@ -142,6 +177,12 @@ func (l *List) Delete(id stream.ElemID) bool {
 func (l *List) remove(n *node) {
 	var pred [maxLevel]*node
 	l.findPredecessors(n.item, &pred)
+	l.unlink(n, &pred)
+}
+
+// unlink splices n out given its predecessors (as filled by
+// findPredecessors on n.item).
+func (l *List) unlink(n *node, pred *[maxLevel]*node) {
 	for lv := 0; lv < len(n.next); lv++ {
 		p := pred[lv]
 		if p == nil {

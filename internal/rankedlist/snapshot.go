@@ -49,7 +49,7 @@ func (l *List) detach() {
 		last[lv] = head
 	}
 	for n := l.head.next[0]; n != nil; n = n.next[0] {
-		c := &node{item: n.item, next: make([]*node, len(n.next))}
+		c := newNode(n.item, len(n.next))
 		for lv := range c.next {
 			last[lv].next[lv] = c
 			last[lv] = c

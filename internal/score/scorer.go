@@ -2,6 +2,7 @@ package score
 
 import (
 	"math"
+	"sort"
 
 	"github.com/social-streams/ksir/internal/stream"
 	"github.com/social-streams/ksir/internal/topicmodel"
@@ -57,6 +58,66 @@ func (s *Scorer) OnChange(cs stream.ChangeSet) {
 	}
 	for _, e := range cs.Expired {
 		delete(s.cache, e.ID)
+	}
+}
+
+// CacheDelta records the net cache effect of one OnChange: the entries it
+// computed (or re-validated) and the entries it dropped. Because an
+// element's cache entry is immutable once built, a replica scorer over
+// the same immutable elements can adopt the recorded entries by pointer —
+// ApplyCacheDelta re-derives nothing.
+type CacheDelta struct {
+	added   []cacheAdd
+	dropped []stream.ElemID
+}
+
+type cacheAdd struct {
+	id stream.ElemID
+	c  *elemCache
+}
+
+// OnChangeRecorded is OnChange additionally returning the CacheDelta for
+// replay onto a replica scorer via ApplyCacheDelta.
+func (s *Scorer) OnChangeRecorded(cs stream.ChangeSet) CacheDelta {
+	var d CacheDelta
+	if len(cs.Inserted) > 0 {
+		d.added = make([]cacheAdd, 0, len(cs.Inserted))
+	}
+	for _, e := range cs.Inserted {
+		d.added = append(d.added, cacheAdd{id: e.ID, c: s.ensureCached(e)})
+	}
+	if len(cs.Expired) > 0 {
+		d.dropped = make([]stream.ElemID, 0, len(cs.Expired))
+	}
+	for _, e := range cs.Expired {
+		delete(s.cache, e.ID)
+		d.dropped = append(d.dropped, e.ID)
+	}
+	return d
+}
+
+// AdoptCache copies every cache entry of from into this scorer, by
+// pointer (entries are immutable once built). Both scorers must be over
+// the same model and parameters — the engine's restore path uses it to
+// warm the second buffer's scorer without re-deriving every word weight.
+func (s *Scorer) AdoptCache(from *Scorer) {
+	for id, c := range from.cache {
+		s.cache[id] = c
+	}
+}
+
+// ApplyCacheDelta replays a recorded OnChange onto this scorer, sharing
+// the recording scorer's immutable cache entries instead of recomputing
+// the word weights. After replay the cache covers exactly the same
+// elements with bit-identical values — the invariant queries rely on to
+// read the cache without locking (every active element is cached before
+// the buffer publishes).
+func (s *Scorer) ApplyCacheDelta(d CacheDelta) {
+	for _, a := range d.added {
+		s.cache[a.id] = a.c
+	}
+	for _, id := range d.dropped {
+		delete(s.cache, id)
 	}
 }
 
@@ -155,7 +216,9 @@ func (s *Scorer) SetScore(set []*stream.Element, x topicmodel.TopicVec) float64 
 	return total
 }
 
-// setSemantic computes R_i(S) = Σ_{w∈V_S} max_{e∈S} σ_i(w,e).
+// setSemantic computes R_i(S) = Σ_{w∈V_S} max_{e∈S} σ_i(w,e). The final
+// sum runs in ascending word order so it is bit-deterministic regardless
+// of map iteration order.
 func (s *Scorer) setSemantic(set []*stream.Element, topic int32) float64 {
 	best := make(map[int32]float64)
 	for _, e := range set {
@@ -172,15 +235,22 @@ func (s *Scorer) setSemantic(set []*stream.Element, topic int32) float64 {
 			}
 		}
 	}
+	words := make([]int32, 0, len(best))
+	for w := range best {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
 	var sum float64
-	for _, v := range best {
-		sum += v
+	for _, w := range words {
+		sum += best[w]
 	}
 	return sum
 }
 
 // setInfluence computes I_{i,t}(S) = Σ_{c ∈ I_t(S)} p_i(S ⇝ c) with
-// p_i(S ⇝ c) = 1 − Π_{e ∈ S ∩ c.ref} (1 − p_i(e)·p_i(c)).
+// p_i(S ⇝ c) = 1 − Π_{e ∈ S ∩ c.ref} (1 − p_i(e)·p_i(c)). The final sum
+// runs in ascending child-ID order so it is bit-deterministic regardless
+// of map iteration order.
 func (s *Scorer) setInfluence(set []*stream.Element, topic int32) float64 {
 	// survive[c] = Π (1 − p_i(e ⇝ c)) over members influencing c.
 	survive := make(map[stream.ElemID]float64)
@@ -195,9 +265,14 @@ func (s *Scorer) setInfluence(set []*stream.Element, topic int32) float64 {
 			}
 		})
 	}
+	ids := make([]stream.ElemID, 0, len(survive))
+	for id := range survive {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sum float64
-	for _, sv := range survive {
-		sum += 1 - sv
+	for _, id := range ids {
+		sum += 1 - survive[id]
 	}
 	return sum
 }

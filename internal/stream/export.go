@@ -110,7 +110,7 @@ func Restore(T Time, st WindowState) (*ActiveWindow, error) {
 			}
 			w.active[e.ID] = e
 			w.lastRef[e.ID] = ex.LastRef
-			w.expiryQ = append(w.expiryQ, expiryEntry{at: ex.LastRef, id: e.ID})
+			*w.expiryQ = append(*w.expiryQ, expiryEntry{at: ex.LastRef, id: e.ID})
 		}
 	}
 	// Arrival order is non-decreasing in TS; anything else would replay
@@ -120,7 +120,7 @@ func Restore(T Time, st WindowState) (*ActiveWindow, error) {
 			return nil, fmt.Errorf("stream: window queue out of order at element %d", w.windowQ[i].ID)
 		}
 	}
-	heap.Init(&w.expiryQ)
+	heap.Init(w.expiryQ)
 
 	// Rebuild the reverse reference index I_t from the window queue: the
 	// index holds exactly the in-window referrers of known parents, and
@@ -134,12 +134,7 @@ func Restore(T Time, st WindowState) (*ActiveWindow, error) {
 			if _, active := w.active[pid]; !active {
 				return nil, fmt.Errorf("stream: element %d referenced by in-window %d but not active", pid, c.ID)
 			}
-			m := w.children[pid]
-			if m == nil {
-				m = make(map[ElemID]*Element, 4)
-				w.children[pid] = m
-			}
-			m[c.ID] = c
+			w.addChild(pid, c)
 		}
 	}
 	return w, nil

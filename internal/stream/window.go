@@ -37,12 +37,21 @@ type ActiveWindow struct {
 	T   Time // window length
 	now Time
 
-	active  map[ElemID]*Element
-	archive map[ElemID]*Element // every element ever ingested, for resurrection
+	active map[ElemID]*Element
+	// archive holds every element ever ingested, for duplicate detection
+	// and resurrection. It is consulted only from the serialized writer
+	// path (Advance, Known, Export), never by concurrent readers, so twin
+	// windows share one copy (see ShareWriterState).
+	archive map[ElemID]*Element
 
-	// children[p] = I_t(p): in-window elements that refer to p.
-	children map[ElemID]map[ElemID]*Element
-	lastRef  map[ElemID]Time // t_e: max(e.TS, TS of latest in-window referrer)
+	// children[p] = I_t(p): the in-window elements that refer to p, kept
+	// sorted by child ID. The slice (rather than a map) makes every
+	// iteration deterministic, so float sums over I_t(e) — the influence
+	// scores — are bit-reproducible across runs and across restores.
+	children map[ElemID][]*Element
+	// lastRef is t_e: max(e.TS, TS of latest in-window referrer). Writer-
+	// path only, shareable between twins like archive.
+	lastRef map[ElemID]Time
 
 	// windowQ holds in-window elements in arrival order for O(1) window
 	// exit; windowHead is the logical front (the slice is compacted when
@@ -50,7 +59,12 @@ type ActiveWindow struct {
 	windowQ    []*Element
 	windowHead int
 	// expiryQ is a lazy min-heap over (lastRef, id) for active-set expiry.
-	expiryQ expiryHeap
+	// Mutation-path only, shareable between twins like archive.
+	expiryQ *expiryHeap
+	// twinShared marks a window whose archive, lastRef and expiryQ are
+	// shared with a lockstep twin (ShareWriterState); its delta replays
+	// skip maintaining them because the recording advance already did.
+	twinShared bool
 }
 
 // NewActiveWindow returns an empty window of length T. It panics if T ≤ 0
@@ -63,8 +77,9 @@ func NewActiveWindow(T Time) *ActiveWindow {
 		T:        T,
 		active:   make(map[ElemID]*Element),
 		archive:  make(map[ElemID]*Element),
-		children: make(map[ElemID]map[ElemID]*Element),
+		children: make(map[ElemID][]*Element),
 		lastRef:  make(map[ElemID]Time),
+		expiryQ:  new(expiryHeap),
 	}
 }
 
@@ -81,7 +96,10 @@ func (w *ActiveWindow) Get(id ElemID) (*Element, bool) {
 }
 
 // Known reports whether id was ever ingested into this window (active,
-// expired or archived). Producers must never reuse a known ID.
+// expired or archived). Producers must never reuse a known ID. Known
+// reads the archive — writer-shared under ShareWriterState — so callers
+// must serialize it with Advance/ApplyDelta (the engine's writer path
+// does).
 func (w *ActiveWindow) Known(id ElemID) bool {
 	_, ok := w.archive[id]
 	return ok
@@ -92,31 +110,62 @@ func (w *ActiveWindow) Known(id ElemID) bool {
 func (w *ActiveWindow) InWindow(e *Element) bool { return e.TS > w.now-w.T }
 
 // Children returns I_t(e): the in-window elements referring to id, in
-// unspecified order. The returned slice is freshly allocated.
+// ascending child-ID order. The returned slice is freshly allocated.
 func (w *ActiveWindow) Children(id ElemID) []*Element {
-	m := w.children[id]
-	if len(m) == 0 {
+	cs := w.children[id]
+	if len(cs) == 0 {
 		return nil
 	}
-	out := make([]*Element, 0, len(m))
-	for _, c := range m {
-		out = append(out, c)
-	}
-	return out
+	return append([]*Element(nil), cs...)
 }
 
 // NumChildren returns |I_t(e)| without allocating.
 func (w *ActiveWindow) NumChildren(id ElemID) int { return len(w.children[id]) }
 
+// addChild inserts c into parent's sorted child list (idempotent for a
+// duplicate reference within one element's ref list).
+func (w *ActiveWindow) addChild(parent ElemID, c *Element) {
+	cs := w.children[parent]
+	i := sort.Search(len(cs), func(i int) bool { return cs[i].ID >= c.ID })
+	if i < len(cs) && cs[i].ID == c.ID {
+		return
+	}
+	cs = append(cs, nil)
+	copy(cs[i+1:], cs[i:])
+	cs[i] = c
+	w.children[parent] = cs
+}
+
+// removeChild drops child from parent's sorted child list, deleting the
+// entry when it empties.
+func (w *ActiveWindow) removeChild(parent, child ElemID) {
+	cs, ok := w.children[parent]
+	if !ok {
+		return
+	}
+	i := sort.Search(len(cs), func(i int) bool { return cs[i].ID >= child })
+	if i == len(cs) || cs[i].ID != child {
+		return
+	}
+	if len(cs) == 1 {
+		delete(w.children, parent)
+		return
+	}
+	w.children[parent] = append(cs[:i], cs[i+1:]...)
+}
+
 // LastRef returns t_e, the time the active element id was last referred to
 // (its own timestamp if never referenced). The second result is false for
-// inactive elements.
+// inactive elements. Like Known, it reads writer-shared state and must be
+// serialized with Advance/ApplyDelta.
 func (w *ActiveWindow) LastRef(id ElemID) (Time, bool) {
 	t, ok := w.lastRef[id]
 	return t, ok
 }
 
-// ForEachChild calls fn for every in-window element referring to id.
+// ForEachChild calls fn for every in-window element referring to id, in
+// ascending child-ID order — a deterministic order, so float accumulations
+// over I_t(e) (the influence scores) are bit-reproducible.
 func (w *ActiveWindow) ForEachChild(id ElemID, fn func(*Element)) {
 	for _, c := range w.children[id] {
 		fn(c)
@@ -146,6 +195,22 @@ func (w *ActiveWindow) ActiveIDs() []ElemID {
 // It returns the resulting ChangeSet. Elements referencing IDs never seen
 // before have those references ignored.
 func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
+	return w.advance(now, batch, nil)
+}
+
+// AdvanceRecorded is Advance additionally returning the structural Delta
+// of the advance, for replay onto a replica window via ApplyDelta.
+func (w *ActiveWindow) AdvanceRecorded(now Time, batch []*Element) (ChangeSet, *Delta, error) {
+	rec := &Delta{Now: now, Batch: batch, RefAdds: make([]RefAdd, 0, len(batch)*2)}
+	cs, err := w.advance(now, batch, rec)
+	if err != nil {
+		return cs, nil, err
+	}
+	rec.Expired = cs.Expired
+	return cs, rec, nil
+}
+
+func (w *ActiveWindow) advance(now Time, batch []*Element, rec *Delta) (ChangeSet, error) {
 	if now < w.now {
 		return ChangeSet{}, fmt.Errorf("stream: time moved backwards %d → %d", w.now, now)
 	}
@@ -166,7 +231,7 @@ func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
 		w.active[e.ID] = e
 		w.lastRef[e.ID] = e.TS
 		w.windowQ = append(w.windowQ, e)
-		heap.Push(&w.expiryQ, expiryEntry{at: e.TS, id: e.ID})
+		heap.Push(w.expiryQ, expiryEntry{at: e.TS, id: e.ID})
 		cs.Inserted = append(cs.Inserted, e)
 
 		for _, pid := range e.Refs {
@@ -179,15 +244,16 @@ func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
 				// element now refers to it.
 				w.active[pid] = parent
 				cs.Inserted = append(cs.Inserted, parent)
+				if rec != nil {
+					rec.Resurrected = append(rec.Resurrected, parent)
+				}
 			}
-			m := w.children[pid]
-			if m == nil {
-				m = make(map[ElemID]*Element, 4)
-				w.children[pid] = m
-			}
-			m[e.ID] = e
+			w.addChild(pid, e)
 			w.lastRef[pid] = e.TS
-			heap.Push(&w.expiryQ, expiryEntry{at: e.TS, id: pid})
+			heap.Push(w.expiryQ, expiryEntry{at: e.TS, id: pid})
+			if rec != nil {
+				rec.RefAdds = append(rec.RefAdds, RefAdd{Parent: pid, Child: e})
+			}
 			if _, justIn := updated[pid]; !justIn {
 				updated[pid] = parent
 			}
@@ -197,28 +263,11 @@ func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
 	// Phase 2: slide the window — drop out-of-window children from the
 	// reference index (influence is restricted to W_t, Equation 4).
 	cutoff := now - w.T // keep elements with TS > cutoff
-	for w.windowHead < len(w.windowQ) && w.windowQ[w.windowHead].TS <= cutoff {
-		child := w.windowQ[w.windowHead]
-		w.windowQ[w.windowHead] = nil
-		w.windowHead++
-		for _, pid := range child.Refs {
-			if m, ok := w.children[pid]; ok {
-				delete(m, child.ID)
-				if len(m) == 0 {
-					delete(w.children, pid)
-				}
-			}
-		}
-	}
-	if w.windowHead > len(w.windowQ)/2 {
-		n := copy(w.windowQ, w.windowQ[w.windowHead:])
-		w.windowQ = w.windowQ[:n]
-		w.windowHead = 0
-	}
+	w.slideOut(cutoff)
 
 	// Phase 3: expire actives never referred to after the cutoff.
-	for w.expiryQ.Len() > 0 && w.expiryQ[0].at <= cutoff {
-		entry := heap.Pop(&w.expiryQ).(expiryEntry)
+	for w.expiryQ.Len() > 0 && (*w.expiryQ)[0].at <= cutoff {
+		entry := heap.Pop(w.expiryQ).(expiryEntry)
 		e, isActive := w.active[entry.id]
 		if !isActive || w.lastRef[entry.id] > cutoff {
 			continue // stale heap entry (element was re-referenced or already gone)
@@ -243,6 +292,44 @@ func (w *ActiveWindow) Advance(now Time, batch []*Element) (ChangeSet, error) {
 	}
 	sort.Slice(cs.Updated, func(i, j int) bool { return cs.Updated[i].ID < cs.Updated[j].ID })
 	return cs, nil
+}
+
+// ShareWriterState makes two windows share the state that only the
+// serialized writer path ever touches: the archive (duplicate detection,
+// resurrection), the last-ref times and the expiry heap. It is only legal
+// for windows the caller advances in lockstep over the same logical
+// stream with all mutation serialized — the engine's double buffer: the
+// two windows' logical states are identical at every hand-off and no
+// concurrent reader dereferences these structures (queries read only the
+// active set and the reference index, which stay per-window). A sharing
+// window's delta replay then skips maintaining all three — the recording
+// advance already did — and the archive, the largest map in the system
+// (it holds every element ever ingested), exists once instead of twice.
+func ShareWriterState(a, b *ActiveWindow) {
+	b.archive = a.archive
+	b.lastRef = a.lastRef
+	b.expiryQ = a.expiryQ
+	a.twinShared, b.twinShared = true, true
+}
+
+// slideOut pops window exits (arrival order, TS ≤ cutoff) off the window
+// queue, dropping each exiting child from the reference index, and
+// compacts the queue when more than half of it is dead. Shared verbatim
+// between Advance and ApplyDelta so the two paths cannot drift.
+func (w *ActiveWindow) slideOut(cutoff Time) {
+	for w.windowHead < len(w.windowQ) && w.windowQ[w.windowHead].TS <= cutoff {
+		child := w.windowQ[w.windowHead]
+		w.windowQ[w.windowHead] = nil
+		w.windowHead++
+		for _, pid := range child.Refs {
+			w.removeChild(pid, child.ID)
+		}
+	}
+	if w.windowHead > len(w.windowQ)/2 {
+		n := copy(w.windowQ, w.windowQ[w.windowHead:])
+		w.windowQ = w.windowQ[:n]
+		w.windowHead = 0
+	}
 }
 
 // expiryEntry is a lazy expiry marker: the element with this id may be

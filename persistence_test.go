@@ -3,7 +3,6 @@ package ksir
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"net/url"
 	"os"
@@ -63,12 +62,11 @@ func persistQueries(t *testing.T, query func(Query) (Result, error)) []Result {
 	return out
 }
 
-// sameResults demands identical top-k posts, active counts and bucket
-// sequences; scores may differ in the last ulp and the Evaluated pruning
-// counter by a step (the scorer sums influence contributions in
-// reference-index map order — two queries on the same never-crashed
-// stream already jitter there, and a threshold comparison landing on the
-// jittering bit shifts Evaluated).
+// sameResults demands exact equality: identical top-k posts, active
+// counts, bucket sequences, Evaluated counters and bit-identical scores.
+// Scoring is fully deterministic (influence sums run in sorted child-ID
+// order, set sums in sorted key order), so recovery equivalence is exact
+// float equality, not a tolerance.
 func sameResults(t *testing.T, what string, got, want []Result) {
 	t.Helper()
 	if len(got) != len(want) {
@@ -79,10 +77,10 @@ func sameResults(t *testing.T, what string, got, want []Result) {
 		if !reflect.DeepEqual(g.Posts, w.Posts) {
 			t.Fatalf("%s: query %d posts diverge:\n got %+v\nwant %+v", what, i, g.Posts, w.Posts)
 		}
-		if g.Bucket != w.Bucket || g.Active != w.Active {
+		if g.Bucket != w.Bucket || g.Active != w.Active || g.Evaluated != w.Evaluated {
 			t.Fatalf("%s: query %d counters diverge: %+v vs %+v", what, i, g, w)
 		}
-		if math.Abs(g.Score-w.Score) > 1e-12*math.Abs(w.Score) {
+		if g.Score != w.Score {
 			t.Fatalf("%s: query %d scores diverge: %v vs %v", what, i, g.Score, w.Score)
 		}
 	}

@@ -62,17 +62,18 @@ type CreateStreamRequest struct {
 // of the last published bucket. Persist is present only on durable
 // deployments (a server started with -data-dir).
 type StreamInfo struct {
-	Name          string       `json:"name"`
-	Active        int          `json:"active"`
-	Now           int64        `json:"now"`
-	Bucket        int64        `json:"bucket"`
-	Subscriptions int          `json:"subscriptions"`
-	Elements      int64        `json:"elements"`
-	WindowSec     int64        `json:"window_sec"`
-	BucketSec     int64        `json:"bucket_sec"`
-	Lambda        float64      `json:"lambda"`
-	Eta           float64      `json:"eta"`
-	Persist       *PersistInfo `json:"persist,omitempty"`
+	Name          string        `json:"name"`
+	Active        int           `json:"active"`
+	Now           int64         `json:"now"`
+	Bucket        int64         `json:"bucket"`
+	Subscriptions int           `json:"subscriptions"`
+	Elements      int64         `json:"elements"`
+	WindowSec     int64         `json:"window_sec"`
+	BucketSec     int64         `json:"bucket_sec"`
+	Lambda        float64       `json:"lambda"`
+	Eta           float64       `json:"eta"`
+	Persist       *PersistInfo  `json:"persist,omitempty"`
+	Pipeline      *PipelineInfo `json:"pipeline,omitempty"`
 }
 
 // PersistInfo reports a durable stream's WAL and checkpoint counters (the
@@ -88,6 +89,28 @@ type PersistInfo struct {
 	CheckpointBucket int64 `json:"checkpoint_bucket"`
 	// Checkpoints counts checkpoints taken since the server started.
 	Checkpoints int64 `json:"checkpoints"`
+}
+
+// PipelineInfo reports a stream's writer-pipeline counters (the wire form
+// of ksir.PipelineStats): how deep the ingest queue currently is and how
+// much coalescing the group-commit writer achieved.
+type PipelineInfo struct {
+	// QueueDepth is the number of write operations queued behind the
+	// stream's writer goroutine at the instant of the stats call.
+	QueueDepth int `json:"queue_depth"`
+	// Ops counts write operations committed over the stream's lifetime.
+	Ops int64 `json:"ops"`
+	// Batches counts commit batches; Ops/Batches is the mean batch size.
+	Batches int64 `json:"batches"`
+	// MeanBatchSize is the average number of operations per commit batch
+	// (0 before the first commit).
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// Fsyncs counts WAL fsyncs issued for the stream (0 without -data-dir).
+	Fsyncs int64 `json:"fsyncs"`
+	// FsyncsPerOp is Fsyncs/Ops — the amortized durability cost; 1.0
+	// matches a serialized writer at fsync=always, and it falls toward
+	// 1/MeanBatchSize as concurrent producers coalesce.
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`
 }
 
 // ListStreamsResponse is the GET /v1/streams body.

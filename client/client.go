@@ -159,7 +159,10 @@ func (s *Stream) Query(ctx context.Context, req apiv1.QueryRequest) (apiv1.Query
 
 // Stats returns the stream's configuration and counters. On a durable
 // server (started with -data-dir) Info.Persist carries the WAL and
-// checkpoint counters; it is nil otherwise.
+// checkpoint counters; it is nil otherwise. Info.Pipeline reports the
+// stream's writer pipeline: live queue depth, mean commit-batch size and
+// fsyncs per operation (how much group commit is amortizing durability
+// under the current producer concurrency).
 func (s *Stream) Stats(ctx context.Context) (apiv1.StreamInfo, error) {
 	var info apiv1.StreamInfo
 	err := s.c.do(ctx, http.MethodGet, s.path+"/stats", nil, &info)

@@ -31,16 +31,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|engine|all")
-		scale    = flag.String("scale", "default", "preset scale: small|default")
-		short    = flag.Bool("short", false, "CI smoke mode: small scale and reduced workloads")
-		elements = flag.Int("elements", 0, "override stream size per dataset")
-		queries  = flag.Int("queries", 0, "override workload size")
-		seed     = flag.Int64("seed", 42, "master seed")
-		out      = flag.String("out", "", "write output to file (default stdout)")
-		jsonDir  = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
-		baseline = flag.String("baseline", "", "committed BENCH_engine.json to regression-check the fresh engine run against (requires -exp engine and -json)")
-		regress  = flag.Float64("regress-factor", 3, "fail when the fresh engine update-time metric exceeds baseline×factor")
+		exp            = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|engine|ingest|all")
+		scale          = flag.String("scale", "default", "preset scale: small|default")
+		short          = flag.Bool("short", false, "CI smoke mode: small scale and reduced workloads")
+		elements       = flag.Int("elements", 0, "override stream size per dataset")
+		queries        = flag.Int("queries", 0, "override workload size")
+		seed           = flag.Int64("seed", 42, "master seed")
+		out            = flag.String("out", "", "write output to file (default stdout)")
+		jsonDir        = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
+		baseline       = flag.String("baseline", "", "committed BENCH_engine.json to regression-check the fresh engine run against (requires -exp engine and -json)")
+		ingestBaseline = flag.String("ingest-baseline", "", "committed BENCH_ingest.json to regression-check the fresh ingest run against (requires -exp ingest and -json)")
+		regress        = flag.Float64("regress-factor", 3, "fail when the fresh gated metric exceeds baseline×factor")
 	)
 	flag.Parse()
 
@@ -79,6 +80,11 @@ func main() {
 	}
 	if *baseline != "" {
 		if err := checkBaseline(w, *jsonDir, *baseline, *regress); err != nil {
+			fatal(err)
+		}
+	}
+	if *ingestBaseline != "" {
+		if err := checkIngestBaseline(w, *jsonDir, *ingestBaseline, *regress); err != nil {
 			fatal(err)
 		}
 	}
@@ -240,6 +246,28 @@ func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string, short bo
 			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
 		}
 	}
+	if want("ingest") {
+		producers := []int{1, 8, 64}
+		posts := 4096
+		if short {
+			producers = []int{1, 8}
+			posts = 768
+		}
+		t, entries, err := lab.Ingest(producers, posts)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "BENCH_ingest.json")
+			if err := experiments.WriteBenchJSON(path, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
+		}
+	}
 	if want("engine") {
 		engineQueries := 400
 		if short {
@@ -277,6 +305,24 @@ func checkBaseline(w io.Writer, jsonDir, baseline string, factor float64) error 
 		return err
 	}
 	fmt.Fprintf(w, "baseline check ok: %s %.2fµs vs committed %.2fµs (limit %.1fx)\n", metric, fresh, base, factor)
+	return nil
+}
+
+// checkIngestBaseline gates the writer-pipeline trajectory: the pipelined
+// fsync=always per-post cost at 8 producers (a cell present in both the
+// short CI run and the committed full matrix) must not exceed the
+// committed baseline by more than the regression factor.
+func checkIngestBaseline(w io.Writer, jsonDir, baseline string, factor float64) error {
+	if jsonDir == "" {
+		return fmt.Errorf("-ingest-baseline requires -json <dir>")
+	}
+	const metric = "ingest-us-per-post-pipelined-always-p8"
+	freshPath := filepath.Join(jsonDir, "BENCH_ingest.json")
+	fresh, base, err := experiments.CompareBenchJSON(freshPath, baseline, metric, factor)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ingest baseline check ok: %s %.2fµs vs committed %.2fµs (limit %.1fx)\n", metric, fresh, base, factor)
 	return nil
 }
 

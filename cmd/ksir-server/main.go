@@ -1,7 +1,7 @@
 // Command ksir-server serves k-SIR queries over HTTP for live streams.
 // It loads a trained model (ksir model file) or trains one from a text
 // corpus at startup, registers a "default" stream in a multi-tenant hub,
-// and serves the versioned /v1 API (plus the legacy route aliases):
+// and serves the versioned /v1 API:
 //
 //	ksir-server -corpus corpus.txt -topics 50 -addr :8080
 //	ksir-server -model model.bin -addr :8080

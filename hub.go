@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/social-streams/ksir/internal/persist"
 )
 
 // Hub is a named, multi-tenant registry of streams — the deployment §2
@@ -19,9 +22,12 @@ import (
 //
 // Hub also moves the single-writer discipline into the library: every
 // stream is wrapped in a StreamHandle whose write operations (Add,
-// AddBatch, Flush, SwapModel, Subscribe, Unsubscribe) are serialized by a
-// per-stream mutex, so wire servers and multi-goroutine producers stop
-// hand-rolling their own locks. Queries stay lock-free (they read the
+// AddBatch, Flush, Checkpoint, SwapModel, Subscribe, Unsubscribe) are
+// executed by one writer goroutine per stream, fed through a bounded
+// operation queue — so wire servers and multi-goroutine producers stop
+// hand-rolling their own locks, and adjacent operations from concurrent
+// producers coalesce into commit batches that share one WAL append and
+// one fsync (see StreamHandle). Queries stay lock-free (they read the
 // engine's published snapshot) and never contend with writers — on the
 // same stream or any other.
 //
@@ -29,17 +35,45 @@ import (
 // write-ahead logged and checkpointed under a data directory, and
 // recovered on the next OpenHub (see persistence.go).
 //
+// Lifecycle: every registered stream owns a writer goroutine, released
+// only by Close/CloseAll. A hub that is dropped without being closed
+// leaks those goroutines (and the streams they pin) — close hubs you
+// abandon, in-memory ones included.
+//
 // All Hub methods are safe for concurrent use.
 type Hub struct {
 	mu      sync.RWMutex
 	streams map[string]*StreamHandle
 	// p is the durability configuration (nil for an in-memory hub).
 	p *hubPersist
+	// serialized selects the pre-pipeline writer path for every handle
+	// (see WithSerializedWriter).
+	serialized bool
 }
 
-// NewHub creates an empty registry.
-func NewHub() *Hub {
-	return &Hub{streams: make(map[string]*StreamHandle)}
+// HubOption tunes a Hub created with NewHub.
+type HubOption func(*Hub)
+
+// WithSerializedWriter disables the per-stream writer pipeline: each write
+// operation is executed synchronously under a per-stream mutex and, on a
+// durable hub, appended (and under FsyncAlways fsynced) individually —
+// the pre-pipeline architecture. Results are identical to the pipelined
+// path op for op; only the batching of WAL writes and snapshot publishes
+// differs. It exists as the measured baseline of the `ingest` experiment
+// and as a compatibility escape hatch; production hubs should not use it.
+// For a durable hub, set PersistOptions.SerializedWriter instead.
+func WithSerializedWriter() HubOption {
+	return func(h *Hub) { h.serialized = true }
+}
+
+// NewHub creates an empty registry. Call CloseAll when done with it:
+// each stream's writer goroutine runs until its stream is closed.
+func NewHub(opts ...HubOption) *Hub {
+	h := &Hub{streams: make(map[string]*StreamHandle)}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
 }
 
 // validName rejects names that cannot round-trip through a URL path
@@ -88,9 +122,9 @@ func (h *Hub) Create(name string, m *Model, opts Options, sopts ...StreamOption)
 
 // Adopt registers an existing stream under name. The caller must stop
 // writing to st directly: after Adopt, all writes go through the returned
-// handle (which serializes them). On a durable hub the adopted stream's
-// current state is checkpointed immediately, so it is durable from the
-// moment Adopt returns.
+// handle (which owns the stream's writer goroutine). On a durable hub the
+// adopted stream's current state is checkpointed immediately, so it is
+// durable from the moment Adopt returns.
 func (h *Hub) Adopt(name string, st *Stream) (*StreamHandle, error) {
 	if err := validName(name); err != nil {
 		return nil, err
@@ -114,20 +148,17 @@ func (h *Hub) registerPersistent(name string, st *Stream) (*StreamHandle, error)
 	if _, ok := h.streams[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
-	hs := &StreamHandle{name: name, st: st, done: make(chan struct{})}
+	var pers *streamPersist
 	if h.p != nil {
-		pers, err := h.p.initStream(name, st)
+		var err error
+		pers, err = h.p.initStream(name, st)
 		if err != nil {
 			return nil, err
 		}
-		hs.pers = pers
 	}
+	hs := h.newHandle(name, st, pers)
 	h.streams[name] = hs
 	return hs, nil
-}
-
-func (h *Hub) register(name string, st *Stream) (*StreamHandle, error) {
-	return h.registerWith(name, st, nil)
 }
 
 // registerWith inserts a handle with its persistence state already
@@ -138,9 +169,26 @@ func (h *Hub) registerWith(name string, st *Stream, pers *streamPersist) (*Strea
 	if _, ok := h.streams[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
-	hs := &StreamHandle{name: name, st: st, done: make(chan struct{}), pers: pers}
+	hs := h.newHandle(name, st, pers)
 	h.streams[name] = hs
 	return hs, nil
+}
+
+// newHandle builds a handle and, unless the hub runs serialized writers,
+// starts its writer goroutine.
+func (h *Hub) newHandle(name string, st *Stream, pers *streamPersist) *StreamHandle {
+	hs := &StreamHandle{
+		name:       name,
+		st:         st,
+		pers:       pers,
+		done:       make(chan struct{}),
+		serialized: h.serialized,
+	}
+	if !hs.serialized {
+		hs.ops = make(chan *writeOp, writeQueueCap)
+		go hs.writerLoop()
+	}
+	return hs
 }
 
 // Get returns the handle registered under name, or ErrUnknownStream.
@@ -173,13 +221,14 @@ func (h *Hub) Len() int {
 	return len(h.streams)
 }
 
-// Close unregisters name and marks its handle closed: in-flight operations
-// finish, subsequent ones fail with ErrStreamClosed. It returns
-// ErrUnknownStream for a name that was never registered (or already
-// closed). On a durable hub, Close waits for the in-flight write (if any),
-// takes a final checkpoint and releases the stream's WAL — the durable
-// state stays on disk and is recovered by the next OpenHub; a checkpoint
-// failure is reported (wrapping ErrPersist) but the stream still closes.
+// Close unregisters name and marks its handle closed: operations already
+// in the handle's queue drain and complete with their real results,
+// subsequent ones fail with ErrStreamClosed. It returns ErrUnknownStream
+// for a name that was never registered (or already closed). On a durable
+// hub, Close takes a final checkpoint after the drain and releases the
+// stream's WAL — the durable state stays on disk and is recovered by the
+// next OpenHub; a checkpoint failure is reported (wrapping ErrPersist) but
+// the stream still closes.
 func (h *Hub) Close(name string) error {
 	h.mu.Lock()
 	hs, ok := h.streams[name]
@@ -188,25 +237,14 @@ func (h *Hub) Close(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownStream, name)
 	}
-	var perr error
-	if hs.pers != nil {
-		// The writer mutex serializes the final checkpoint behind any
-		// in-flight write; the closed flag set under it fences later ones.
-		hs.mu.Lock()
-		hs.closed.Store(true)
-		perr = hs.pers.finalize(hs.st)
-		hs.mu.Unlock()
-	} else {
-		hs.closed.Store(true)
-	}
-	close(hs.done)
-	return perr
+	return hs.shutdown()
 }
 
 // CloseAll closes every registered stream — the graceful-shutdown sweep:
-// on a durable hub each stream takes its final checkpoint, and every
-// handle's Done channel closes so SSE consumers and other long-lived
-// readers shut down. Errors are joined; streams close regardless.
+// on a durable hub each stream drains its queue and takes its final
+// checkpoint, and every handle's Done channel closes so SSE consumers and
+// other long-lived readers shut down. Errors are joined; streams close
+// regardless.
 func (h *Hub) CloseAll() error {
 	var errs []error
 	for _, name := range h.List() {
@@ -217,21 +255,170 @@ func (h *Hub) CloseAll() error {
 	return errors.Join(errs...)
 }
 
-// StreamHandle is a Hub-managed stream. Write operations are serialized by
-// an internal mutex (honoring the Stream's one-writer contract), so any
-// number of goroutines may call them; queries and stats bypass the mutex
-// entirely and read the published snapshot, as on a raw Stream.
+// Writer-pipeline sizing. The queue bound is the backpressure mechanism: a
+// producer enqueueing into a full queue blocks until the writer drains.
+// The commit cap bounds how much work (and how many WAL bytes) one commit
+// batch can accumulate before its callers see their results.
+const (
+	// writeQueueCap is the per-stream operation queue capacity.
+	writeQueueCap = 256
+	// maxCommitOps is the most queued operations one commit batch
+	// coalesces (one engine application pass, one WAL append, one fsync).
+	maxCommitOps = 128
+)
+
+// opKind discriminates queued write operations.
+type opKind uint8
+
+const (
+	opAdd opKind = iota
+	opAddBatch
+	opFlush
+	opCheckpoint
+	opSwapModel
+	opSubscribe
+	opUnsubscribe
+	opClose
+)
+
+// coalescable reports whether ops of this kind may share a commit batch.
+// Only the ingest ops coalesce: they are the high-rate path and their
+// durability records can share one WAL append. The others are barriers —
+// each runs in its own batch, after everything enqueued before it has
+// committed (so Checkpoint captures a fully drained prefix, and SwapModel
+// never swaps an engine mid-batch).
+func (k opKind) coalescable() bool {
+	return k == opAdd || k == opAddBatch || k == opFlush
+}
+
+// writeOp is one queued write operation: its inputs, and — once the
+// writer goroutine closes done — its results. The completing channel close
+// is the happens-before edge that lets the enqueueing goroutine read the
+// result fields without further synchronization.
+type writeOp struct {
+	kind opKind
+
+	// Inputs (by kind).
+	post    Post              // opAdd
+	posts   []Post            // opAddBatch
+	now     int64             // opFlush
+	model   *Model            // opSwapModel
+	ctx     context.Context   // opSubscribe
+	q       Query             // opSubscribe
+	every   time.Duration     // opSubscribe
+	handler func(Result)      // opSubscribe
+	sopts   []SubscribeOption // opSubscribe
+	sub     *Subscription     // opUnsubscribe in; opSubscribe out
+
+	// Results.
+	err      error
+	accepted int          // opAddBatch
+	ps       PersistStats // opCheckpoint
+	// nrecs is how many WAL records this op contributed to its commit
+	// batch; a batch-append failure is joined into the result of every
+	// contributing op.
+	nrecs int
+
+	done chan struct{}
+}
+
+// PipelineStats reports a stream's writer-pipeline counters (zero-valued
+// on a raw Stream, and with QueueDepth and Fsyncs pinned to 0 under
+// WithSerializedWriter and on in-memory hubs respectively).
+type PipelineStats struct {
+	// QueueDepth is the number of write operations waiting in the
+	// handle's queue at the instant of the Stats call (0 on a
+	// serialized-writer hub, which has no queue).
+	QueueDepth int
+	// Ops counts write operations committed over the handle's lifetime.
+	Ops int64
+	// Batches counts commit batches: each is one engine application pass
+	// and, on a durable hub, at most one WAL append with one shared
+	// fsync. Ops/Batches is the mean commit-batch size — the coalescing
+	// factor producers actually achieved.
+	Batches int64
+	// Fsyncs counts WAL fsyncs issued for the stream (0 on in-memory
+	// hubs). Fsyncs/Ops is the per-operation durability cost group commit
+	// amortizes: 1.0 matches the serialized writer at FsyncAlways, and it
+	// falls toward 1/MeanBatchSize as concurrent producers coalesce.
+	Fsyncs int64
+}
+
+// MeanBatchSize returns the average number of operations per commit batch
+// (0 before the first commit).
+func (p PipelineStats) MeanBatchSize() float64 {
+	if p.Batches == 0 {
+		return 0
+	}
+	return float64(p.Ops) / float64(p.Batches)
+}
+
+// FsyncsPerOp returns the average number of WAL fsyncs per committed
+// operation (0 before the first commit, and on in-memory hubs).
+func (p PipelineStats) FsyncsPerOp() float64 {
+	if p.Ops == 0 {
+		return 0
+	}
+	return float64(p.Fsyncs) / float64(p.Ops)
+}
+
+// StreamHandle is a Hub-managed stream. Write operations are enqueued onto
+// a bounded per-stream queue and executed by one writer goroutine (the
+// single-writer ingest pipeline), so any number of goroutines may call
+// them; queries and stats bypass the pipeline entirely and read the
+// published snapshot, as on a raw Stream.
+//
+// The writer coalesces adjacent queued ingest operations (Add, AddBatch,
+// Flush) into a commit batch: one pass of engine application — crossing at
+// most one snapshot publish when no standing queries are registered — and,
+// on a durable hub, one WAL append whose fsync (under FsyncAlways) is
+// shared by the whole batch. Coalescing is invisible in the results: every
+// operation completes with exactly the outcome the serialized path would
+// have produced — the same accepted prefixes, the same typed sentinels —
+// because acceptance decisions are made per operation, in queue order, by
+// the same code. Checkpoint, SwapModel, Subscribe and Unsubscribe are
+// commit barriers: each executes alone, after every operation enqueued
+// before it has committed.
+//
+// Backpressure: a full queue blocks producers until the writer drains.
+// PipelineStats (via Stats) reports the live queue depth and the realized
+// coalescing.
 type StreamHandle struct {
 	name string
+	st   *Stream
 
-	mu     sync.Mutex // serializes the writer side
-	st     *Stream
-	closed atomic.Bool   // flag, not mutex-guarded: reads must never contend with writers
+	// qmu serializes enqueues with shutdown: the closed flag and the
+	// channel send are checked-and-done under it, so no operation can
+	// slip into the queue after the close op that ends the writer loop.
+	qmu    sync.Mutex
+	ops    chan *writeOp
+	closed atomic.Bool   // fail-fast flag; reads must never contend with writers
 	done   chan struct{} // closed by Hub.Close; see Done
-	// pers is the stream's durability state (nil on an in-memory hub).
-	// The serialized writer path is the WAL append point: every accepted
-	// write is logged here, under mu, before the call returns.
+
+	// serialized selects the pre-pipeline writer path: ops execute
+	// synchronously under smu, one commit batch each (the Hub's
+	// WithSerializedWriter / PersistOptions.SerializedWriter baseline).
+	serialized bool
+	smu        sync.Mutex
+
+	// pers is the stream's durability state (nil on an in-memory hub),
+	// mutated only by the writer goroutine (or under smu when
+	// serialized). The commit path is the WAL append point: every
+	// accepted write is logged before its operation completes.
 	pers *streamPersist
+
+	// recs is the writer-owned scratch buffer of WAL records for the
+	// current commit batch.
+	recs []persist.Record
+
+	// inflight counts producers currently inside do() on the pipelined
+	// path — enqueued or about to be. The writer reads it as herd
+	// evidence when deciding whether to wait a scheduling pass for a
+	// fuller commit batch.
+	inflight atomic.Int64
+
+	statOps     atomic.Int64
+	statBatches atomic.Int64
 }
 
 // Name returns the name the handle is registered under.
@@ -239,155 +426,313 @@ func (hs *StreamHandle) Name() string { return hs.name }
 
 // Stream returns the underlying stream for read-only use (Model, Options,
 // Explain). Callers must not invoke its write methods directly — that
-// would bypass the handle's serialization.
+// would bypass the handle's writer pipeline.
 func (hs *StreamHandle) Stream() *Stream { return hs.st }
 
-// write runs fn under the writer mutex, failing fast once closed.
-func (hs *StreamHandle) write(fn func(*Stream) error) error {
-	hs.mu.Lock()
-	defer hs.mu.Unlock()
-	if hs.closed.Load() {
-		return fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+// do executes op through the writer pipeline (or inline under smu on a
+// serialized-writer hub) and returns it with its result fields set.
+func (hs *StreamHandle) do(op *writeOp) *writeOp {
+	if hs.serialized {
+		hs.smu.Lock()
+		if hs.closed.Load() {
+			hs.smu.Unlock()
+			op.err = fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+			return op
+		}
+		hs.commit([]*writeOp{op})
+		hs.smu.Unlock()
+		return op
 	}
-	return fn(hs.st)
+	op.done = make(chan struct{})
+	hs.inflight.Add(1)
+	defer hs.inflight.Add(-1)
+	hs.qmu.Lock()
+	if hs.closed.Load() {
+		hs.qmu.Unlock()
+		op.err = fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
+		return op
+	}
+	hs.ops <- op // blocks when the queue is full: backpressure
+	hs.qmu.Unlock()
+	<-op.done
+	return op
 }
 
-// Add appends one post (serialized with the handle's other writers). On a
-// durable hub the accepted post is WAL-logged before Add returns; a
-// logging failure is reported (wrapping ErrPersist) with the post already
-// applied in memory.
-func (hs *StreamHandle) Add(p Post) error {
-	return hs.write(func(st *Stream) error {
-		if err := st.Add(p); err != nil {
-			return err
+// writerLoop is the stream's single writer: it drains the op queue,
+// coalescing adjacent ingest ops into commit batches, until the close op
+// arrives. Every op that entered the queue is completed — the close path
+// enqueues its op under qmu after setting the closed flag, so the loop
+// never abandons a waiting caller.
+func (hs *StreamHandle) writerLoop() {
+	batch := make([]*writeOp, 0, maxCommitOps)
+	var carry *writeOp
+	for {
+		var op *writeOp
+		if carry != nil {
+			op, carry = carry, nil
+		} else {
+			op = <-hs.ops
 		}
-		if hs.pers != nil {
-			if err := hs.pers.logPost(st, p); err != nil {
-				return err
+		if op.kind == opClose {
+			if hs.pers != nil {
+				op.err = hs.pers.finalize(hs.st)
 			}
-			return hs.pers.maybeCheckpoint(st)
+			close(op.done)
+			return
 		}
-		return nil
-	})
+		batch = append(batch[:0], op)
+		if op.kind.coalescable() {
+			// Gather the batch in passes: drain the queue, and while the
+			// in-flight counter shows producers that have not enqueued
+			// yet — typically the herd just woken by the previous
+			// commit's completions — yield once to let them, so the
+			// batch (and its shared fsync) covers the whole herd. The
+			// writer otherwise outruns producer wake-up and group commit
+			// degenerates into batches of one (pronounced at
+			// GOMAXPROCS=1, where the writer is never preempted between
+			// commits). A lone producer never trips the yield: its op is
+			// the whole in-flight population, preserving the serialized
+			// path's latency.
+			for tries := 0; len(batch) < maxCommitOps && carry == nil; {
+				var next *writeOp
+				select {
+				case next = <-hs.ops:
+				default:
+				}
+				if next != nil {
+					if !next.kind.coalescable() {
+						carry = next // barrier op: runs alone, next iteration
+						break
+					}
+					batch = append(batch, next)
+					continue
+				}
+				if tries >= 2 || int64(len(batch)) >= hs.inflight.Load() {
+					break
+				}
+				tries++
+				runtime.Gosched()
+			}
+		}
+		hs.commit(batch)
+		// Drop the completed ops' pointers: the reused backing array
+		// would otherwise pin a big batch's posts (and handlers, and
+		// contexts) across an arbitrarily long run of small batches.
+		clear(batch)
+	}
+}
+
+// commit applies one batch of operations and makes it durable: an apply
+// pass in queue order (snapshot publication deferred across the batch, so
+// it crosses at most one publish when no standing queries are registered),
+// then — on a durable hub — one WAL append covering every accepted
+// operation, with one fsync shared by the batch, then the auto-checkpoint
+// trigger, and finally the completion of every caller's op.
+//
+// Atomicity is per operation, not per batch: each op's acceptance and
+// result are decided individually (batch[i] failing never rolls back
+// batch[i-1]), and a WAL-append failure is joined into the result of
+// exactly the ops whose records were in the failed append — their effects
+// are in memory but not durable, the same contract the serialized path
+// reports per op.
+func (hs *StreamHandle) commit(batch []*writeOp) {
+	st := hs.st
+	recs := hs.recs[:0]
+	// Bracket the apply pass when it can span more than one engine
+	// application (several ops, or one multi-post batch).
+	bracket := len(batch) > 1 || (batch[0].kind == opAddBatch && len(batch[0].posts) > 1)
+	if bracket {
+		st.beginApply()
+	}
+	for _, op := range batch {
+		switch op.kind {
+		case opAdd:
+			op.err = st.Add(op.post)
+			if op.err == nil && hs.pers != nil {
+				recs = append(recs, postRecord(op.post))
+				op.nrecs = 1
+			}
+		case opAddBatch:
+			op.accepted, op.err = st.AddBatch(op.posts)
+			if hs.pers != nil {
+				for _, p := range op.posts[:op.accepted] {
+					recs = append(recs, postRecord(p))
+				}
+				op.nrecs = op.accepted
+			}
+		case opFlush:
+			op.err = st.Flush(op.now)
+			if op.err == nil && hs.pers != nil {
+				recs = append(recs, persist.Record{Kind: persist.KindFlush, FlushNow: op.now})
+				op.nrecs = 1
+			}
+		case opSubscribe:
+			op.sub, op.err = st.Subscribe(op.ctx, op.q, op.every, op.handler, op.sopts...)
+		case opUnsubscribe:
+			st.Unsubscribe(op.sub)
+		case opSwapModel:
+			if hs.pers != nil {
+				op.err = fmt.Errorf("%w: SwapModel on persisted stream %q (re-open the hub with the new model)", ErrPersist, hs.name)
+			} else {
+				op.err = st.SwapModel(op.model)
+			}
+		case opCheckpoint:
+			if hs.pers == nil {
+				op.err = fmt.Errorf("%w: stream %q", ErrPersistDisabled, hs.name)
+			} else if op.err = hs.pers.checkpoint(st); op.err == nil {
+				op.ps = hs.pers.stats()
+			}
+		}
+	}
+	if bracket {
+		st.endApply()
+	}
+
+	if hs.pers != nil && len(recs) > 0 {
+		// One append, one shared fsync, for the whole batch. The Bucket
+		// field is diagnostic (recovery keys off Seq alone); records are
+		// stamped with the bucket published at commit time.
+		bucket := st.Stats().Bucket
+		for i := range recs {
+			recs[i].Bucket = bucket
+		}
+		if err := hs.pers.appendBatch(recs); err != nil {
+			for _, op := range batch {
+				if op.nrecs > 0 {
+					op.err = errors.Join(op.err, err)
+				}
+			}
+		} else if err := hs.pers.maybeCheckpoint(st); err != nil {
+			// The trigger runs once per committed batch (never with
+			// applied-but-unlogged posts); a failure surfaces on the last
+			// op that contributed records.
+			for i := len(batch) - 1; i >= 0; i-- {
+				if batch[i].nrecs > 0 {
+					batch[i].err = errors.Join(batch[i].err, err)
+					break
+				}
+			}
+		}
+	}
+
+	// Recycle the record scratch with its payload pointers (post text,
+	// refs) dropped, so the buffer's capacity survives but a big batch's
+	// posts do not outlive their commit.
+	clear(recs)
+	hs.recs = recs[:0]
+
+	hs.statOps.Add(int64(len(batch)))
+	hs.statBatches.Add(1)
+	for _, op := range batch {
+		if op.done != nil {
+			close(op.done)
+		}
+	}
+}
+
+// postRecord builds the WAL record of one accepted post (Seq and Bucket
+// are stamped at append time).
+func postRecord(p Post) persist.Record {
+	return persist.Record{
+		Kind: persist.KindPost,
+		Post: persist.PostRec{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs},
+	}
+}
+
+// shutdown ends the handle: the closed flag fences new operations, the
+// queued ones drain with their real results, and the writer goroutine
+// finalizes persistence (final checkpoint + WAL release) and exits. Called
+// once, by Hub.Close, after the handle left the registry.
+func (hs *StreamHandle) shutdown() error {
+	if hs.serialized {
+		hs.smu.Lock()
+		hs.closed.Store(true)
+		var err error
+		if hs.pers != nil {
+			err = hs.pers.finalize(hs.st)
+		}
+		hs.smu.Unlock()
+		close(hs.done)
+		return err
+	}
+	op := &writeOp{kind: opClose, done: make(chan struct{})}
+	hs.qmu.Lock()
+	hs.closed.Store(true)
+	hs.ops <- op
+	hs.qmu.Unlock()
+	<-op.done
+	close(hs.done)
+	return op.err
+}
+
+// Add appends one post through the writer pipeline. On a durable hub the
+// accepted post is WAL-logged (sharing its commit batch's fsync) before
+// Add returns; a logging failure is reported (wrapping ErrPersist) with
+// the post already applied in memory.
+func (hs *StreamHandle) Add(p Post) error {
+	return hs.do(&writeOp{kind: opAdd, post: p}).err
 }
 
 // AddBatch appends posts in order, stopping at the first rejected post and
 // reporting how many were accepted. On a durable hub the accepted prefix
 // is WAL-logged even when a later post is rejected; if both an ingest
 // rejection and a logging failure occur, the returned error joins them
-// (errors.Is matches each), and on a logging failure the posts logged
-// successfully remain durable while the rest are in memory only.
+// (errors.Is matches each), and on a logging failure the accepted prefix
+// is in memory but not durable.
 func (hs *StreamHandle) AddBatch(posts []Post) (accepted int, err error) {
-	werr := hs.write(func(st *Stream) error {
-		accepted, err = st.AddBatch(posts)
-		if hs.pers != nil {
-			// Log the whole accepted prefix before considering a
-			// checkpoint: the batch was already applied in memory, so a
-			// mid-prefix checkpoint would capture posts whose WAL records
-			// land after it — records past the watermark that replay
-			// would then wrongly re-apply.
-			var logErr error
-			for _, p := range posts[:accepted] {
-				if logErr = hs.pers.logPost(st, p); logErr != nil {
-					break
-				}
-			}
-			if logErr == nil {
-				logErr = hs.pers.maybeCheckpoint(st)
-			}
-			if logErr != nil {
-				err = errors.Join(err, logErr)
-			}
-		}
-		return err
-	})
-	if werr != nil {
-		err = werr
-	}
-	return accepted, err
+	op := hs.do(&writeOp{kind: opAddBatch, posts: posts})
+	return op.accepted, op.err
 }
 
 // Flush ingests everything buffered up to stream time now (WAL-logged as
 // an explicit boundary on a durable hub).
 func (hs *StreamHandle) Flush(now int64) error {
-	return hs.write(func(st *Stream) error {
-		if err := st.Flush(now); err != nil {
-			return err
-		}
-		if hs.pers != nil {
-			if err := hs.pers.logFlush(st, now); err != nil {
-				return err
-			}
-			return hs.pers.maybeCheckpoint(st)
-		}
-		return nil
-	})
+	return hs.do(&writeOp{kind: opFlush, now: now}).err
 }
 
-// SwapModel replaces the topic model, serialized with the other writers.
-// It is rejected on a durable stream: persisted state is fingerprinted
-// against one model, and recovery would re-open the swapped stream with
-// the original — restart the hub (OpenHub) with the new model instead.
+// SwapModel replaces the topic model. It is a commit barrier: it runs
+// alone, after every operation enqueued before it. It is rejected on a
+// durable stream: persisted state is fingerprinted against one model, and
+// recovery would re-open the swapped stream with the original — restart
+// the hub (OpenHub) with the new model instead.
 func (hs *StreamHandle) SwapModel(m *Model) error {
-	return hs.write(func(st *Stream) error {
-		if hs.pers != nil {
-			return fmt.Errorf("%w: SwapModel on persisted stream %q (re-open the hub with the new model)", ErrPersist, hs.name)
-		}
-		return st.SwapModel(m)
-	})
+	return hs.do(&writeOp{kind: opSwapModel, model: m}).err
 }
 
 // Checkpoint forces an immediate checkpoint: the stream's full state is
 // serialized, the snapshot atomically replaces the previous one, and the
-// WAL is truncated. It fails with ErrPersistDisabled on an in-memory hub.
-// The returned stats reflect the stream just after the checkpoint.
+// WAL is truncated. It is a commit barrier — every operation enqueued
+// before it is applied and WAL-logged first, so the checkpoint covers a
+// fully drained prefix. It fails with ErrPersistDisabled on an in-memory
+// hub. The returned stats reflect the stream just after the checkpoint.
 func (hs *StreamHandle) Checkpoint() (PersistStats, error) {
-	var ps PersistStats
-	err := hs.write(func(st *Stream) error {
-		if hs.pers == nil {
-			return fmt.Errorf("%w: stream %q", ErrPersistDisabled, hs.name)
-		}
-		if err := hs.pers.checkpoint(st); err != nil {
-			return err
-		}
-		ps = hs.pers.stats()
-		return nil
-	})
-	return ps, err
+	op := hs.do(&writeOp{kind: opCheckpoint})
+	return op.ps, op.err
 }
 
-// Subscribe registers a standing query (see Stream.Subscribe), serialized
-// with the handle's writers so any goroutine may call it.
+// Subscribe registers a standing query (see Stream.Subscribe) through the
+// writer pipeline, so any goroutine may call it.
 //
-// Handlers fire inside Add/Flush while the handle's writer mutex is held:
-// a handler must not call the handle's write methods (self-deadlock). To
-// manage subscriptions from within a handler, cancel the subscription's
-// context or use the Stream's own Subscribe/Unsubscribe — the handler is
-// already on the writer goroutine, and both are re-entrancy-safe there.
+// Handlers fire on the stream's writer goroutine inside Add/Flush: a
+// handler must not call the handle's write methods (the writer cannot
+// drain its own queue — self-deadlock). To manage subscriptions from
+// within a handler, cancel the subscription's context or use the Stream's
+// own Subscribe/Unsubscribe — the handler is already on the writer
+// goroutine, and both are re-entrancy-safe there.
 func (hs *StreamHandle) Subscribe(ctx context.Context, q Query, every time.Duration, handler func(Result), opts ...SubscribeOption) (*Subscription, error) {
-	var sub *Subscription
-	err := hs.write(func(st *Stream) error {
-		var err error
-		sub, err = st.Subscribe(ctx, q, every, handler, opts...)
-		return err
-	})
-	return sub, err
+	op := hs.do(&writeOp{kind: opSubscribe, ctx: ctx, q: q, every: every, handler: handler, sopts: opts})
+	return op.sub, op.err
 }
 
-// Unsubscribe removes a standing query, serialized with the writers. It is
-// a no-op on a closed handle.
+// Unsubscribe removes a standing query, ordered with the writers. It is a
+// no-op on a closed handle.
 func (hs *StreamHandle) Unsubscribe(sub *Subscription) {
-	hs.mu.Lock()
-	defer hs.mu.Unlock()
-	if hs.closed.Load() {
-		return
-	}
-	hs.st.Unsubscribe(sub)
+	hs.do(&writeOp{kind: opUnsubscribe, sub: sub})
 }
 
-// Query answers a k-SIR query. It takes no lock: like Stream.Query it pins
-// the published snapshot, so queries on any number of handles run in
-// parallel with each other and with ingestion.
+// Query answers a k-SIR query. It never enters the writer pipeline: like
+// Stream.Query it pins the published snapshot, so queries on any number of
+// handles run in parallel with each other and with ingestion.
 func (hs *StreamHandle) Query(ctx context.Context, q Query) (Result, error) {
 	if hs.closed.Load() {
 		return Result{}, fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
@@ -405,12 +750,22 @@ func (hs *StreamHandle) Explain(res Result, q Query) ([]Explanation, error) {
 }
 
 // Stats reports the stream's counters as of the last published bucket,
-// including the durability counters on a persistent hub. Lock-free like
+// including the durability and writer-pipeline counters. Lock-free like
 // Query.
 func (hs *StreamHandle) Stats() StreamStats {
 	s := hs.st.Stats()
 	if hs.pers != nil {
 		s.Persist = hs.pers.stats()
+	}
+	s.Pipeline = PipelineStats{
+		Ops:     hs.statOps.Load(),
+		Batches: hs.statBatches.Load(),
+	}
+	if hs.ops != nil {
+		s.Pipeline.QueueDepth = len(hs.ops)
+	}
+	if hs.pers != nil {
+		s.Pipeline.Fsyncs = hs.pers.wal.Syncs()
 	}
 	return s
 }

@@ -49,9 +49,10 @@ type bucketDelta struct {
 // bucket through the garbage collector.
 func (g *Engine) newBucketDelta() *bucketDelta {
 	d := &bucketDelta{}
-	if g.spentDelta != nil {
-		d.ops = g.spentDelta.ops
-		g.spentDelta = nil
+	if n := len(g.spentDeltas); n > 0 {
+		d.ops = g.spentDeltas[n-1].ops
+		g.spentDeltas[n-1] = nil
+		g.spentDeltas = g.spentDeltas[:n-1]
 		for s := range d.ops {
 			d.ops[s] = d.ops[s][:0]
 		}

@@ -168,12 +168,20 @@ type Engine struct {
 	front atomic.Pointer[snapshot]
 
 	// Writer-owned state (guarded by mu):
-	back       *buffer        // working copy, one bucket behind until caught up
-	backSnap   *snapshot      // retired snapshot whose buffer is back; drained before reuse
-	pending    *pendingBucket // bucket to replay onto back before the next one
-	spentDelta *bucketDelta   // last replayed delta, recycled by newBucketDelta
-	stats      Stats
-	shardStats []ShardStats
+	back     *buffer   // working copy, one bucket behind until caught up
+	backSnap *snapshot // retired snapshot whose buffer is back; drained before reuse
+	// replayQ holds the buckets applied to the published buffer but not
+	// yet replayed onto back — exactly one outside a deferred-publish
+	// batch, up to the whole batch inside one.
+	replayQ []*pendingBucket
+	// unpublished holds buckets already applied to back but not yet
+	// visible to readers (non-empty only between BeginBatch and the
+	// publish in EndBatch).
+	unpublished []*pendingBucket
+	batching    bool           // inside a BeginBatch/EndBatch bracket
+	spentDeltas []*bucketDelta // replayed deltas, recycled by newBucketDelta
+	stats       Stats
+	shardStats  []ShardStats
 }
 
 // NewEngine validates the configuration and returns an empty engine.
@@ -270,8 +278,13 @@ func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	if err := g.validate(now, batch); err != nil {
 		return err
 	}
-	if err := g.recycle(); err != nil {
-		return err
+	// Inside a deferred-publish batch the back buffer is already current
+	// after the first bucket (nothing was published, so there is nothing
+	// to catch up on); recycling again would double-apply the replay queue.
+	if len(g.unpublished) == 0 {
+		if err := g.recycle(); err != nil {
+			return err
+		}
 	}
 
 	// The timer starts here so UpdateTime measures one application of the
@@ -289,7 +302,14 @@ func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	g.stats.ElementsIngested += int64(len(batch))
 	g.stats.Buckets++
 	g.stats.UpdateTime += time.Since(start)
-	g.publish(now, batch, rec)
+	g.unpublished = append(g.unpublished, &pendingBucket{now: now, batch: batch, delta: rec})
+	if g.batching {
+		// Deferred publish: the bucket is applied to the back buffer but
+		// readers keep the pre-batch snapshot until EndBatch publishes
+		// once for the whole commit batch.
+		return nil
+	}
+	g.publish()
 	// A bucket boundary is the natural scheduling point of the whole
 	// design: the new snapshot is out, so let queries that arrived during
 	// the bucket observe it now instead of waiting out a saturating
@@ -298,41 +318,97 @@ func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	return nil
 }
 
+// BeginBatch opens a deferred-publish bracket: buckets ingested until
+// EndBatch are applied to the writer's buffer without publishing a
+// snapshot, so a commit batch that crosses several bucket boundaries costs
+// one freeze/swap/drain cycle instead of one per bucket. Readers keep the
+// pre-batch snapshot for the duration (legal under the snapshot-visibility
+// contract — they observe a slightly older published bucket).
+//
+// The bracket requires CatchUpDelta (the default): duplicate detection
+// during the batch reads the writer-shared archive, which only the delta
+// mode shares between the twin windows. Under CatchUpReapply BeginBatch is
+// a no-op and every bucket publishes as usual. Writer-side only, like
+// Ingest.
+func (g *Engine) BeginBatch() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cfg.CatchUp != CatchUpDelta {
+		return
+	}
+	g.batching = true
+}
+
+// EndBatch closes the deferred-publish bracket, publishing the buckets
+// ingested since BeginBatch as one snapshot (a no-op when none were).
+func (g *Engine) EndBatch() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.batching = false
+	if len(g.unpublished) > 0 {
+		g.publish()
+		runtime.Gosched()
+	}
+}
+
+// WriterNow returns the stream time as the writer sees it: the last
+// applied bucket boundary, including buckets deferred inside an open
+// BeginBatch bracket that readers cannot observe yet. Equal to Now outside
+// a bracket. Writer-side only, like Ingest.
+func (g *Engine) WriterNow() stream.Time {
+	if n := len(g.unpublished); n > 0 {
+		return g.unpublished[n-1].now
+	}
+	return g.front.Load().now
+}
+
 // recycle readies the back buffer for the next bucket: wait until the
 // readers that pinned its retired snapshot have drained, thaw it, and
-// catch it up on the one bucket it missed while published — by structural
-// delta replay (CatchUpDelta, no re-scoring) or by re-applying the bucket
-// in full (CatchUpReapply).
+// catch it up on the buckets it missed while published — by structural
+// delta replay (CatchUpDelta, no re-scoring) or by re-applying each bucket
+// in full (CatchUpReapply). Outside a deferred-publish batch the queue
+// holds exactly one bucket; after one it holds the whole batch, replayed
+// in ingest order.
 func (g *Engine) recycle() error {
 	if g.backSnap != nil {
 		g.backSnap.waitDrained()
 		g.backSnap = nil
 	}
 	g.back.thaw()
-	p := g.pending
-	if p == nil {
+	if len(g.replayQ) == 0 {
 		return nil
 	}
-	g.pending = nil
+	q := g.replayQ
+	g.replayQ = nil
 	start := time.Now()
-	if p.delta != nil {
-		g.replayDelta(g.back, p.delta)
-		// Recycle the ops slices into the next capture; drop the window
-		// and cache parts so their element references can be collected.
-		p.delta.win, p.delta.cache = nil, score.CacheDelta{}
-		g.spentDelta = p.delta
-	} else if err := g.applyBucket(g.back, p.now, p.batch, false, nil); err != nil {
-		return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
+	for _, p := range q {
+		if p.delta != nil {
+			g.replayDelta(g.back, p.delta)
+			// Recycle the ops slices into the next capture; drop the window
+			// and cache parts so their element references can be collected.
+			p.delta.win, p.delta.cache = nil, score.CacheDelta{}
+			g.spentDeltas = append(g.spentDeltas, p.delta)
+		} else if err := g.applyBucket(g.back, p.now, p.batch, false, nil); err != nil {
+			return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
+		}
 	}
 	g.stats.ReplayTime += time.Since(start)
 	return nil
 }
 
 // validate rejects a bad bucket before either buffer is touched, so the two
-// copies can never diverge on an error path.
+// copies can never diverge on an error path. Inside a deferred-publish
+// batch the published front lags the writer, so ordering is checked
+// against the last applied (possibly unpublished) bucket, and duplicate
+// detection against the back window — whose archive, shared under
+// CatchUpDelta (the only mode that defers), covers every ingested element.
 func (g *Engine) validate(now stream.Time, batch []*stream.Element) error {
-	front := g.front.Load()
-	prevNow := front.now
+	prevNow := g.front.Load().now
+	win := g.front.Load().buf.win
+	if n := len(g.unpublished); n > 0 {
+		prevNow = g.unpublished[n-1].now
+		win = g.back.win
+	}
 	if now < prevNow {
 		return fmt.Errorf("core: time moved backwards %d → %d", prevNow, now)
 	}
@@ -341,7 +417,7 @@ func (g *Engine) validate(now stream.Time, batch []*stream.Element) error {
 		if e.TS <= prevNow || e.TS > now {
 			return fmt.Errorf("core: element %d at %d outside bucket (%d, %d]", e.ID, e.TS, prevNow, now)
 		}
-		if _, dup := ids[e.ID]; dup || front.buf.win.Known(e.ID) {
+		if _, dup := ids[e.ID]; dup || win.Known(e.ID) {
 			return fmt.Errorf("core: duplicate element ID %d", e.ID)
 		}
 		ids[e.ID] = struct{}{}
@@ -391,16 +467,17 @@ func (g *Engine) applyBucket(b *buffer, now stream.Time, batch []*stream.Element
 
 // publish freezes the back buffer into an immutable snapshot, swaps it in as
 // the read path, and retires the old snapshot; its buffer becomes the next
-// back buffer once readers drain, with this bucket (and its recorded delta,
-// under CatchUpDelta) pending for replay.
-func (g *Engine) publish(now stream.Time, batch []*stream.Element, rec *bucketDelta) {
+// back buffer once readers drain, with the unpublished buckets (and their
+// recorded deltas, under CatchUpDelta) queued for replay.
+func (g *Engine) publish() {
 	b := g.back
 	b.freeze()
 	snap := newSnapshot(b, g.stats, g.shardStats)
 	old := g.front.Swap(snap)
 	g.backSnap = old
 	g.back = old.buf
-	g.pending = &pendingBucket{now: now, batch: batch, delta: rec}
+	g.replayQ = g.unpublished
+	g.unpublished = nil
 }
 
 // ListLen returns the size of RL_i as of the last published bucket (for

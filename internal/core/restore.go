@@ -33,7 +33,8 @@ type State struct {
 
 // ExportState dumps the last published state. Like a query it pins the
 // snapshot, so it is safe to run concurrently with readers; the caller
-// must serialize it against Ingest (the Hub's writer mutex does).
+// must serialize it against Ingest (the Hub's writer pipeline does — a
+// checkpoint op is a commit barrier).
 func (g *Engine) ExportState() State {
 	snap := g.acquire()
 	defer snap.release()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,10 @@ type WAL struct {
 	buf      []byte
 	lastSeq  uint64        // highest Seq ever appended or replayed
 	stopc    chan struct{} // stops the interval-sync goroutine (nil unless SyncInterval)
+	// syncs counts fsyncs issued over the WAL's lifetime. Atomic, not
+	// mu-guarded: Syncs backs the lock-free stats path, which must never
+	// wait out an in-flight group commit's fsync.
+	syncs atomic.Int64
 }
 
 // OpenWAL opens (creating if absent) the log at path and replays its valid
@@ -96,27 +101,52 @@ func (w *WAL) syncLoop(stop <-chan struct{}) {
 	}
 }
 
-// Append writes one record and applies the sync policy. The record must
-// carry a Seq greater than every previously appended one.
+// Append writes one record and applies the sync policy: a one-record
+// group commit. The record must carry a Seq greater than every
+// previously appended one.
 func (w *WAL) Append(r Record) error {
+	return w.AppendBatch([]Record{r})
+}
+
+// AppendBatch writes a group-commit batch: every record framed
+// individually (so a torn tail truncates to the longest committed record
+// prefix, exactly as for single appends), encoded into one buffer, written
+// with one write call, and — under SyncAlways — made durable with one
+// fsync shared by the whole batch. Records must carry strictly increasing
+// Seq values, each greater than every previously appended one. An empty
+// batch is a no-op.
+//
+// On error nothing is guaranteed durable: none, some, or all of the
+// batch's frames may be on disk, but recovery still replays exactly the
+// longest valid record prefix.
+func (w *WAL) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("persist: append to closed WAL")
 	}
-	if r.Seq <= w.lastSeq {
-		return fmt.Errorf("persist: WAL sequence moved backwards (%d after %d)", r.Seq, w.lastSeq)
-	}
-	buf, err := r.encode(w.buf[:0])
-	if err != nil {
-		return err
+	buf := w.buf[:0]
+	last := w.lastSeq
+	for i := range recs {
+		if recs[i].Seq <= last {
+			return fmt.Errorf("persist: WAL sequence moved backwards (%d after %d)", recs[i].Seq, last)
+		}
+		last = recs[i].Seq
+		var err error
+		buf, err = recs[i].encode(buf)
+		if err != nil {
+			return err
+		}
 	}
 	w.buf = buf[:0] // recycle the scratch buffer
 	if err := writeFull(w.f, buf); err != nil {
-		return fmt.Errorf("persist: appending WAL record: %w", err)
+		return fmt.Errorf("persist: appending WAL batch: %w", err)
 	}
 	w.size += int64(len(buf))
-	w.lastSeq = r.Seq
+	w.lastSeq = last
 	w.dirty = true
 	switch w.policy {
 	case SyncAlways:
@@ -144,10 +174,17 @@ func (w *WAL) syncLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("persist: syncing WAL: %w", err)
 	}
+	w.syncs.Add(1)
 	w.dirty = false
 	w.lastSync = time.Now()
 	return nil
 }
+
+// Syncs returns how many fsyncs the WAL has issued over its lifetime
+// (inline policy syncs, the background interval flusher, Reset and Close
+// all count). The pipeline's fsyncs-per-op metric is built on it.
+// Lock-free: safe to call while an append's fsync is in flight.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
 
 // Reset empties the log — called after a checkpoint has captured every
 // record's effect. Sequence numbers keep counting up across resets, so a

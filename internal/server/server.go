@@ -20,12 +20,11 @@
 // Errors use the structured envelope {"error":{"code","message"}} with
 // the typed ksir errors mapped to stable codes and status codes.
 //
-// The pre-/v1 routes (/posts, /flush, /query, /stats) remain as thin
-// aliases onto the stream named "default", preserving their request
-// shapes, success responses and method/ordering status codes; errors now
-// use the same structured envelope and status mapping as /v1 (previously
-// a flat {"error":"message"} string, with every post rejection a blanket
-// 409 — malformed posts are now 400, out-of-order stays 409).
+// The deprecated pre-/v1 routes (/posts, /flush, /query, /stats — thin
+// aliases onto the stream named "default") have been removed; /v1 is the
+// only wire surface. Single-tenant deployments keep working through New,
+// which registers the wrapped stream as "default" and serves it at
+// /v1/streams/default/....
 package server
 
 import (
@@ -41,23 +40,10 @@ import (
 	apiv1 "github.com/social-streams/ksir/api/v1"
 )
 
-// DefaultStream is the hub name the legacy (unversioned) routes operate
-// on.
+// DefaultStream is the hub name New registers its wrapped stream under —
+// the single-tenant deployment's one stream, served at
+// /v1/streams/default/....
 const DefaultStream = "default"
-
-// Legacy wire aliases, kept so pre-/v1 integrations (and their tests)
-// compile and serialize unchanged; the canonical definitions live in
-// api/v1.
-type (
-	// PostRequest is the wire form of one post (or a batch).
-	PostRequest = apiv1.Post
-	// FlushRequest advances the stream clock.
-	FlushRequest = apiv1.FlushRequest
-	// QueryRequest is the wire form of a k-SIR query.
-	QueryRequest = apiv1.QueryRequest
-	// QueryResponse carries the result and optional explanations.
-	QueryResponse = apiv1.QueryResponse
-)
 
 // Server is an http.Handler serving a Hub of streams. Ingestion is
 // serialized per stream by the Hub's handles (the library owns the
@@ -93,8 +79,7 @@ func New(st *ksir.Stream) *Server {
 // NewHub serves an existing Hub. model, defaults and sopts seed streams
 // created over POST /v1/streams (request fields override them; pass
 // ksir.WithLambda/ksir.WithShards here so wire-created streams inherit
-// the deployment's tuning, λ=0 included); the legacy route aliases
-// resolve the hub entry named "default" (404 when absent).
+// the deployment's tuning, λ=0 included).
 func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ksir.StreamOption) *Server {
 	s := &Server{hub: hub, model: model, defaults: defaults, sopts: sopts,
 		h: http.NewServeMux(), closing: make(chan struct{})}
@@ -111,12 +96,6 @@ func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ks
 	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.named(s.handleSubscribe))
 	s.h.HandleFunc("POST /v1/streams/{name}/checkpoint", s.named(s.handleCheckpoint))
 
-	// Legacy aliases onto the default stream. Method checks stay inside
-	// the handlers to keep the historical 405 status behavior.
-	s.h.HandleFunc("/posts", s.legacy(http.MethodPost, s.handlePosts))
-	s.h.HandleFunc("/flush", s.legacy(http.MethodPost, s.handleFlush))
-	s.h.HandleFunc("/query", s.legacy(http.MethodPost, s.handleQuery))
-	s.h.HandleFunc("/stats", s.legacy(http.MethodGet, s.handleLegacyStats))
 	s.h.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -145,23 +124,6 @@ type streamHandler func(w http.ResponseWriter, r *http.Request, hs *ksir.StreamH
 func (s *Server) named(fn streamHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		hs, err := s.hub.Get(r.PathValue("name"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		fn(w, r, hs)
-	}
-}
-
-// legacy gates on the historical method check and resolves the default
-// stream.
-func (s *Server) legacy(method string, fn streamHandler) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			httpError(w, http.StatusMethodNotAllowed, apiv1.CodeBadRequest, "%s only", method)
-			return
-		}
-		hs, err := s.hub.Get(DefaultStream)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -251,16 +213,6 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, hs *ksir.St
 	writeJSON(w, streamInfo(hs))
 }
 
-// handleLegacyStats keeps the historical flat /stats shape.
-func (s *Server) handleLegacyStats(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
-	st := hs.Stats()
-	writeJSON(w, map[string]any{
-		"active":        st.Active,
-		"now":           st.Now,
-		"subscriptions": st.Subscriptions,
-	})
-}
-
 // toQuery converts the wire query, folding parse failures into the typed
 // taxonomy so they map to 400/bad_query.
 func toQuery(req apiv1.QueryRequest) (ksir.Query, error) {
@@ -312,6 +264,14 @@ func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 			CheckpointBucket: st.Persist.CheckpointBucket,
 			Checkpoints:      st.Persist.Checkpoints,
 		}
+	}
+	info.Pipeline = &apiv1.PipelineInfo{
+		QueueDepth:    st.Pipeline.QueueDepth,
+		Ops:           st.Pipeline.Ops,
+		Batches:       st.Pipeline.Batches,
+		MeanBatchSize: st.Pipeline.MeanBatchSize(),
+		Fsyncs:        st.Pipeline.Fsyncs,
+		FsyncsPerOp:   st.Pipeline.FsyncsPerOp(),
 	}
 	return info
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
 )
 
 func testStream(t *testing.T) *ksir.Stream {
@@ -72,43 +73,48 @@ func TestServerEndToEnd(t *testing.T) {
 	resp.Body.Close()
 
 	// Ingest a batch plus a single post.
-	batch := []PostRequest{
+	batch := []apiv1.Post{
 		{ID: 1, Time: 10, Text: "late goal wins the derby"},
 		{ID: 2, Time: 20, Text: "what a dunk in the playoffs"},
 	}
-	r, _ := postJSON(t, srv, "/posts", batch)
+	r, _ := postJSON(t, srv, "/v1/streams/default/posts", batch)
 	if r.StatusCode != http.StatusAccepted {
 		t.Fatalf("posts: %d", r.StatusCode)
 	}
-	r, _ = postJSON(t, srv, "/posts", PostRequest{ID: 3, Time: 30, Text: "keeper saves the penalty", Refs: []int64{1}})
+	r, _ = postJSON(t, srv, "/v1/streams/default/posts", apiv1.Post{ID: 3, Time: 30, Text: "keeper saves the penalty", Refs: []int64{1}})
 	if r.StatusCode != http.StatusAccepted {
 		t.Fatalf("single post: %d", r.StatusCode)
 	}
 
 	// Flush and check stats.
-	r, body := postJSON(t, srv, "/flush", FlushRequest{Now: 60})
+	r, body := postJSON(t, srv, "/v1/streams/default/flush", apiv1.FlushRequest{Now: 60})
 	if r.StatusCode != 200 {
 		t.Fatalf("flush: %d %s", r.StatusCode, body)
 	}
-	var stats map[string]any
-	resp, err = http.Get(srv.URL + "/stats")
+	var info apiv1.StreamInfo
+	resp, err = http.Get(srv.URL + "/v1/streams/default/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
-	json.NewDecoder(resp.Body).Decode(&stats)
+	json.NewDecoder(resp.Body).Decode(&info)
 	resp.Body.Close()
-	if stats["active"].(float64) != 3 {
-		t.Errorf("stats = %v", stats)
+	if info.Active != 3 {
+		t.Errorf("stats = %+v", info)
+	}
+	// The stats block reports the writer pipeline: the three ingest
+	// requests and the flush all committed through it.
+	if info.Pipeline == nil || info.Pipeline.Ops < 3 || info.Pipeline.Batches == 0 {
+		t.Errorf("pipeline stats missing or empty: %+v", info.Pipeline)
 	}
 
 	// Query with explanation.
-	r, body = postJSON(t, srv, "/query", QueryRequest{
+	r, body = postJSON(t, srv, "/v1/streams/default/query", apiv1.QueryRequest{
 		K: 2, Keywords: []string{"goal", "league"}, Explain: true,
 	})
 	if r.StatusCode != 200 {
 		t.Fatalf("query: %d %s", r.StatusCode, body)
 	}
-	var qr QueryResponse
+	var qr apiv1.QueryResponse
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -127,36 +133,44 @@ func TestServerValidation(t *testing.T) {
 	srv := httptest.NewServer(New(testStream(t)))
 	defer srv.Close()
 
-	// Wrong methods.
-	resp, err := http.Get(srv.URL + "/query")
+	// Wrong methods (the method-qualified /v1 patterns answer 405).
+	resp, err := http.Get(srv.URL + "/v1/streams/default/query")
 	if err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /query = %d", resp.StatusCode)
+		t.Errorf("GET query = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The removed pre-/v1 aliases are gone, not silently serving the
+	// default stream.
+	resp, err = http.Post(srv.URL+"/query", "application/json", strings.NewReader(`{"k":1}`))
+	if err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("legacy /query = %d, want 404", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Bad JSON.
-	resp, err = http.Post(srv.URL+"/posts", "application/json", strings.NewReader("{nope"))
+	resp, err = http.Post(srv.URL+"/v1/streams/default/posts", "application/json", strings.NewReader("{nope"))
 	if err != nil || resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad JSON = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
 
 	// Out-of-order post.
-	r, _ := postJSON(t, srv, "/posts", PostRequest{ID: 1, Time: 100, Text: "goal"})
+	r, _ := postJSON(t, srv, "/v1/streams/default/posts", apiv1.Post{ID: 1, Time: 100, Text: "goal"})
 	if r.StatusCode != http.StatusAccepted {
 		t.Fatalf("first post: %d", r.StatusCode)
 	}
-	r, _ = postJSON(t, srv, "/posts", PostRequest{ID: 2, Time: 50, Text: "goal"})
+	r, _ = postJSON(t, srv, "/v1/streams/default/posts", apiv1.Post{ID: 2, Time: 50, Text: "goal"})
 	if r.StatusCode != http.StatusConflict {
 		t.Errorf("out-of-order post = %d, want 409", r.StatusCode)
 	}
 
 	// Invalid query.
-	r, _ = postJSON(t, srv, "/query", QueryRequest{K: 0})
+	r, _ = postJSON(t, srv, "/v1/streams/default/query", apiv1.QueryRequest{K: 0})
 	if r.StatusCode != http.StatusBadRequest {
 		t.Errorf("k=0 query = %d", r.StatusCode)
 	}
-	r, _ = postJSON(t, srv, "/query", QueryRequest{K: 2, Keywords: []string{"goal"}, Algorithm: "bogus"})
+	r, _ = postJSON(t, srv, "/v1/streams/default/query", apiv1.QueryRequest{K: 2, Keywords: []string{"goal"}, Algorithm: "bogus"})
 	if r.StatusCode != http.StatusBadRequest {
 		t.Errorf("bogus algorithm = %d", r.StatusCode)
 	}
@@ -191,7 +205,7 @@ func TestServerConcurrentQueries(t *testing.T) {
 			if i%2 == 1 {
 				kw = "dunk"
 			}
-			r, body := postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{kw}})
+			r, body := postJSONQuiet(srv, "/v1/streams/default/query", apiv1.QueryRequest{K: 3, Keywords: []string{kw}})
 			if r == nil || r.StatusCode != 200 {
 				errs <- fmt.Errorf("query %d failed: %s", i, body)
 			}
@@ -244,12 +258,12 @@ func TestServerQueryDuringIngest(t *testing.T) {
 				}
 				// Explain exercises the pinned-snapshot read path
 				// (window + scorer) concurrently with ingest.
-				r, body := postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{kw}, Explain: i%2 == 0})
+				r, body := postJSONQuiet(srv, "/v1/streams/default/query", apiv1.QueryRequest{K: 3, Keywords: []string{kw}, Explain: i%2 == 0})
 				if r == nil || r.StatusCode != 200 {
 					errs <- fmt.Errorf("query %d failed: %s", i, body)
 					return
 				}
-				var qr QueryResponse
+				var qr apiv1.QueryResponse
 				if err := json.Unmarshal(body, &qr); err != nil {
 					errs <- fmt.Errorf("query %d bad response: %v", i, err)
 					return
@@ -271,12 +285,12 @@ func TestServerQueryDuringIngest(t *testing.T) {
 		if i%2 == 1 {
 			text = "dunk rebound playoffs"
 		}
-		r, body := postJSONQuiet(srv, "/posts", PostRequest{ID: int64(i + 1), Time: int64(1 + i*10), Text: text})
+		r, body := postJSONQuiet(srv, "/v1/streams/default/posts", apiv1.Post{ID: int64(i + 1), Time: int64(1 + i*10), Text: text})
 		if r == nil || r.StatusCode != http.StatusAccepted {
 			t.Fatalf("post %d rejected: %s", i, body)
 		}
 	}
-	r, body := postJSONQuiet(srv, "/flush", FlushRequest{Now: 1400})
+	r, body := postJSONQuiet(srv, "/v1/streams/default/flush", apiv1.FlushRequest{Now: 1400})
 	if r == nil || r.StatusCode != 200 {
 		t.Fatalf("flush failed: %s", body)
 	}
@@ -288,8 +302,8 @@ func TestServerQueryDuringIngest(t *testing.T) {
 	}
 
 	// After the flush the latest snapshot must serve every reader.
-	_, body = postJSONQuiet(srv, "/query", QueryRequest{K: 3, Keywords: []string{"goal"}})
-	var qr QueryResponse
+	_, body = postJSONQuiet(srv, "/v1/streams/default/query", apiv1.QueryRequest{K: 3, Keywords: []string{"goal"}})
+	var qr apiv1.QueryResponse
 	if err := json.Unmarshal(body, &qr); err != nil {
 		t.Fatal(err)
 	}

@@ -187,30 +187,22 @@ func TestV1IngestQueryStats(t *testing.T) {
 	}
 }
 
-// Legacy aliases and /v1 routes address the same "default" stream.
-func TestLegacyAliasesShareDefaultStream(t *testing.T) {
+// New registers its wrapped stream as "default", reachable only through
+// the /v1 surface.
+func TestNewRegistersDefaultStream(t *testing.T) {
 	srv := httptest.NewServer(New(testStream(t)))
 	defer srv.Close()
 
-	r, _ := doJSON(t, http.MethodPost, srv.URL+"/posts", PostRequest{ID: 1, Time: 10, Text: "late goal wins the derby"})
+	r, _ := doJSON(t, http.MethodPost, srv.URL+"/v1/streams/default/posts", apiv1.Post{ID: 1, Time: 10, Text: "late goal wins the derby"})
 	if r.StatusCode != http.StatusAccepted {
-		t.Fatalf("legacy post: %d", r.StatusCode)
+		t.Fatalf("post: %d", r.StatusCode)
 	}
 	r, _ = doJSON(t, http.MethodPost, srv.URL+"/v1/streams/default/flush", apiv1.FlushRequest{Now: 60})
 	if r.StatusCode != 200 {
 		t.Fatalf("v1 flush: %d", r.StatusCode)
 	}
-	// The legacy stats route sees the post ingested via the v1 flush.
-	r, body := doJSON(t, http.MethodGet, srv.URL+"/stats", nil)
-	var stats map[string]any
-	if err := json.Unmarshal(body, &stats); err != nil || r.StatusCode != 200 {
-		t.Fatalf("legacy stats: %d %v", r.StatusCode, err)
-	}
-	if stats["active"].(float64) != 1 {
-		t.Errorf("legacy stats = %v", stats)
-	}
-	// And the v1 listing includes "default".
-	_, body = doJSON(t, http.MethodGet, srv.URL+"/v1/streams", nil)
+	// The v1 listing includes exactly "default".
+	_, body := doJSON(t, http.MethodGet, srv.URL+"/v1/streams", nil)
 	var list apiv1.ListStreamsResponse
 	if err := json.Unmarshal(body, &list); err != nil {
 		t.Fatal(err)
@@ -218,15 +210,15 @@ func TestLegacyAliasesShareDefaultStream(t *testing.T) {
 	if len(list.Streams) != 1 || list.Streams[0].Name != DefaultStream {
 		t.Errorf("list = %+v", list)
 	}
-}
-
-// The unversioned aliases 404 with unknown_stream when the hub has no
-// "default" entry (hub-native deployments).
-func TestLegacyAliasesWithoutDefaultStream(t *testing.T) {
-	srv, _ := v1Server(t)
-	r, body := doJSON(t, http.MethodPost, srv.URL+"/query", QueryRequest{K: 1, Keywords: []string{"goal"}})
-	if r.StatusCode != http.StatusNotFound || errCode(t, body) != apiv1.CodeUnknownStream {
-		t.Errorf("legacy query without default: %d %s", r.StatusCode, body)
+	if list.Streams[0].Active != 1 {
+		t.Errorf("active = %d, want 1", list.Streams[0].Active)
+	}
+	// The removed pre-/v1 aliases are plain 404s.
+	for _, path := range []string{"/posts", "/flush", "/query", "/stats"} {
+		r, _ := doJSON(t, http.MethodGet, srv.URL+path, nil)
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("legacy %s = %d, want 404", path, r.StatusCode)
+		}
 	}
 }
 

@@ -235,8 +235,10 @@ func (s *Stream) Add(p Post) error {
 	// A bucket boundary that has been ingested (e.g. by Flush) is closed:
 	// a post at or before it can never be ingested — reject it now as
 	// out-of-order instead of poisoning the bucket it would be batched
-	// into.
-	if ingested := s.me.Load().engine.Now(); ts <= ingested {
+	// into. WriterNow includes boundaries whose snapshot publication is
+	// deferred inside a commit batch (see beginApply), so the check is
+	// identical to the serialized path's.
+	if ingested := s.me.Load().engine.WriterNow(); ts <= ingested {
 		return fmt.Errorf("%w: post %d at %d is at or before the last ingested boundary %d", ErrOutOfOrder, p.ID, p.Time, int64(ingested))
 	}
 	// Complete buckets before this post's bucket.
@@ -344,7 +346,7 @@ func (s *Stream) Flush(now int64) error {
 	if err := s.advanceTo(ts + 1); err != nil {
 		return err
 	}
-	if len(s.pending) > 0 || ts > s.me.Load().engine.Now() {
+	if len(s.pending) > 0 || ts > s.me.Load().engine.WriterNow() {
 		batch := s.pending
 		s.pending = nil
 		s.forgetPending(batch)
@@ -355,6 +357,32 @@ func (s *Stream) Flush(now int64) error {
 	}
 	s.lastTime = ts
 	return nil
+}
+
+// beginApply opens a deferred-publish bracket around the application of
+// one coalesced commit batch (see StreamHandle's writer pipeline): buckets
+// completed inside the bracket are applied to the writer's buffer but
+// published as one snapshot at endApply, so a batch crossing several
+// bucket boundaries costs one freeze/swap/drain cycle instead of one per
+// bucket. Per-op results are unaffected — acceptance decisions read
+// writer-side state (WriterNow, the shared archive), not the published
+// snapshot.
+//
+// The bracket is skipped when standing queries are registered:
+// subscription refreshes fire at each bucket boundary and query the
+// published snapshot, so deferring publication would hand them stale
+// results. Writer-side only, like Add and Flush.
+func (s *Stream) beginApply() {
+	if s.Subscriptions() > 0 {
+		return
+	}
+	s.me.Load().engine.BeginBatch()
+}
+
+// endApply closes the bracket opened by beginApply, publishing any
+// deferred buckets (a no-op when beginApply skipped the bracket).
+func (s *Stream) endApply() {
+	s.me.Load().engine.EndBatch()
 }
 
 // Now returns the stream's current time (the end of the last ingested
@@ -383,6 +411,10 @@ type StreamStats struct {
 	// StreamHandle.Stats on a hub opened with OpenHub (Enabled=false
 	// otherwise — a raw Stream has no persistence).
 	Persist PersistStats
+	// Pipeline reports the writer-pipeline counters (queue depth, commit
+	// batches, fsyncs). It is only populated by StreamHandle.Stats — a raw
+	// Stream has no pipeline.
+	Pipeline PipelineStats
 }
 
 // Stats reports the stream's current counters. Like Query it reads the

@@ -80,6 +80,13 @@ type PersistOptions struct {
 	// one at any time). Smaller values shorten recovery, larger values
 	// shrink the steady-state write amplification.
 	CheckpointEvery int64
+	// SerializedWriter disables the per-stream writer pipeline on the
+	// opened hub: every write executes synchronously under a mutex with
+	// its own WAL append (and, under FsyncAlways, its own fsync) — the
+	// pre-pipeline baseline measured by the `ingest` experiment. See
+	// WithSerializedWriter for the in-memory equivalent. Leave false in
+	// production.
+	SerializedWriter bool
 }
 
 func (o PersistOptions) withDefaults() PersistOptions {
@@ -186,6 +193,7 @@ func OpenHub(dir string, m *Model, po PersistOptions, sopts ...StreamOption) (*H
 		return nil, persistErr(err)
 	}
 	h := NewHub()
+	h.serialized = po.SerializedWriter
 	h.p = &hubPersist{dir: dir, opts: po.withDefaults(), modelHash: m.persistHash()}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -317,8 +325,9 @@ func restoreStream(m *Model, meta persist.Meta, ck *persist.Checkpoint, sopts []
 }
 
 // streamPersist is one stream's durability state, owned by its
-// StreamHandle and mutated only under the handle's writer mutex. The stat*
-// atomics mirror the counters for the lock-free Stats path.
+// StreamHandle and mutated only on the handle's commit path (the writer
+// goroutine, or under the serialized-writer mutex). The stat* atomics
+// mirror the counters for the lock-free Stats path.
 type streamPersist struct {
 	hp    *hubPersist
 	name  string
@@ -387,41 +396,28 @@ func (hp *hubPersist) initStream(name string, st *Stream) (*streamPersist, error
 	return p, nil
 }
 
-// appendRecord stamps the next op sequence onto rec, appends it, and
-// refreshes the lock-free stat mirrors. Called under the handle's writer
-// mutex; on error the operation is in memory but not durable — callers
-// surface the error so producers know durability is degraded.
-func (p *streamPersist) appendRecord(rec persist.Record) error {
-	p.opSeq++
-	rec.Seq = p.opSeq
-	if err := p.wal.Append(rec); err != nil {
+// appendBatch stamps consecutive op sequence numbers onto recs, appends
+// them as one group commit — every record framed individually, one write,
+// one shared fsync under FsyncAlways — and refreshes the lock-free stat
+// mirrors. Called from the stream's commit path (the writer goroutine, or
+// under the serialized-writer mutex); it does not run the checkpoint
+// trigger — the caller does, once the whole committed batch is logged (a
+// checkpoint taken with applied-but-unlogged posts would be followed by
+// their records past its watermark, which replay would then wrongly
+// re-apply). On error the batch's operations are in memory but not
+// durable — callers surface the error on each contributing op so
+// producers know durability is degraded.
+func (p *streamPersist) appendBatch(recs []persist.Record) error {
+	for i := range recs {
+		p.opSeq++
+		recs[i].Seq = p.opSeq
+	}
+	if err := p.wal.AppendBatch(recs); err != nil {
 		return persistErr(err)
 	}
 	p.statSeq.Store(p.opSeq)
 	p.statBytes.Store(p.wal.Size())
 	return nil
-}
-
-// logPost appends one accepted post to the WAL. It does not run the
-// checkpoint trigger — the caller does, once the whole accepted batch is
-// logged (a checkpoint taken with applied-but-unlogged posts would be
-// followed by their records past its watermark, which replay would then
-// wrongly re-apply).
-func (p *streamPersist) logPost(st *Stream, post Post) error {
-	return p.appendRecord(persist.Record{
-		Bucket: st.Stats().Bucket,
-		Kind:   persist.KindPost,
-		Post:   persist.PostRec{ID: post.ID, Time: post.Time, Text: post.Text, Refs: post.Refs},
-	})
-}
-
-// logFlush appends an explicit flush boundary.
-func (p *streamPersist) logFlush(st *Stream, now int64) error {
-	return p.appendRecord(persist.Record{
-		Bucket:   st.Stats().Bucket,
-		Kind:     persist.KindFlush,
-		FlushNow: now,
-	})
 }
 
 // maybeCheckpoint fires the automatic checkpoint once CheckpointEvery
@@ -438,9 +434,10 @@ func (p *streamPersist) maybeCheckpoint(st *Stream) error {
 }
 
 // checkpoint serializes the stream's full state, atomically replaces the
-// checkpoint file, and truncates the WAL. Called under the handle's
-// writer mutex (no writer runs, so the published engine snapshot IS the
-// latest state).
+// checkpoint file, and truncates the WAL. Called on the handle's commit
+// path, where checkpoints are commit barriers (no other op is mid-apply
+// and every deferred publish has completed, so the published engine
+// snapshot IS the latest state).
 func (p *streamPersist) checkpoint(st *Stream) error {
 	ck := &persist.Checkpoint{
 		Name:      p.name,
@@ -471,8 +468,9 @@ func (p *streamPersist) checkpoint(st *Stream) error {
 	return nil
 }
 
-// finalize takes the closing checkpoint and releases the WAL. Called by
-// Hub.Close under the handle's writer mutex.
+// finalize takes the closing checkpoint and releases the WAL. Runs as
+// the handle's close op — after the queue drained, before the writer
+// goroutine exits.
 func (p *streamPersist) finalize(st *Stream) error {
 	ckErr := p.checkpoint(st)
 	if err := p.wal.Close(); err != nil && ckErr == nil {

@@ -1,6 +1,7 @@
 package ksir
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -272,6 +273,129 @@ func TestTornWALRecoversPrefix(t *testing.T) {
 	// duplicate.
 	if err := hs2.Add(posts[len(posts)-1]); err != nil {
 		t.Errorf("re-adding the torn post: %v", err)
+	}
+}
+
+// Group commit's crash matrix at the hub level: an AddBatch's records
+// land as one multi-record WAL batch append; killing the log at every
+// byte offset inside that batch's span must recover a stream identical to
+// one fed exactly the longest committed record prefix — per-record
+// atomicity survives batched durability.
+func TestGroupCommitTornBatchEveryByte(t *testing.T) {
+	m := trainTestModel(t)
+	dir := t.TempDir()
+	h := openTestHub(t, dir, m, PersistOptions{})
+	hs, err := h.Create("feed", m, persistOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := genPosts(30, 53)
+	head, tail := posts[:24], posts[24:]
+	for _, p := range head {
+		if err := hs.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := hs.Stats().Persist.WALBytes
+	if n, err := hs.AddBatch(tail); err != nil || n != len(tail) {
+		t.Fatalf("AddBatch: %d %v", n, err)
+	}
+
+	walPath := filepath.Join(dir, "feed", "wal")
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame boundaries of the batch's records, walked from the frames
+	// themselves (u32 length prefix + 4-byte CRC + payload).
+	bounds := []int64{pre}
+	for off := pre; off < int64(len(full)); {
+		n := int64(binary.LittleEndian.Uint32(full[off:]))
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	if len(bounds) != len(tail)+1 || bounds[len(bounds)-1] != int64(len(full)) {
+		t.Fatalf("frame walk found %d bounds over %d bytes, want %d records", len(bounds)-1, len(full), len(tail))
+	}
+	// Crash image: the hub is abandoned un-closed.
+
+	// Reference results per committed-prefix length.
+	q := Query{K: 5, Keywords: []string{"goal", "striker"}}
+	refs := make([]Result, len(tail)+1)
+	for k := 0; k <= len(tail); k++ {
+		mirror := mirrorStream(t, m)
+		for _, p := range posts[:len(head)+k] {
+			if err := mirror.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := mirror.Query(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[k] = res
+	}
+
+	meta, err := os.ReadFile(filepath.Join(dir, "feed", "manifest"))
+	metaName := "manifest"
+	if err != nil {
+		// The manifest file name is an internal detail; fall back to
+		// copying every non-WAL file.
+		metaName = ""
+	}
+	scratch := t.TempDir()
+	for cut := pre; cut <= int64(len(full)); cut++ {
+		cdir := filepath.Join(scratch, fmt.Sprintf("cut%d", cut), "feed")
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if metaName != "" {
+			if err := os.WriteFile(filepath.Join(cdir, metaName), meta, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			ents, err := os.ReadDir(filepath.Join(dir, "feed"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range ents {
+				if ent.Name() == "wal" {
+					continue
+				}
+				raw, err := os.ReadFile(filepath.Join(dir, "feed", ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(cdir, ent.Name()), raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := os.WriteFile(filepath.Join(cdir, "wal"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		committed := 0
+		for committed+1 < len(bounds) && bounds[committed+1] <= cut {
+			committed++
+		}
+		h2 := openTestHub(t, filepath.Dir(cdir), m, PersistOptions{})
+		hs2, err := h2.Get("feed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := hs2.Query(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("cut %d (%d committed)", cut, committed),
+			[]Result{res}, []Result{refs[committed]})
+		if err := h2.CloseAll(); err != nil {
+			t.Fatal(err)
+		}
+		// CloseAll checkpointed the copy; remove it so the scratch space
+		// stays bounded across the few-hundred-cut matrix.
+		os.RemoveAll(filepath.Dir(cdir))
 	}
 }
 

@@ -19,6 +19,9 @@
 //	GET    /v1/streams/{name}/subscribe    → text/event-stream (SSE)
 //	POST   /v1/streams/{name}/checkpoint   → StreamInfo (durable servers;
 //	       409 persist_disabled without -data-dir)
+//	POST   /v1/streams/{name}/hibernate    → StreamInfo (durable servers;
+//	       409 persist_disabled without -data-dir, 409 stream_busy while
+//	       standing queries are registered)
 //
 // SSE: each refresh of the standing query is one event
 //
@@ -58,22 +61,52 @@ type CreateStreamRequest struct {
 	Eta       float64  `json:"eta,omitempty"`
 }
 
+// Stream residency states (StreamInfo.State). Hibernated streams stay
+// fully operational over the wire: their first post, query or
+// subscription transparently reactivates them.
+const (
+	StateResident   = "resident"
+	StateHibernated = "hibernated"
+)
+
 // StreamInfo describes one stream: its configuration and its counters as
 // of the last published bucket. Persist is present only on durable
-// deployments (a server started with -data-dir).
+// deployments (a server started with -data-dir). For a hibernated stream
+// the engine counters (Active, Now, Bucket, Elements) are the values
+// captured at hibernation — or zero for a cold-recovered stream never yet
+// touched — and stats/list requests never reactivate it.
 type StreamInfo struct {
-	Name          string        `json:"name"`
-	Active        int           `json:"active"`
-	Now           int64         `json:"now"`
-	Bucket        int64         `json:"bucket"`
-	Subscriptions int           `json:"subscriptions"`
-	Elements      int64         `json:"elements"`
-	WindowSec     int64         `json:"window_sec"`
-	BucketSec     int64         `json:"bucket_sec"`
-	Lambda        float64       `json:"lambda"`
-	Eta           float64       `json:"eta"`
-	Persist       *PersistInfo  `json:"persist,omitempty"`
-	Pipeline      *PipelineInfo `json:"pipeline,omitempty"`
+	Name          string  `json:"name"`
+	Active        int     `json:"active"`
+	Now           int64   `json:"now"`
+	Bucket        int64   `json:"bucket"`
+	Subscriptions int     `json:"subscriptions"`
+	Elements      int64   `json:"elements"`
+	WindowSec     int64   `json:"window_sec"`
+	BucketSec     int64   `json:"bucket_sec"`
+	Lambda        float64 `json:"lambda"`
+	Eta           float64 `json:"eta"`
+	// State is resident or hibernated (see the State* constants).
+	State     string         `json:"state"`
+	Residency *ResidencyInfo `json:"residency,omitempty"`
+	Persist   *PersistInfo   `json:"persist,omitempty"`
+	Pipeline  *PipelineInfo  `json:"pipeline,omitempty"`
+}
+
+// ResidencyInfo reports a stream's hot/cold transition counters (the wire
+// form of ksir.ResidencyStats).
+type ResidencyInfo struct {
+	// Hibernations and Activations count residency transitions since the
+	// server started.
+	Hibernations int64 `json:"hibernations"`
+	Activations  int64 `json:"activations"`
+	// LastActivationUs is the cost of the most recent reactivation
+	// (checkpoint load + WAL tail replay) in microseconds, 0 before the
+	// first one.
+	LastActivationUs int64 `json:"last_activation_us"`
+	// ResidentBytes approximates the stream's in-memory footprint
+	// (0 while hibernated).
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // PersistInfo reports a durable stream's WAL and checkpoint counters (the
@@ -192,7 +225,10 @@ const (
 	CodeUnknownStream   = "unknown_stream"
 	CodeStreamExists    = "stream_exists"
 	CodeStreamClosed    = "stream_closed"
-	CodeNotActive       = "not_active"
+	// CodeStreamBusy: a residency transition refused while the stream is
+	// in use (hibernating with standing queries registered).
+	CodeStreamBusy = "stream_busy"
+	CodeNotActive  = "not_active"
 	// CodeModelVersion: an on-disk artifact (model file, checkpoint, WAL)
 	// from an incompatible format version or a different model.
 	CodeModelVersion = "model_version"
@@ -221,6 +257,7 @@ var errClasses = []errClass{
 	{ksir.ErrUnknownStream, CodeUnknownStream, http.StatusNotFound},
 	{ksir.ErrStreamExists, CodeStreamExists, http.StatusConflict},
 	{ksir.ErrStreamClosed, CodeStreamClosed, http.StatusGone},
+	{ksir.ErrStreamBusy, CodeStreamBusy, http.StatusConflict},
 	{ksir.ErrNotActive, CodeNotActive, http.StatusConflict},
 	{ksir.ErrModelVersion, CodeModelVersion, http.StatusInternalServerError},
 	{ksir.ErrPersist, CodePersist, http.StatusInternalServerError},

@@ -125,7 +125,7 @@ func BenchmarkRecovery(b *testing.B) {
 					// Release the WAL handle without Close's final
 					// checkpoint: the directory must stay byte-identical
 					// for the next iteration.
-					_ = hs2.pers.wal.Close()
+					_ = hs2.pers.releaseWAL()
 					b.StartTimer()
 				}
 			})

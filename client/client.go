@@ -180,6 +180,19 @@ func (s *Stream) Checkpoint(ctx context.Context) (apiv1.StreamInfo, error) {
 	return info, err
 }
 
+// Hibernate checkpoints the stream and releases its in-memory state on
+// the server; the stream stays registered (it keeps appearing in
+// ListStreams with state "hibernated") and the next post, query or
+// subscription transparently reactivates it. It fails with
+// ksir.ErrPersistDisabled (409 persist_disabled) without a data directory
+// and ksir.ErrStreamBusy (409 stream_busy) while standing queries are
+// registered. The returned info reflects the hibernated stream.
+func (s *Stream) Hibernate(ctx context.Context) (apiv1.StreamInfo, error) {
+	var info apiv1.StreamInfo
+	err := s.c.do(ctx, http.MethodPost, s.path+"/hibernate", nil, &info)
+	return info, err
+}
+
 // SubscribeRequest configures a standing query delivered over SSE.
 type SubscribeRequest struct {
 	// K is the result size (required).

@@ -31,17 +31,18 @@ import (
 
 func main() {
 	var (
-		exp            = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|engine|ingest|all")
-		scale          = flag.String("scale", "default", "preset scale: small|default")
-		short          = flag.Bool("short", false, "CI smoke mode: small scale and reduced workloads")
-		elements       = flag.Int("elements", 0, "override stream size per dataset")
-		queries        = flag.Int("queries", 0, "override workload size")
-		seed           = flag.Int64("seed", 42, "master seed")
-		out            = flag.String("out", "", "write output to file (default stdout)")
-		jsonDir        = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
-		baseline       = flag.String("baseline", "", "committed BENCH_engine.json to regression-check the fresh engine run against (requires -exp engine and -json)")
-		ingestBaseline = flag.String("ingest-baseline", "", "committed BENCH_ingest.json to regression-check the fresh ingest run against (requires -exp ingest and -json)")
-		regress        = flag.Float64("regress-factor", 3, "fail when the fresh gated metric exceeds baseline×factor")
+		exp             = flag.String("exp", "all", "experiment: table3|table5|table6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|latency|concurrent|persist|engine|ingest|tenancy|all")
+		scale           = flag.String("scale", "default", "preset scale: small|default")
+		short           = flag.Bool("short", false, "CI smoke mode: small scale and reduced workloads")
+		elements        = flag.Int("elements", 0, "override stream size per dataset")
+		queries         = flag.Int("queries", 0, "override workload size")
+		seed            = flag.Int64("seed", 42, "master seed")
+		out             = flag.String("out", "", "write output to file (default stdout)")
+		jsonDir         = flag.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
+		baseline        = flag.String("baseline", "", "committed BENCH_engine.json to regression-check the fresh engine run against (requires -exp engine and -json)")
+		ingestBaseline  = flag.String("ingest-baseline", "", "committed BENCH_ingest.json to regression-check the fresh ingest run against (requires -exp ingest and -json)")
+		tenancyBaseline = flag.String("tenancy-baseline", "", "committed BENCH_tenancy.json to regression-check the fresh tenancy run against (requires -exp tenancy and -json)")
+		regress         = flag.Float64("regress-factor", 3, "fail when the fresh gated metric exceeds baseline×factor")
 	)
 	flag.Parse()
 
@@ -85,6 +86,11 @@ func main() {
 	}
 	if *ingestBaseline != "" {
 		if err := checkIngestBaseline(w, *jsonDir, *ingestBaseline, *regress); err != nil {
+			fatal(err)
+		}
+	}
+	if *tenancyBaseline != "" {
+		if err := checkTenancyBaseline(w, *jsonDir, *tenancyBaseline, *regress); err != nil {
 			fatal(err)
 		}
 	}
@@ -268,6 +274,26 @@ func run(lab *experiments.Lab, exp string, w io.Writer, jsonDir string, short bo
 			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
 		}
 	}
+	if want("tenancy") {
+		streams, posts, touches := 64, 256, 200
+		if short {
+			streams, posts, touches = 32, 128, 120
+		}
+		t, entries, err := lab.Tenancy(streams, posts, touches)
+		if err != nil {
+			return err
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "BENCH_tenancy.json")
+			if err := experiments.WriteBenchJSON(path, entries); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s (%d entries)\n", path, len(entries))
+		}
+	}
 	if want("engine") {
 		engineQueries := 400
 		if short {
@@ -323,6 +349,25 @@ func checkIngestBaseline(w io.Writer, jsonDir, baseline string, factor float64) 
 		return err
 	}
 	fmt.Fprintf(w, "ingest baseline check ok: %s %.2fµs vs committed %.2fµs (limit %.1fx)\n", metric, fresh, base, factor)
+	return nil
+}
+
+// checkTenancyBaseline gates the hibernation trajectory on its two
+// budgets: the lazy-reactivation tail (p99 activation latency) and the
+// hot-tier footprint (resident bytes per stream). Either exceeding the
+// committed baseline by more than the regression factor fails the run.
+func checkTenancyBaseline(w io.Writer, jsonDir, baseline string, factor float64) error {
+	if jsonDir == "" {
+		return fmt.Errorf("-tenancy-baseline requires -json <dir>")
+	}
+	freshPath := filepath.Join(jsonDir, "BENCH_tenancy.json")
+	for _, metric := range []string{"tenancy-activation-p99-ms", "tenancy-resident-bytes-per-stream"} {
+		fresh, base, err := experiments.CompareBenchJSON(freshPath, baseline, metric, factor)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "tenancy baseline check ok: %s %.2f vs committed %.2f (limit %.1fx)\n", metric, fresh, base, factor)
+	}
 	return nil
 }
 

@@ -38,6 +38,11 @@ var (
 	// ErrStreamClosed reports an operation on a stream handle whose stream
 	// has been closed out of the Hub.
 	ErrStreamClosed = errors.New("ksir: stream closed")
+	// ErrStreamBusy reports a residency transition that cannot proceed
+	// while the stream is in use — hibernating a stream with standing
+	// queries registered (unsubscribe them first; subscriptions live in
+	// memory only and would be silently dropped by a hibernation).
+	ErrStreamBusy = errors.New("ksir: stream busy")
 	// ErrNotActive reports a post that is no longer in the sliding window
 	// (e.g. Explain after further ingestion expired it).
 	ErrNotActive = errors.New("ksir: post no longer active")

@@ -49,6 +49,12 @@ type Hub struct {
 	// serialized selects the pre-pipeline writer path for every handle
 	// (see WithSerializedWriter).
 	serialized bool
+
+	// Background hibernator (only running when a residency budget is
+	// configured; see PersistOptions.MaxResidentStreams).
+	hibStop chan struct{}
+	hibDone chan struct{}
+	hibOnce sync.Once
 }
 
 // HubOption tunes a Hub created with NewHub.
@@ -156,7 +162,7 @@ func (h *Hub) registerPersistent(name string, st *Stream) (*StreamHandle, error)
 			return nil, err
 		}
 	}
-	hs := h.newHandle(name, st, pers)
+	hs := h.newHandle(name, st, st.Model(), st.opts, st.cfg, pers)
 	h.streams[name] = hs
 	return hs, nil
 }
@@ -169,26 +175,228 @@ func (h *Hub) registerWith(name string, st *Stream, pers *streamPersist) (*Strea
 	if _, ok := h.streams[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
 	}
-	hs := h.newHandle(name, st, pers)
+	hs := h.newHandle(name, st, st.Model(), st.opts, st.cfg, pers)
+	h.streams[name] = hs
+	return hs, nil
+}
+
+// registerCold inserts a hibernated handle: no in-memory stream, the
+// durable state untouched on disk until the first touching operation
+// reactivates it (cold recovery under a residency budget).
+func (h *Hub) registerCold(name string, m *Model, opts Options, cfg streamConfig, pers *streamPersist) (*StreamHandle, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.streams[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, name)
+	}
+	hs := h.newHandle(name, nil, m, opts, cfg, pers)
 	h.streams[name] = hs
 	return hs, nil
 }
 
 // newHandle builds a handle and, unless the hub runs serialized writers,
-// starts its writer goroutine.
-func (h *Hub) newHandle(name string, st *Stream, pers *streamPersist) *StreamHandle {
+// starts its writer goroutine. st may be nil (registerCold): the handle
+// starts hibernated and every other field needed to bring the stream back
+// — model, resolved options, config — lives on the handle itself.
+func (h *Hub) newHandle(name string, st *Stream, m *Model, opts Options, cfg streamConfig, pers *streamPersist) *StreamHandle {
 	hs := &StreamHandle{
 		name:       name,
-		st:         st,
+		hub:        h,
+		opts:       opts,
+		cfg:        cfg,
 		pers:       pers,
 		done:       make(chan struct{}),
 		serialized: h.serialized,
+	}
+	hs.stp.Store(st)
+	hs.model.Store(m)
+	hs.lastTouch.Store(time.Now().UnixNano())
+	if st != nil {
+		hs.residentBytes.Store(st.approxResidentBytes())
+	}
+	if h.p != nil {
+		hs.commitWindow = h.p.opts.CommitWindow
 	}
 	if !hs.serialized {
 		hs.ops = make(chan *writeOp, writeQueueCap)
 		go hs.writerLoop()
 	}
 	return hs
+}
+
+// residencyBudgeted reports whether the hub has a hot-tier budget to
+// enforce (see PersistOptions.MaxResidentStreams / MaxResidentBytes).
+func (h *Hub) residencyBudgeted() bool {
+	return h.p != nil && (h.p.opts.MaxResidentStreams > 0 || h.p.opts.MaxResidentBytes > 0)
+}
+
+// startHibernator launches the background residency sweep (no-op without
+// a budget). Called once, from OpenHub.
+func (h *Hub) startHibernator() {
+	if !h.residencyBudgeted() {
+		return
+	}
+	h.hibStop = make(chan struct{})
+	h.hibDone = make(chan struct{})
+	sweep := h.p.opts.ResidencySweep
+	go func() {
+		defer close(h.hibDone)
+		t := time.NewTicker(sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.EnforceResidency()
+			case <-h.hibStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopHibernator ends the background sweep and waits for it to exit, so
+// no hibernate op can be enqueued after CloseAll starts draining.
+func (h *Hub) stopHibernator() {
+	if h.hibStop == nil {
+		return
+	}
+	h.hibOnce.Do(func() { close(h.hibStop) })
+	<-h.hibDone
+}
+
+// residencyCandidate is one resident stream considered for eviction.
+type residencyCandidate struct {
+	hs           *StreamHandle
+	touch, bytes int64
+}
+
+// residentByCold snapshots the resident streams (except exclude), coldest
+// first by last touch, plus their summed approximate bytes.
+func (h *Hub) residentByCold(exclude *StreamHandle) ([]residencyCandidate, int64) {
+	h.mu.RLock()
+	cands := make([]residencyCandidate, 0, len(h.streams))
+	var total int64
+	for _, hs := range h.streams {
+		if hs == exclude || hs.stp.Load() == nil {
+			continue
+		}
+		b := hs.residentBytes.Load()
+		total += b
+		cands = append(cands, residencyCandidate{hs, hs.lastTouch.Load(), b})
+	}
+	h.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].touch < cands[j].touch })
+	return cands, total
+}
+
+// EnforceResidency applies the residency budget once, synchronously: the
+// coldest resident streams by last touch are hibernated until the
+// resident count and summed approximate bytes fit the configured budget,
+// and the number hibernated is returned. Streams that are busy (standing
+// queries) or closing are skipped; other hibernation failures are joined
+// into the returned error. The background hibernator calls this every
+// ResidencySweep; callers may also invoke it directly (e.g. before a
+// measurement that wants a settled hot tier). Without a budget it does
+// nothing.
+func (h *Hub) EnforceResidency() (int, error) {
+	if !h.residencyBudgeted() {
+		return 0, nil
+	}
+	maxN, maxB := h.p.opts.MaxResidentStreams, h.p.opts.MaxResidentBytes
+	cands, totalB := h.residentByCold(nil)
+	var (
+		n    int
+		errs []error
+	)
+	for _, c := range cands {
+		if !(maxN > 0 && len(cands)-n > maxN) && !(maxB > 0 && totalB > maxB) {
+			break
+		}
+		switch err := c.hs.Hibernate(); {
+		case err == nil:
+			n++
+			totalB -= c.bytes
+		case errors.Is(err, ErrStreamBusy) || errors.Is(err, ErrStreamClosed):
+			// Busy or closing streams stay resident; try the next-coldest.
+		default:
+			errs = append(errs, fmt.Errorf("hibernating %q: %w", c.hs.name, err))
+		}
+	}
+	return n, errors.Join(errs...)
+}
+
+// errStaleEviction is the internal result of a policy eviction that was
+// obsolete by the time it committed (stream touched since, or budget
+// already met). Nobody awaits fire-and-forget ops, so it never escapes
+// the package; it exists so a skipped eviction is distinguishable from a
+// completed one in the serialized tryHibernateAsync path.
+var errStaleEviction = errors.New("ksir: stale eviction")
+
+// evictionWarranted reports whether a policy eviction still serves its
+// purpose, re-checked at eviction-commit time against the live resident
+// set rather than the snapshot the eviction was decided on. Every such
+// eviction was queued by makeRoom on behalf of one pending admission, so
+// the tier must have headroom for that +1 stream: the eviction is
+// warranted while the resident count is at or above the cap (the
+// admission would push it over) or the byte budget is already exceeded.
+func (h *Hub) evictionWarranted() bool {
+	if h == nil || !h.residencyBudgeted() {
+		return false
+	}
+	maxN, maxB := h.p.opts.MaxResidentStreams, h.p.opts.MaxResidentBytes
+	h.mu.RLock()
+	n, total := 0, int64(0)
+	for _, s := range h.streams {
+		if s.stp.Load() != nil {
+			n++
+			total += s.residentBytes.Load()
+		}
+	}
+	h.mu.RUnlock()
+	return (maxN > 0 && n >= maxN) || (maxB > 0 && total > maxB)
+}
+
+// makeRoom nudges the hub back under its residency budget before hs
+// activates, by enqueueing fire-and-forget hibernate ops on the coldest
+// other resident streams. It runs on hs's commit path, so it must never
+// block on another stream's queue — two streams admitting concurrently
+// could each be waiting behind the other's backlog (deadlock). Eviction
+// is therefore best-effort TryLock + non-blocking send: a victim too busy
+// to take the op is skipped, the budget transiently overshoots, and the
+// background sweep settles it.
+func (h *Hub) makeRoom(hs *StreamHandle) {
+	if !h.residencyBudgeted() {
+		return
+	}
+	maxN, maxB := h.p.opts.MaxResidentStreams, h.p.opts.MaxResidentBytes
+	cands, totalB := h.residentByCold(hs)
+	// The stream about to activate counts against the budget too.
+	need := 0
+	if maxN > 0 && len(cands)+1 > maxN {
+		need = len(cands) + 1 - maxN
+	}
+	if need == 0 && !(maxB > 0 && totalB > maxB) {
+		return
+	}
+	queued := false
+	for _, c := range cands {
+		if need <= 0 && !(maxB > 0 && totalB > maxB) {
+			break
+		}
+		if c.hs.tryHibernateAsync(c.touch) {
+			queued = true
+			need--
+			totalB -= c.bytes
+		}
+	}
+	// Give the victims' writer goroutines a chance to drain the evictions
+	// before this activation loads more state: on a single-core host the
+	// activating writer and its caller otherwise monopolize the scheduler,
+	// queued evictions go stale behind fresh touches, and the hot tier
+	// balloons past the budget until the next blocking sweep.
+	if queued {
+		runtime.Gosched()
+	}
 }
 
 // Get returns the handle registered under name, or ErrUnknownStream.
@@ -246,6 +454,7 @@ func (h *Hub) Close(name string) error {
 // other long-lived readers shut down. Errors are joined; streams close
 // regardless.
 func (h *Hub) CloseAll() error {
+	h.stopHibernator()
 	var errs []error
 	for _, name := range h.List() {
 		if err := h.Close(name); err != nil && !errors.Is(err, ErrUnknownStream) {
@@ -279,6 +488,8 @@ const (
 	opSubscribe
 	opUnsubscribe
 	opClose
+	opHibernate
+	opActivate
 )
 
 // coalescable reports whether ops of this kind may share a commit batch.
@@ -289,6 +500,21 @@ const (
 // never swaps an engine mid-batch).
 func (k opKind) coalescable() bool {
 	return k == opAdd || k == opAddBatch || k == opFlush
+}
+
+// needsResident reports whether an op of this kind must have the stream
+// loaded in memory: these are the ops whose arrival transparently
+// reactivates a hibernated stream. Hibernate itself does not (it is
+// idempotent on a cold stream), Unsubscribe does not (a hibernated stream
+// has no live subscriptions to remove), and Checkpoint does not (a
+// hibernated stream's on-disk checkpoint is already current — reloading
+// it just to rewrite identical state would defeat hibernation).
+func (k opKind) needsResident() bool {
+	switch k {
+	case opHibernate, opUnsubscribe, opCheckpoint:
+		return false
+	}
+	return true
 }
 
 // writeOp is one queued write operation: its inputs, and — once the
@@ -310,15 +536,27 @@ type writeOp struct {
 	sopts   []SubscribeOption // opSubscribe
 	sub     *Subscription     // opUnsubscribe in; opSubscribe out
 
+	// evict marks an opHibernate queued fire-and-forget by the residency
+	// policy (makeRoom) rather than requested by a caller. evictTouch is
+	// the victim's lastTouch observed when the eviction was decided: the
+	// op may sit behind a writer backlog, and by the time it commits the
+	// stream may have been touched again or the hub may have settled
+	// under budget — a stale eviction is a no-op (see commit).
+	evict      bool
+	evictTouch int64
+
 	// Results.
 	err      error
 	accepted int          // opAddBatch
 	ps       PersistStats // opCheckpoint
+	stOut    *Stream      // opActivate: the resident stream
 	// nrecs is how many WAL records this op contributed to its commit
 	// batch; a batch-append failure is joined into the result of every
 	// contributing op.
 	nrecs int
 
+	// done is closed by the committing goroutine when the op's results are
+	// set; nil for fire-and-forget ops (tryHibernateAsync) nobody awaits.
 	done chan struct{}
 }
 
@@ -385,7 +623,19 @@ func (p PipelineStats) FsyncsPerOp() float64 {
 // coalescing.
 type StreamHandle struct {
 	name string
-	st   *Stream
+	hub  *Hub
+	// stp is the resident stream, nil while hibernated. Only the commit
+	// path stores it (residency transitions are commit barriers); queries
+	// Load it and pin whatever snapshot they find — a stream hibernated
+	// out from under an in-flight query stays reachable (and thus alive)
+	// through the query's own pointer until it finishes.
+	stp atomic.Pointer[Stream]
+	// model, opts and cfg are everything needed to rebuild the stream
+	// from its durable state; model is swappable (in-memory hubs only),
+	// opts/cfg are immutable after registration.
+	model atomic.Pointer[Model]
+	opts  Options
+	cfg   streamConfig
 
 	// qmu serializes enqueues with shutdown: the closed flag and the
 	// channel send are checked-and-done under it, so no operation can
@@ -394,6 +644,25 @@ type StreamHandle struct {
 	ops    chan *writeOp
 	closed atomic.Bool   // fail-fast flag; reads must never contend with writers
 	done   chan struct{} // closed by Hub.Close; see Done
+
+	// commitWindow is the opt-in group-commit wait (see
+	// PersistOptions.CommitWindow); 0 on in-memory hubs.
+	commitWindow time.Duration
+
+	// Residency accounting. lastTouch orders eviction (stored by every
+	// operation except Hibernate itself — an eviction must not refresh its
+	// victim's warmth); evictPending dedupes policy evictions (at most one
+	// queued per stream — repeated makeRoom passes over the same coldest
+	// candidate must not pile identical ops into its queue); lastStats
+	// preserves the final counters of a hibernated stream so Stats never
+	// has to reload one.
+	lastTouch        atomic.Int64
+	evictPending     atomic.Bool
+	hibernations     atomic.Int64
+	activations      atomic.Int64
+	lastActivationNs atomic.Int64
+	residentBytes    atomic.Int64
+	lastStats        atomic.Pointer[StreamStats]
 
 	// serialized selects the pre-pipeline writer path: ops execute
 	// synchronously under smu, one commit batch each (the Hub's
@@ -424,14 +693,35 @@ type StreamHandle struct {
 // Name returns the name the handle is registered under.
 func (hs *StreamHandle) Name() string { return hs.name }
 
-// Stream returns the underlying stream for read-only use (Model, Options,
-// Explain). Callers must not invoke its write methods directly — that
-// would bypass the handle's writer pipeline.
-func (hs *StreamHandle) Stream() *Stream { return hs.st }
+// Stream returns the underlying stream for read-only use, or nil while
+// the stream is hibernated. Callers must not invoke its write methods
+// directly — that would bypass the handle's writer pipeline. Prefer the
+// handle's residency-independent accessors (Options, Model, Stats),
+// which work whether or not the stream is loaded.
+func (hs *StreamHandle) Stream() *Stream { return hs.stp.Load() }
+
+// Options returns the stream's resolved options, without touching its
+// residency.
+func (hs *StreamHandle) Options() Options { return hs.opts }
+
+// Model returns the model the stream runs against, without touching its
+// residency.
+func (hs *StreamHandle) Model() *Model { return hs.model.Load() }
+
+// Resident reports whether the stream is currently loaded in memory.
+// Operations work either way — the first touching one reactivates a
+// hibernated stream.
+func (hs *StreamHandle) Resident() bool { return hs.stp.Load() != nil }
+
+// touch refreshes the handle's eviction clock.
+func (hs *StreamHandle) touch() { hs.lastTouch.Store(time.Now().UnixNano()) }
 
 // do executes op through the writer pipeline (or inline under smu on a
 // serialized-writer hub) and returns it with its result fields set.
 func (hs *StreamHandle) do(op *writeOp) *writeOp {
+	if op.kind != opHibernate {
+		hs.touch()
+	}
 	if hs.serialized {
 		hs.smu.Lock()
 		if hs.closed.Load() {
@@ -475,7 +765,7 @@ func (hs *StreamHandle) writerLoop() {
 		}
 		if op.kind == opClose {
 			if hs.pers != nil {
-				op.err = hs.pers.finalize(hs.st)
+				op.err = hs.pers.finalize(hs.stp.Load())
 			}
 			close(op.done)
 			return
@@ -513,6 +803,31 @@ func (hs *StreamHandle) writerLoop() {
 				tries++
 				runtime.Gosched()
 			}
+			if w := hs.commitWindow; w > 0 && carry == nil && len(batch) < maxCommitOps {
+				// Opt-in group-commit window: hold the batch open up to w
+				// for more ingest ops before paying its WAL append (and,
+				// under FsyncAlways, its fsync) — the coalescing a lone
+				// open-loop producer never gets from the in-flight
+				// heuristic above. A barrier op ends the window early; it
+				// must run alone, after this batch commits.
+				timer := time.NewTimer(w)
+				for len(batch) < maxCommitOps {
+					var next *writeOp
+					select {
+					case next = <-hs.ops:
+					case <-timer.C:
+					}
+					if next == nil {
+						break // window elapsed
+					}
+					if !next.kind.coalescable() {
+						carry = next
+						break
+					}
+					batch = append(batch, next)
+				}
+				timer.Stop()
+			}
 		}
 		hs.commit(batch)
 		// Drop the completed ops' pointers: the reused backing array
@@ -536,11 +851,51 @@ func (hs *StreamHandle) writerLoop() {
 // are in memory but not durable, the same contract the serialized path
 // reports per op.
 func (hs *StreamHandle) commit(batch []*writeOp) {
-	st := hs.st
+	st := hs.stp.Load()
+	if st == nil {
+		// Hibernated. Reactivate if any op in the batch needs the stream
+		// in memory; an activation failure (corrupt checkpoint, I/O error)
+		// fails the whole batch — the stream stays hibernated and the
+		// next touch retries.
+		needs := false
+		for _, op := range batch {
+			if op.kind.needsResident() {
+				needs = true
+				break
+			}
+		}
+		if needs {
+			var err error
+			if st, err = hs.activate(); err != nil {
+				err = fmt.Errorf("reactivating %q: %w", hs.name, err)
+				for _, op := range batch {
+					op.err = err
+					if op.done != nil {
+						close(op.done)
+					}
+				}
+				return
+			}
+		}
+	}
+	if hs.pers != nil {
+		for _, op := range batch {
+			if op.kind.coalescable() {
+				// Any ingest attempt can move the stream past its
+				// checkpoint (even a rejected duplicate advances the
+				// window first), so the checkpoint is stale from here
+				// until the next one is taken.
+				hs.pers.ckptCurrent = false
+				break
+			}
+		}
+	}
 	recs := hs.recs[:0]
 	// Bracket the apply pass when it can span more than one engine
-	// application (several ops, or one multi-post batch).
-	bracket := len(batch) > 1 || (batch[0].kind == opAddBatch && len(batch[0].posts) > 1)
+	// application (several ops, or one multi-post batch). A nil st here
+	// means the whole batch is residency-independent ops (hibernate on a
+	// cold stream, checkpoint, unsubscribe) — never ingest.
+	bracket := st != nil && (len(batch) > 1 || (batch[0].kind == opAddBatch && len(batch[0].posts) > 1))
 	if bracket {
 		st.beginApply()
 	}
@@ -569,19 +924,43 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 		case opSubscribe:
 			op.sub, op.err = st.Subscribe(op.ctx, op.q, op.every, op.handler, op.sopts...)
 		case opUnsubscribe:
-			st.Unsubscribe(op.sub)
+			if st != nil { // a hibernated stream has no live subscriptions
+				st.Unsubscribe(op.sub)
+			}
 		case opSwapModel:
 			if hs.pers != nil {
 				op.err = fmt.Errorf("%w: SwapModel on persisted stream %q (re-open the hub with the new model)", ErrPersist, hs.name)
-			} else {
-				op.err = st.SwapModel(op.model)
+			} else if op.err = st.SwapModel(op.model); op.err == nil {
+				hs.model.Store(op.model)
 			}
 		case opCheckpoint:
 			if hs.pers == nil {
 				op.err = fmt.Errorf("%w: stream %q", ErrPersistDisabled, hs.name)
+			} else if st == nil {
+				// Hibernated: the on-disk checkpoint already covers every
+				// durable op — report the counters without reloading.
+				op.ps = hs.pers.stats()
 			} else if op.err = hs.pers.checkpoint(st); op.err == nil {
 				op.ps = hs.pers.stats()
 			}
+		case opHibernate:
+			// A policy eviction re-validates at commit time: it was queued
+			// fire-and-forget and may have drained long after the admission
+			// decision behind it. If the stream has been touched since, or
+			// the hub is no longer over budget (a blocking EnforceResidency
+			// pass may have already trimmed the tier), acting on the stale
+			// decision would hibernate a warm stream and drag the hot tier
+			// below the budget — so the eviction quietly no-ops instead.
+			if op.evict {
+				hs.evictPending.Store(false)
+			}
+			if op.evict && (hs.lastTouch.Load() != op.evictTouch || !hs.hub.evictionWarranted()) {
+				op.err = errStaleEviction
+			} else if op.err = hs.hibernate(st); op.err == nil {
+				st = nil // barrier: alone in its batch, nothing else uses it
+			}
+		case opActivate:
+			op.stOut = st
 		}
 	}
 	if bracket {
@@ -621,6 +1000,9 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 	clear(recs)
 	hs.recs = recs[:0]
 
+	if st != nil {
+		hs.residentBytes.Store(st.approxResidentBytes())
+	}
 	hs.statOps.Add(int64(len(batch)))
 	hs.statBatches.Add(1)
 	for _, op := range batch {
@@ -628,6 +1010,124 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 			close(op.done)
 		}
 	}
+}
+
+// hibernate executes the hot→cold transition on the commit path: the
+// durable state is made current (checkpoint, unless already current), the
+// WAL is released, and the in-memory stream is dropped. In-flight queries
+// that pinned the stream keep their snapshot — its memory is reclaimed
+// when the last of them finishes. A checkpoint failure aborts the
+// transition (the stream stays resident rather than lose state).
+func (hs *StreamHandle) hibernate(st *Stream) error {
+	if st == nil {
+		return nil // already hibernated: idempotent
+	}
+	if hs.pers == nil {
+		return fmt.Errorf("%w: cannot hibernate in-memory stream %q", ErrPersistDisabled, hs.name)
+	}
+	if n := st.Subscriptions(); n > 0 {
+		// Subscriptions live in memory only; releasing the stream would
+		// silently drop them.
+		return fmt.Errorf("%w: stream %q has %d standing queries", ErrStreamBusy, hs.name, n)
+	}
+	if !hs.pers.ckptCurrent {
+		if err := hs.pers.checkpoint(st); err != nil {
+			return err
+		}
+	}
+	err := hs.pers.releaseWAL()
+	// Publish the final counters before the stream pointer goes nil, so a
+	// Stats racing the transition never sees a hibernated stream without
+	// its last-known numbers.
+	s := st.Stats()
+	hs.lastStats.Store(&s)
+	hs.stp.Store(nil)
+	hs.residentBytes.Store(0)
+	hs.hibernations.Add(1)
+	return err
+}
+
+// activate executes the cold→hot transition on the commit path: evict
+// colder streams first when a budget is configured (best-effort, see
+// Hub.makeRoom), then load checkpoint + WAL tail back into memory.
+func (hs *StreamHandle) activate() (*Stream, error) {
+	if hs.pers == nil {
+		return nil, fmt.Errorf("%w: stream %q has no durable state to reactivate", ErrPersistDisabled, hs.name)
+	}
+	start := time.Now()
+	hs.hub.makeRoom(hs)
+	st, err := hs.pers.resume(hs.model.Load(), hs.opts, hs.cfg)
+	if err != nil {
+		return nil, err
+	}
+	hs.stp.Store(st)
+	hs.residentBytes.Store(st.approxResidentBytes())
+	hs.activations.Add(1)
+	hs.lastActivationNs.Store(time.Since(start).Nanoseconds())
+	return st, nil
+}
+
+// tryHibernateAsync enqueues a fire-and-forget hibernate op without ever
+// blocking: TryLock on the enqueue path, non-blocking channel send. False
+// means the stream was too busy to take the op right now — admission
+// control treats that as "not cold after all" and moves on. touch is the
+// lastTouch value the eviction decision was based on; the committed op
+// no-ops if the stream has been touched since (or the hub has meanwhile
+// settled under budget), so a straggling eviction behind a writer backlog
+// can never hibernate a re-warmed stream.
+func (hs *StreamHandle) tryHibernateAsync(touch int64) bool {
+	if hs.serialized {
+		if !hs.smu.TryLock() {
+			return false
+		}
+		defer hs.smu.Unlock()
+		if hs.closed.Load() || hs.stp.Load() == nil {
+			return false
+		}
+		op := &writeOp{kind: opHibernate, evict: true, evictTouch: touch}
+		hs.commit([]*writeOp{op})
+		return op.err == nil
+	}
+	// One pending eviction per stream: the coldest candidate tends to stay
+	// coldest until its eviction drains, so back-to-back admissions would
+	// otherwise pile identical ops into its queue. A pending eviction
+	// already frees this slot; report it as progress without re-queueing.
+	if !hs.evictPending.CompareAndSwap(false, true) {
+		return true
+	}
+	queued := false
+	defer func() {
+		if !queued {
+			hs.evictPending.Store(false)
+		}
+	}()
+	if !hs.qmu.TryLock() {
+		return false
+	}
+	defer hs.qmu.Unlock()
+	if hs.closed.Load() || hs.stp.Load() == nil {
+		return false
+	}
+	select {
+	case hs.ops <- &writeOp{kind: opHibernate, evict: true, evictTouch: touch}:
+		queued = true
+		return true
+	default:
+		return false // queue full: the stream is anything but cold
+	}
+}
+
+// ensureResident reactivates a hibernated stream through the writer
+// pipeline and returns the resident stream. The activate op is a commit
+// barrier, so exactly one activation runs no matter how many readers race
+// it; the returned pointer stays valid for this caller even if the stream
+// hibernates again immediately (snapshot pinning, see stp).
+func (hs *StreamHandle) ensureResident() (*Stream, error) {
+	op := hs.do(&writeOp{kind: opActivate})
+	if op.err != nil {
+		return nil, op.err
+	}
+	return op.stOut, nil
 }
 
 // postRecord builds the WAL record of one accepted post (Seq and Bucket
@@ -649,7 +1149,7 @@ func (hs *StreamHandle) shutdown() error {
 		hs.closed.Store(true)
 		var err error
 		if hs.pers != nil {
-			err = hs.pers.finalize(hs.st)
+			err = hs.pers.finalize(hs.stp.Load())
 		}
 		hs.smu.Unlock()
 		close(hs.done)
@@ -730,30 +1230,77 @@ func (hs *StreamHandle) Unsubscribe(sub *Subscription) {
 	hs.do(&writeOp{kind: opUnsubscribe, sub: sub})
 }
 
-// Query answers a k-SIR query. It never enters the writer pipeline: like
-// Stream.Query it pins the published snapshot, so queries on any number of
-// handles run in parallel with each other and with ingestion.
+// Hibernate checkpoints the stream and releases its in-memory state —
+// window, archive, scorer caches, both ranked-list buffers — while the
+// handle stays registered: the next Add, Query or Subscribe transparently
+// reactivates it from the checkpoint (see DESIGN.md §11). Idempotent on
+// an already-hibernated stream. It fails with ErrPersistDisabled on an
+// in-memory hub and with ErrStreamBusy while standing queries are
+// registered (unsubscribe them first). In-flight queries that pinned the
+// stream's snapshot complete unaffected. Hubs with a residency budget
+// call this automatically on the coldest streams; it is also useful
+// directly when the caller knows a stream is going idle.
+func (hs *StreamHandle) Hibernate() error {
+	return hs.do(&writeOp{kind: opHibernate}).err
+}
+
+// Query answers a k-SIR query. Against a resident stream it never enters
+// the writer pipeline: like Stream.Query it pins the published snapshot,
+// so queries on any number of handles run in parallel with each other and
+// with ingestion. Against a hibernated stream it first reactivates the
+// stream through the pipeline (one activation, however many queries race
+// it), then runs lock-free as usual.
 func (hs *StreamHandle) Query(ctx context.Context, q Query) (Result, error) {
 	if hs.closed.Load() {
 		return Result{}, fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
 	}
-	return hs.st.Query(ctx, q)
+	st := hs.stp.Load()
+	if st == nil {
+		var err error
+		if st, err = hs.ensureResident(); err != nil {
+			return Result{}, err
+		}
+	} else {
+		hs.touch()
+	}
+	return st.Query(ctx, q)
 }
 
 // Explain recomputes a result's per-post contribution breakdown (see
-// Stream.Explain). Lock-free like Query.
+// Stream.Explain). Lock-free like Query on a resident stream; reactivates
+// a hibernated one.
 func (hs *StreamHandle) Explain(res Result, q Query) ([]Explanation, error) {
 	if hs.closed.Load() {
 		return nil, fmt.Errorf("%w: %q", ErrStreamClosed, hs.name)
 	}
-	return hs.st.Explain(res, q)
+	st := hs.stp.Load()
+	if st == nil {
+		var err error
+		if st, err = hs.ensureResident(); err != nil {
+			return nil, err
+		}
+	} else {
+		hs.touch()
+	}
+	return st.Explain(res, q)
 }
 
 // Stats reports the stream's counters as of the last published bucket,
-// including the durability and writer-pipeline counters. Lock-free like
-// Query.
+// including the durability, writer-pipeline and residency counters.
+// Lock-free like Query — and it NEVER reactivates a hibernated stream
+// (monitoring sweeps across thousands of tenants must not churn the hot
+// tier): a hibernated stream reports the engine counters captured at
+// hibernation, and a cold-recovered stream that has never been touched
+// reports them as zero until its first activation.
 func (hs *StreamHandle) Stats() StreamStats {
-	s := hs.st.Stats()
+	var s StreamStats
+	st := hs.stp.Load()
+	if st != nil {
+		s = st.Stats()
+	} else if last := hs.lastStats.Load(); last != nil {
+		s = *last
+		s.Subscriptions = 0 // hibernation refuses standing queries
+	}
 	if hs.pers != nil {
 		s.Persist = hs.pers.stats()
 	}
@@ -765,9 +1312,38 @@ func (hs *StreamHandle) Stats() StreamStats {
 		s.Pipeline.QueueDepth = len(hs.ops)
 	}
 	if hs.pers != nil {
-		s.Pipeline.Fsyncs = hs.pers.wal.Syncs()
+		s.Pipeline.Fsyncs = hs.pers.fsyncs()
+	}
+	s.Residency = ResidencyStats{
+		Resident:       st != nil,
+		Hibernations:   hs.hibernations.Load(),
+		Activations:    hs.activations.Load(),
+		LastActivation: time.Duration(hs.lastActivationNs.Load()),
+		ResidentBytes:  hs.residentBytes.Load(),
 	}
 	return s
+}
+
+// ResidencyStats reports a hub-managed stream's hot/cold residency state
+// and transition counters (zero-valued on a raw Stream, which is always
+// resident). See DESIGN.md §11.
+type ResidencyStats struct {
+	// Resident says whether the stream is currently loaded in memory.
+	Resident bool
+	// Hibernations and Activations count residency transitions over the
+	// handle's lifetime (a cold-recovered stream starts at zero on both).
+	Hibernations int64
+	Activations  int64
+	// LastActivation is the wall-clock cost of the most recent
+	// reactivation — checkpoint load plus WAL tail replay (0 before the
+	// first one).
+	LastActivation time.Duration
+	// ResidentBytes approximates the stream's in-memory footprint as of
+	// its last commit (0 while hibernated). Advisory — element payloads
+	// and window bookkeeping, not exact heap usage — and intentionally
+	// excluded from exported state, so it never perturbs checkpoint
+	// equality.
+	ResidentBytes int64
 }
 
 // Done returns a channel closed when the stream is closed out of the Hub

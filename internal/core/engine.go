@@ -351,6 +351,17 @@ func (g *Engine) EndBatch() {
 	}
 }
 
+// WriterResidentBytes approximates the heap bytes pinned by the engine's
+// window state — archived element payloads plus flat per-element
+// bookkeeping overhead (see stream.ActiveWindow.ApproxBytes). Under the
+// default CatchUpDelta the twin windows share one archive and the shared
+// copy is counted once; under CatchUpReapply the returned figure is one
+// buffer's copy (the element values themselves are shared between buffers
+// either way). Writer-side only, like Ingest — it feeds the hub's
+// residency accounting from the commit path and is never part of exported
+// state.
+func (g *Engine) WriterResidentBytes() int64 { return g.back.win.ApproxBytes() }
+
 // WriterNow returns the stream time as the writer sees it: the last
 // applied bucket boundary, including buckets deferred inside an open
 // BeginBatch bracket that readers cannot observe yet. Equal to Now outside

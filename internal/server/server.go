@@ -95,6 +95,7 @@ func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ks
 	s.h.HandleFunc("GET /v1/streams/{name}/stats", s.named(s.handleStats))
 	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.named(s.handleSubscribe))
 	s.h.HandleFunc("POST /v1/streams/{name}/checkpoint", s.named(s.handleCheckpoint))
+	s.h.HandleFunc("POST /v1/streams/{name}/hibernate", s.named(s.handleHibernate))
 
 	s.h.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -213,6 +214,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, hs *ksir.St
 	writeJSON(w, streamInfo(hs))
 }
 
+// handleHibernate checkpoints the stream and releases its in-memory state
+// (POST /v1/streams/{name}/hibernate). The stream stays registered and
+// reactivates on its next post/query/subscription; 409 persist_disabled
+// without -data-dir, 409 stream_busy while subscriptions are live.
+func (s *Server) handleHibernate(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
+	if err := hs.Hibernate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, streamInfo(hs))
+}
+
 // toQuery converts the wire query, folding parse failures into the typed
 // taxonomy so they map to 400/bad_query.
 func toQuery(req apiv1.QueryRequest) (ksir.Query, error) {
@@ -244,7 +257,7 @@ func toResponse(res ksir.Result) apiv1.QueryResponse {
 
 func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 	st := hs.Stats()
-	opts := hs.Stream().Options()
+	opts := hs.Options() // residency-independent: hs.Stream() is nil while hibernated
 	info := apiv1.StreamInfo{
 		Name:          hs.Name(),
 		Active:        st.Active,
@@ -256,6 +269,16 @@ func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 		BucketSec:     int64(opts.Bucket.Seconds()),
 		Lambda:        opts.Lambda,
 		Eta:           opts.Eta,
+		State:         apiv1.StateResident,
+	}
+	if !st.Residency.Resident {
+		info.State = apiv1.StateHibernated
+	}
+	info.Residency = &apiv1.ResidencyInfo{
+		Hibernations:     st.Residency.Hibernations,
+		Activations:      st.Residency.Activations,
+		LastActivationUs: st.Residency.LastActivation.Microseconds(),
+		ResidentBytes:    st.Residency.ResidentBytes,
 	}
 	if st.Persist.Enabled {
 		info.Persist = &apiv1.PersistInfo{

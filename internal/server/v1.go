@@ -215,7 +215,7 @@ func parseSubscribeParams(r *http.Request, hs *ksir.StreamHandle) (req apiv1.Que
 			return req, 0, false, fmt.Errorf("%w: bad epsilon %q", ksir.ErrBadSubscription, eps)
 		}
 	}
-	every = hs.Stream().Options().Bucket
+	every = hs.Options().Bucket
 	if ev := qs.Get("every"); ev != "" {
 		if d, derr := time.ParseDuration(ev); derr == nil {
 			every = d

@@ -53,6 +53,7 @@ func (w *ActiveWindow) ApplyDelta(d *Delta) {
 		w.windowQ = append(w.windowQ, e)
 		if !shared {
 			w.archive[e.ID] = e
+			w.countArchived(e)
 			w.lastRef[e.ID] = e.TS
 			heap.Push(w.expiryQ, expiryEntry{at: e.TS, id: e.ID})
 		}

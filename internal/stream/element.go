@@ -36,6 +36,29 @@ func (e *Element) String() string {
 	return fmt.Sprintf("e%d@%d(words=%d refs=%d)", e.ID, e.TS, e.Doc.Distinct(), len(e.Refs))
 }
 
+// Approximate per-value heap costs for ApproxBytes. Exact sizes vary by
+// architecture and allocator bucket; these are amd64/arm64 struct sizes
+// rounded to the nearest allocator class, good enough for a residency
+// budget (the accounting is advisory, never part of exported state).
+const (
+	elemBaseBytes  = 112 // Element struct + string/slice headers
+	termCountBytes = 8   // textproc.TermCount
+	topicPairBytes = 12  // one int32 topic + one float64 prob
+	refBytes       = 8   // one ElemID
+)
+
+// ApproxBytes estimates the heap footprint of the element itself — struct,
+// retained text, bag-of-words terms, topic vector and reference list. The
+// per-window overhead (map entries, queue slots, ranked-list tuples) is
+// accounted separately by ActiveWindow.
+func (e *Element) ApproxBytes() int64 {
+	return elemBaseBytes +
+		int64(len(e.Text)) +
+		int64(len(e.Doc.Terms))*termCountBytes +
+		int64(e.Topics.Len())*topicPairBytes +
+		int64(len(e.Refs))*refBytes
+}
+
 // Bucket groups elements that arrive in one batch-update interval of length
 // L (§4, Figure 4: the stream "is partitioned into buckets with equal time
 // length L").

@@ -94,6 +94,7 @@ func Restore(T Time, st WindowState) (*ActiveWindow, error) {
 			return nil, fmt.Errorf("stream: duplicate element %d in window state", e.ID)
 		}
 		w.archive[e.ID] = e
+		w.countArchived(e)
 		inWindow := i < st.WindowLen
 		if inWindow {
 			if e.TS <= cutoff || e.TS > st.Now {

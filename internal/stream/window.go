@@ -61,11 +61,24 @@ type ActiveWindow struct {
 	// expiryQ is a lazy min-heap over (lastRef, id) for active-set expiry.
 	// Mutation-path only, shareable between twins like archive.
 	expiryQ *expiryHeap
+	// bytes approximates the heap footprint of the archive — element
+	// payloads plus a flat per-element bookkeeping overhead. It grows with
+	// every archive insert and never shrinks (the archive never drops
+	// elements), feeding the hub's residency accounting. Writer-path only
+	// and shared between twins like archive, so the shared copy of every
+	// element is counted exactly once.
+	bytes *int64
 	// twinShared marks a window whose archive, lastRef and expiryQ are
 	// shared with a lockstep twin (ShareWriterState); its delta replays
 	// skip maintaining them because the recording advance already did.
 	twinShared bool
 }
+
+// elemOverheadBytes is the flat per-archived-element bookkeeping estimate
+// rolled into the bytes counter: map entries (archive, active, lastRef,
+// children), the window-queue slot, expiry-heap entries and the ranked-list
+// tuples the element occupies across topic shards.
+const elemOverheadBytes = 176
 
 // NewActiveWindow returns an empty window of length T. It panics if T ≤ 0
 // (a programming error, not a data error).
@@ -80,7 +93,18 @@ func NewActiveWindow(T Time) *ActiveWindow {
 		children: make(map[ElemID][]*Element),
 		lastRef:  make(map[ElemID]Time),
 		expiryQ:  new(expiryHeap),
+		bytes:    new(int64),
 	}
+}
+
+// ApproxBytes reports the approximate heap bytes held by the window's
+// archive (see the bytes field). Like Known it reads writer-shared state:
+// callers must serialize it with Advance/ApplyDelta.
+func (w *ActiveWindow) ApproxBytes() int64 { return *w.bytes }
+
+// countArchived charges one newly archived element to the byte estimate.
+func (w *ActiveWindow) countArchived(e *Element) {
+	*w.bytes += e.ApproxBytes() + elemOverheadBytes
 }
 
 // Now returns the current window time t.
@@ -228,6 +252,7 @@ func (w *ActiveWindow) advance(now Time, batch []*Element, rec *Delta) (ChangeSe
 			return ChangeSet{}, fmt.Errorf("stream: duplicate element ID %d", e.ID)
 		}
 		w.archive[e.ID] = e
+		w.countArchived(e)
 		w.active[e.ID] = e
 		w.lastRef[e.ID] = e.TS
 		w.windowQ = append(w.windowQ, e)
@@ -309,6 +334,7 @@ func ShareWriterState(a, b *ActiveWindow) {
 	b.archive = a.archive
 	b.lastRef = a.lastRef
 	b.expiryQ = a.expiryQ
+	b.bytes = a.bytes
 	a.twinShared, b.twinShared = true, true
 }
 

@@ -171,7 +171,11 @@ type Stream struct {
 	// (together with the window's active set), so a duplicate is rejected
 	// before it can poison the bucket it would be batched into.
 	pendingIDs map[stream.ElemID]struct{}
-	lastTime   stream.Time
+	// pendingBytes tracks the approximate heap footprint of the pending
+	// buffer so the residency accounting stays O(1) per commit. Writer-side
+	// only, advisory, never exported.
+	pendingBytes int64
+	lastTime     stream.Time
 
 	subs   []*Subscription
 	subSeq int64
@@ -266,6 +270,7 @@ func (s *Stream) Add(p Post) error {
 	}
 	s.pending = append(s.pending, e)
 	s.pendingIDs[id] = struct{}{}
+	s.pendingBytes += e.ApproxBytes()
 	s.lastTime = ts
 	return nil
 }
@@ -333,6 +338,7 @@ func (s *Stream) flushBucket(end stream.Time) error {
 func (s *Stream) forgetPending(batch []*stream.Element) {
 	for _, e := range batch {
 		delete(s.pendingIDs, e.ID)
+		s.pendingBytes -= e.ApproxBytes()
 	}
 }
 
@@ -385,6 +391,14 @@ func (s *Stream) endApply() {
 	s.me.Load().engine.EndBatch()
 }
 
+// approxResidentBytes estimates the heap bytes this stream pins while
+// resident: the engine's archived window state plus the pending buffer.
+// O(1) — both parts are maintained incrementally. Writer-side only, like
+// Add; the hub's commit path mirrors it into a lock-free handle counter.
+func (s *Stream) approxResidentBytes() int64 {
+	return s.me.Load().engine.WriterResidentBytes() + s.pendingBytes
+}
+
 // Now returns the stream's current time (the end of the last ingested
 // bucket).
 func (s *Stream) Now() int64 { return int64(s.me.Load().engine.Now()) }
@@ -415,6 +429,10 @@ type StreamStats struct {
 	// batches, fsyncs). It is only populated by StreamHandle.Stats — a raw
 	// Stream has no pipeline.
 	Pipeline PipelineStats
+	// Residency reports the hot/cold residency state and counters of a
+	// hub-managed stream. It is only populated by StreamHandle.Stats — a
+	// raw Stream is always resident and has no residency machinery.
+	Residency ResidencyStats
 }
 
 // Stats reports the stream's current counters. Like Query it reads the

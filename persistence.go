@@ -87,6 +87,35 @@ type PersistOptions struct {
 	// WithSerializedWriter for the in-memory equivalent. Leave false in
 	// production.
 	SerializedWriter bool
+	// CommitWindow, when positive, lets an idle writer loop wait up to
+	// this long for more ingest operations before committing a batch —
+	// trading that much added latency for fuller group commits (fewer WAL
+	// appends and, under FsyncAlways, fewer fsyncs). It closes the
+	// single-producer group-commit gap: a lone open-loop producer's
+	// appends coalesce into windowed batches instead of one fsync each.
+	// Opt-in (0 disables) because a closed-loop producer — one that waits
+	// for each op before sending the next — only loses latency to it.
+	// Results are identical with or without the window, op for op.
+	CommitWindow time.Duration
+	// MaxResidentStreams and MaxResidentBytes bound the hub's hot tier
+	// (see DESIGN.md §11): when either budget is exceeded, the coldest
+	// streams by last touch are hibernated — checkpointed and released
+	// from memory, transparently reactivated by their next operation.
+	// MaxResidentStreams caps how many streams are resident at once;
+	// MaxResidentBytes caps their summed approximate resident bytes. Zero
+	// disables the respective bound; with both zero no background
+	// hibernator runs and streams only hibernate on explicit
+	// StreamHandle.Hibernate calls. With a budget configured, OpenHub
+	// recovers existing streams cold (registered hibernated, loaded on
+	// first touch) so opening a massive-tenancy data dir stays within the
+	// budget.
+	MaxResidentStreams int
+	MaxResidentBytes   int64
+	// ResidencySweep is how often the background hibernator re-applies the
+	// residency budget (default 1s; only consulted when a budget is set).
+	// Admission control additionally evicts the coldest streams inline
+	// whenever an activation would overshoot the budget.
+	ResidencySweep time.Duration
 }
 
 func (o PersistOptions) withDefaults() PersistOptions {
@@ -95,6 +124,9 @@ func (o PersistOptions) withDefaults() PersistOptions {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 64
+	}
+	if o.ResidencySweep <= 0 {
+		o.ResidencySweep = time.Second
 	}
 	return o
 }
@@ -211,11 +243,14 @@ func OpenHub(dir string, m *Model, po PersistOptions, sopts ...StreamOption) (*H
 			return nil, fmt.Errorf("recovering %s: %w", ent.Name(), err)
 		}
 	}
+	h.startHibernator()
 	return h, nil
 }
 
 // recoverStream rebuilds one stream directory: manifest → checkpoint →
-// WAL tail, then registers the handle.
+// WAL tail, then registers the handle. With a residency budget configured
+// the load is deferred instead — the stream registers hibernated and its
+// checkpoint + WAL tail are folded in by the first touching operation.
 func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 	meta, err := persist.ReadMeta(sdir)
 	if err != nil {
@@ -227,6 +262,20 @@ func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 	if meta.ModelHash != h.p.modelHash {
 		return fmt.Errorf("%w: stream %q was persisted against a different model", ErrModelVersion, meta.Name)
 	}
+	opts, cfg, err := optionsFromMeta(meta, sopts)
+	if err != nil {
+		return err
+	}
+	if h.residencyBudgeted() {
+		// Cold recovery: a massive data dir must not be loaded wholesale
+		// just to open the hub — only the manifests are read, and each
+		// stream registers hibernated with its checkpoint and WAL
+		// untouched on disk. Corruption in the deferred state surfaces on
+		// the first touching operation, as its error, instead of at
+		// OpenHub.
+		_, err := h.registerCold(meta.Name, m, opts, cfg, newColdStreamPersist(h.p, meta.Name, sdir))
+		return err
+	}
 	ck, err := persist.LoadCheckpoint(sdir)
 	if err != nil {
 		return persistErr(err)
@@ -234,7 +283,7 @@ func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 	if ck != nil && ck.Name != meta.Name {
 		return persistErr(fmt.Errorf("%w: checkpoint names stream %q, manifest %q", persist.ErrCorrupt, ck.Name, meta.Name))
 	}
-	st, err := restoreStream(m, meta, ck, sopts)
+	st, err := buildStream(m, opts, cfg, ck)
 	if err != nil {
 		return err
 	}
@@ -243,20 +292,7 @@ func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 		opSeq = ck.OpSeq
 	}
 	wal, err := persist.OpenWAL(filepath.Join(sdir, persist.WALFile),
-		h.p.opts.Fsync.syncPolicy(), h.p.opts.FsyncInterval,
-		func(r persist.Record) error {
-			if r.Seq <= opSeq {
-				return nil // already folded into the checkpoint
-			}
-			opSeq = r.Seq
-			switch r.Kind {
-			case persist.KindPost:
-				return st.Add(Post{ID: r.Post.ID, Time: r.Post.Time, Text: r.Post.Text, Refs: r.Post.Refs})
-			case persist.KindFlush:
-				return st.Flush(r.FlushNow)
-			}
-			return fmt.Errorf("%w: WAL record kind %d", persist.ErrVersion, r.Kind)
-		})
+		h.p.opts.Fsync.syncPolicy(), h.p.opts.FsyncInterval, replayInto(st, opSeq))
 	if err != nil {
 		return persistErr(err)
 	}
@@ -268,6 +304,7 @@ func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 		ckptBucket = ck.Core.Stats.Buckets
 	}
 	pers := newStreamPersist(h.p, meta.Name, sdir, wal, opSeq, ckptBucket)
+	pers.ckptCurrent = ck != nil && wal.Size() == 0
 	if _, err := h.registerWith(meta.Name, st, pers); err != nil {
 		wal.Close()
 		return err
@@ -275,38 +312,52 @@ func (h *Hub) recoverStream(sdir string, m *Model, sopts []StreamOption) error {
 	return nil
 }
 
-// restoreStream rebuilds the Stream value: from its checkpoint when one
-// exists (engine state restored directly, pending posts re-ingested
-// through Add — per-document-seeded inference makes that byte-identical),
-// from scratch otherwise.
-func restoreStream(m *Model, meta persist.Meta, ck *persist.Checkpoint, sopts []StreamOption) (*Stream, error) {
+// optionsFromMeta resolves a persisted stream's options and config:
+// caller-supplied options first (subscription error handlers and other
+// non-persistable configuration), the manifest's core parameters last so
+// they always win.
+func optionsFromMeta(meta persist.Meta, sopts []StreamOption) (Options, streamConfig, error) {
 	opts := Options{
 		Window: time.Duration(meta.WindowNs),
 		Bucket: time.Duration(meta.BucketNs),
 		Eta:    meta.Eta,
 	}
-	// Caller-supplied options first (subscription error handlers and
-	// other non-persistable configuration), the manifest's core
-	// parameters last so they always win.
 	all := append(append([]StreamOption{}, sopts...), WithLambda(meta.Lambda), WithShards(meta.Shards))
-	if ck == nil {
-		return New(m, opts, all...)
-	}
 	var cfg streamConfig
 	for _, o := range all {
 		o(&cfg)
 	}
 	if err := opts.fill(&cfg); err != nil {
-		return nil, err
+		return Options{}, streamConfig{}, err
 	}
-	eng, err := core.Restore(core.Config{
-		Model:        m.tm,
-		WindowLength: stream.Time(opts.Window / time.Second),
-		Params:       score.Params{Lambda: opts.Lambda, Eta: opts.Eta},
-		Shards:       cfg.shards,
-	}, ck.Core)
-	if err != nil {
-		return nil, persistErr(err)
+	return opts, cfg, nil
+}
+
+// buildStream rebuilds a Stream from resolved options: from a checkpoint
+// when one exists (engine state restored directly, pending posts
+// re-ingested through Add — per-document-seeded inference makes that
+// byte-identical), from scratch otherwise. It is the load half of both
+// recovery and reactivation.
+func buildStream(m *Model, opts Options, cfg streamConfig, ck *persist.Checkpoint) (*Stream, error) {
+	var (
+		eng *core.Engine
+		err error
+	)
+	if ck == nil {
+		eng, err = newEngineForModel(m, opts, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eng, err = core.Restore(core.Config{
+			Model:        m.tm,
+			WindowLength: stream.Time(opts.Window / time.Second),
+			Params:       score.Params{Lambda: opts.Lambda, Eta: opts.Eta},
+			Shards:       cfg.shards,
+		}, ck.Core)
+		if err != nil {
+			return nil, persistErr(err)
+		}
 	}
 	s := &Stream{
 		opts:       opts,
@@ -315,13 +366,34 @@ func restoreStream(m *Model, meta persist.Meta, ck *persist.Checkpoint, sopts []
 		pendingIDs: make(map[stream.ElemID]struct{}),
 	}
 	s.me.Store(&modelEngine{model: m, engine: eng})
-	for _, p := range ck.Pending {
-		if err := s.Add(Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs}); err != nil {
-			return nil, persistErr(fmt.Errorf("%w: re-ingesting pending post %d: %v", persist.ErrCorrupt, p.ID, err))
+	if ck != nil {
+		for _, p := range ck.Pending {
+			if err := s.Add(Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs}); err != nil {
+				return nil, persistErr(fmt.Errorf("%w: re-ingesting pending post %d: %v", persist.ErrCorrupt, p.ID, err))
+			}
 		}
+		s.lastTime = stream.Time(ck.LastTime)
 	}
-	s.lastTime = stream.Time(ck.LastTime)
 	return s, nil
+}
+
+// replayInto returns the WAL replay callback that folds records past the
+// opSeq watermark back into st through the normal ingest path (replaying
+// a WAL twice is a no-op: records at or below the watermark are skipped).
+func replayInto(st *Stream, opSeq uint64) func(persist.Record) error {
+	return func(r persist.Record) error {
+		if r.Seq <= opSeq {
+			return nil // already folded into the checkpoint
+		}
+		opSeq = r.Seq
+		switch r.Kind {
+		case persist.KindPost:
+			return st.Add(Post{ID: r.Post.ID, Time: r.Post.Time, Text: r.Post.Text, Refs: r.Post.Refs})
+		case persist.KindFlush:
+			return st.Flush(r.FlushNow)
+		}
+		return fmt.Errorf("%w: WAL record kind %d", persist.ErrVersion, r.Kind)
+	}
 }
 
 // streamPersist is one stream's durability state, owned by its
@@ -332,13 +404,28 @@ type streamPersist struct {
 	hp    *hubPersist
 	name  string
 	dir   string
-	wal   *persist.WAL
 	opSeq uint64
+	// walp is the live WAL — nil while the stream is hibernated (or
+	// cold-recovered and never yet touched). An atomic pointer because the
+	// lock-free Stats path reads it while the commit path swaps it across
+	// residency transitions; all mutation stays on the commit path.
+	walp atomic.Pointer[persist.WAL]
+	// syncsBase accumulates the fsync counts of WALs released across
+	// hibernations, so PipelineStats.Fsyncs stays cumulative over the
+	// handle's lifetime.
+	syncsBase atomic.Int64
 	// ckptBucket is the bucket sequence covered by the latest checkpoint
 	// (-1 before the first one); the auto-checkpoint trigger compares the
 	// live bucket sequence against it.
 	ckptBucket  int64
 	checkpoints int64
+	// ckptCurrent records that the on-disk checkpoint covers every durable
+	// operation — no ingest has committed since it was written. Hibernation
+	// and the closing checkpoint short-circuit on it instead of rewriting
+	// identical state (and Close on a hibernated stream must not reload the
+	// stream just to do so). Cleared by the commit path before any ingest
+	// op applies, set by checkpoint.
+	ckptCurrent bool
 
 	statSeq        atomic.Uint64
 	statBytes      atomic.Int64
@@ -347,11 +434,92 @@ type streamPersist struct {
 }
 
 func newStreamPersist(hp *hubPersist, name, dir string, wal *persist.WAL, opSeq uint64, ckptBucket int64) *streamPersist {
-	p := &streamPersist{hp: hp, name: name, dir: dir, wal: wal, opSeq: opSeq, ckptBucket: ckptBucket}
+	p := &streamPersist{hp: hp, name: name, dir: dir, opSeq: opSeq, ckptBucket: ckptBucket}
+	p.walp.Store(wal)
 	p.statSeq.Store(opSeq)
 	p.statBytes.Store(wal.Size())
 	p.statCkptBucket.Store(ckptBucket)
 	return p
+}
+
+// newColdStreamPersist is the durability state of a cold-recovered stream:
+// no WAL is open, no checkpoint has been read — everything on disk is
+// authoritative and untouched until the first reactivation loads it
+// through resume. Until then the counters report the checkpoint bucket as
+// unknown (-1).
+func newColdStreamPersist(hp *hubPersist, name, dir string) *streamPersist {
+	p := &streamPersist{hp: hp, name: name, dir: dir, ckptBucket: -1}
+	p.statCkptBucket.Store(-1)
+	return p
+}
+
+// resume loads the stream back into memory — the load half of
+// reactivation: checkpoint load, WAL open with tail replay, counter
+// refresh. Commit-path only; the caller owns the residency transition.
+func (p *streamPersist) resume(m *Model, opts Options, cfg streamConfig) (*Stream, error) {
+	ck, err := persist.LoadCheckpoint(p.dir)
+	if err != nil {
+		return nil, persistErr(err)
+	}
+	if ck != nil && ck.Name != p.name {
+		return nil, persistErr(fmt.Errorf("%w: checkpoint names stream %q, manifest %q", persist.ErrCorrupt, ck.Name, p.name))
+	}
+	st, err := buildStream(m, opts, cfg, ck)
+	if err != nil {
+		return nil, err
+	}
+	var opSeq uint64
+	if ck != nil {
+		opSeq = ck.OpSeq
+	}
+	wal, err := persist.OpenWAL(filepath.Join(p.dir, persist.WALFile),
+		p.hp.opts.Fsync.syncPolicy(), p.hp.opts.FsyncInterval, replayInto(st, opSeq))
+	if err != nil {
+		return nil, persistErr(err)
+	}
+	if wal.LastSeq() > opSeq {
+		opSeq = wal.LastSeq()
+	}
+	p.opSeq = opSeq
+	p.ckptBucket = -1
+	if ck != nil {
+		p.ckptBucket = ck.Core.Stats.Buckets
+	}
+	// A clean hibernation leaves a current checkpoint and an empty WAL; a
+	// WAL tail (crash between the last appends and the next hibernation)
+	// means the checkpoint is stale until retaken.
+	p.ckptCurrent = ck != nil && wal.Size() == 0
+	p.walp.Store(wal)
+	p.statSeq.Store(opSeq)
+	p.statBytes.Store(wal.Size())
+	p.statCkptBucket.Store(p.ckptBucket)
+	return st, nil
+}
+
+// releaseWAL closes and detaches the live WAL — the durability half of
+// hibernation, after the caller made the checkpoint current. The closed
+// WAL's fsync count folds into syncsBase so Fsyncs stays cumulative.
+func (p *streamPersist) releaseWAL() error {
+	wal := p.walp.Swap(nil)
+	if wal == nil {
+		return nil
+	}
+	err := wal.Close()
+	p.syncsBase.Add(wal.Syncs())
+	if err != nil {
+		return persistErr(err)
+	}
+	return nil
+}
+
+// fsyncs returns the stream's cumulative WAL fsync count, across
+// residency transitions.
+func (p *streamPersist) fsyncs() int64 {
+	n := p.syncsBase.Load()
+	if wal := p.walp.Load(); wal != nil {
+		n += wal.Syncs()
+	}
+	return n
 }
 
 // initStream provisions the on-disk home of a newly created (or adopted)
@@ -408,15 +576,16 @@ func (hp *hubPersist) initStream(name string, st *Stream) (*streamPersist, error
 // durable — callers surface the error on each contributing op so
 // producers know durability is degraded.
 func (p *streamPersist) appendBatch(recs []persist.Record) error {
+	wal := p.walp.Load() // non-nil: the commit path activates before ingest
 	for i := range recs {
 		p.opSeq++
 		recs[i].Seq = p.opSeq
 	}
-	if err := p.wal.AppendBatch(recs); err != nil {
+	if err := wal.AppendBatch(recs); err != nil {
 		return persistErr(err)
 	}
 	p.statSeq.Store(p.opSeq)
-	p.statBytes.Store(p.wal.Size())
+	p.statBytes.Store(wal.Size())
 	return nil
 }
 
@@ -457,11 +626,12 @@ func (p *streamPersist) checkpoint(st *Stream) error {
 	if err := persist.WriteCheckpoint(p.dir, ck); err != nil {
 		return persistErr(err)
 	}
-	if err := p.wal.Reset(); err != nil {
+	if err := p.walp.Load().Reset(); err != nil {
 		return persistErr(err)
 	}
 	p.ckptBucket = ck.Core.Stats.Buckets
 	p.checkpoints++
+	p.ckptCurrent = true
 	p.statCkptBucket.Store(p.ckptBucket)
 	p.statCkpts.Store(p.checkpoints)
 	p.statBytes.Store(0)
@@ -470,11 +640,18 @@ func (p *streamPersist) checkpoint(st *Stream) error {
 
 // finalize takes the closing checkpoint and releases the WAL. Runs as
 // the handle's close op — after the queue drained, before the writer
-// goroutine exits.
+// goroutine exits. A hibernated stream (st nil, WAL already released)
+// is already durably current: closing it is a no-op, never a reload.
 func (p *streamPersist) finalize(st *Stream) error {
-	ckErr := p.checkpoint(st)
-	if err := p.wal.Close(); err != nil && ckErr == nil {
-		ckErr = persistErr(err)
+	if p.walp.Load() == nil {
+		return nil
+	}
+	var ckErr error
+	if !p.ckptCurrent {
+		ckErr = p.checkpoint(st)
+	}
+	if err := p.releaseWAL(); err != nil && ckErr == nil {
+		ckErr = err
 	}
 	return ckErr
 }

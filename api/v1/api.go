@@ -91,6 +91,19 @@ type StreamInfo struct {
 	Residency *ResidencyInfo `json:"residency,omitempty"`
 	Persist   *PersistInfo   `json:"persist,omitempty"`
 	Pipeline  *PipelineInfo  `json:"pipeline,omitempty"`
+	SSE       *SSEInfo       `json:"sse,omitempty"`
+}
+
+// SSEInfo reports a stream's live SSE subscription counters (served by
+// internal/server; absent from embedding deployments without the server).
+type SSEInfo struct {
+	// Subscribers is the number of currently connected SSE consumers.
+	Subscribers int64 `json:"subscribers"`
+	// Dropped counts refresh events shed by drop-oldest backpressure over
+	// the server's lifetime: a consumer fell more than the event buffer
+	// behind and its oldest pending refresh was replaced by a newer one
+	// (the standing query is a state feed — the latest refresh wins).
+	Dropped int64 `json:"dropped"`
 }
 
 // ResidencyInfo reports a stream's hot/cold transition counters (the wire

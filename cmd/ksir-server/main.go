@@ -52,6 +52,8 @@ func main() {
 		eta       = flag.Float64("eta", 20, "influence rescale")
 		shards    = flag.Int("shards", 0, "topic shards for list maintenance (0 = GOMAXPROCS)")
 
+		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics on this separate listener (Prometheus scrape sidecar); /metrics is always available on -addr")
+
 		dataDir   = flag.String("data-dir", "", "enable durability: WAL + checkpoints per stream under this directory (recovered on startup)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always|interval|never")
 		fsyncInt  = flag.Duration("fsync-interval", time.Second, "max sync lag under -fsync interval")
@@ -137,6 +139,17 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "serving /v1 on %s (default stream %q)\n", *addr, server.DefaultStream)
 
+	// Optional scrape sidecar: /metrics on its own listener, so operators
+	// can firewall the API port while Prometheus scrapes a private one.
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", handler.MetricsHandler())
+		msrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
+		go func() { errc <- msrv.ListenAndServe() }()
+		fmt.Fprintf(os.Stderr, "serving /metrics on %s\n", *metricsAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
@@ -152,6 +165,9 @@ func main() {
 	// (3) close every stream, whose final checkpoints make all accepted
 	// state durable.
 	fmt.Fprintln(os.Stderr, "shutting down: draining HTTP, checkpointing streams...")
+	if msrv != nil {
+		_ = msrv.Close() // scrapes are stateless; no drain needed
+	}
 	handler.StopSubscriptions()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()

@@ -1,0 +1,111 @@
+// Command ksir-trajectory converts committed BENCH_*.json files into the
+// github-action-benchmark data.js format (window.BENCHMARK_DATA = {...})
+// so CI can upload the perf trajectory as a chartable artifact per PR,
+// not just tripwire it at the regression gates.
+//
+// Commit metadata comes from flags, falling back to the GITHUB_* variables
+// Actions sets, falling back to `git log -1` on the working tree:
+//
+//	ksir-trajectory -out data.js BENCH_engine.json BENCH_ingest.json BENCH_tenancy.json
+//
+// When -out already holds a trajectory document the new points are
+// appended, so a restored previous artifact accumulates history.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/social-streams/ksir/internal/experiments"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "data.js", "output data.js path (appended to when it already exists)")
+		commitID  = flag.String("commit", "", "commit SHA (default: $GITHUB_SHA, then git log -1)")
+		message   = flag.String("message", "", "commit message (default: git log -1)")
+		author    = flag.String("author", "", "commit author name (default: git log -1)")
+		email     = flag.String("email", "", "commit author email (default: git log -1)")
+		timestamp = flag.String("timestamp", "", "commit timestamp, RFC 3339 (default: git log -1)")
+		repoURL   = flag.String("repo-url", "", "repository URL (default: $GITHUB_SERVER_URL/$GITHUB_REPOSITORY)")
+	)
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(matches) == 0 {
+			fatal(fmt.Errorf("no BENCH_*.json arguments and none found in the working directory"))
+		}
+		paths = matches
+	}
+
+	commit := experiments.TrajectoryCommit{
+		Distinct:  true,
+		ID:        firstOf(*commitID, os.Getenv("GITHUB_SHA"), gitLog("%H")),
+		Message:   firstOf(*message, gitLog("%s")),
+		Timestamp: firstOf(*timestamp, gitLog("%cI")),
+	}
+	name := firstOf(*author, gitLog("%an"))
+	mail := firstOf(*email, gitLog("%ae"))
+	commit.Author = experiments.TrajectoryActor{Name: name, Email: mail}
+	commit.Committer = commit.Author
+	if url := firstOf(*repoURL, githubRepoURL()); url != "" {
+		commit.URL = url + "/commit/" + commit.ID
+	}
+	if commit.ID == "" {
+		fatal(fmt.Errorf("no commit SHA: pass -commit, set GITHUB_SHA, or run inside a git checkout"))
+	}
+
+	data, err := experiments.AppendTrajectory(*out, paths, commit, time.Now().UnixMilli())
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	for _, pts := range data.Entries {
+		total += len(pts)
+	}
+	fmt.Printf("wrote %s: %d suite(s), %d point(s) total at commit %.12s\n",
+		*out, len(data.Entries), total, commit.ID)
+}
+
+// firstOf returns the first non-empty candidate.
+func firstOf(candidates ...string) string {
+	for _, c := range candidates {
+		if c != "" {
+			return c
+		}
+	}
+	return ""
+}
+
+// gitLog reads one field of the HEAD commit; empty outside a checkout.
+func gitLog(format string) string {
+	outBytes, err := exec.Command("git", "log", "-1", "--format="+format).Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(outBytes))
+}
+
+func githubRepoURL() string {
+	repo := os.Getenv("GITHUB_REPOSITORY")
+	if repo == "" {
+		return ""
+	}
+	server := os.Getenv("GITHUB_SERVER_URL")
+	if server == "" {
+		server = "https://github.com"
+	}
+	return server + "/" + repo
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksir-trajectory:", err)
+	os.Exit(1)
+}

@@ -810,6 +810,7 @@ func (hs *StreamHandle) writerLoop() {
 				// open-loop producer never gets from the in-flight
 				// heuristic above. A barrier op ends the window early; it
 				// must run alone, after this batch commits.
+				obsPipeWindowWaits.Inc()
 				timer := time.NewTimer(w)
 				for len(batch) < maxCommitOps {
 					var next *writeOp
@@ -851,6 +852,8 @@ func (hs *StreamHandle) writerLoop() {
 // are in memory but not durable, the same contract the serialized path
 // reports per op.
 func (hs *StreamHandle) commit(batch []*writeOp) {
+	commitStart := time.Now()
+	defer func() { observeCommit(len(batch), time.Since(commitStart)) }()
 	st := hs.stp.Load()
 	if st == nil {
 		// Hibernated. Reactivate if any op in the batch needs the stream
@@ -956,7 +959,11 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 			}
 			if op.evict && (hs.lastTouch.Load() != op.evictTouch || !hs.hub.evictionWarranted()) {
 				op.err = errStaleEviction
+				obsResStaleEvictions.Inc()
 			} else if op.err = hs.hibernate(st); op.err == nil {
+				if op.evict {
+					obsResEvictions.Inc()
+				}
 				st = nil // barrier: alone in its batch, nothing else uses it
 			}
 		case opActivate:
@@ -1044,6 +1051,7 @@ func (hs *StreamHandle) hibernate(st *Stream) error {
 	hs.stp.Store(nil)
 	hs.residentBytes.Store(0)
 	hs.hibernations.Add(1)
+	obsResHibernations.Inc()
 	return err
 }
 
@@ -1060,10 +1068,13 @@ func (hs *StreamHandle) activate() (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
 	hs.stp.Store(st)
 	hs.residentBytes.Store(st.approxResidentBytes())
 	hs.activations.Add(1)
-	hs.lastActivationNs.Store(time.Since(start).Nanoseconds())
+	hs.lastActivationNs.Store(elapsed.Nanoseconds())
+	obsResActivations.Inc()
+	obsResActivationDuration.ObserveDuration(elapsed)
 	return st, nil
 }
 

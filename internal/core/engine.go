@@ -299,9 +299,13 @@ func (g *Engine) Ingest(now stream.Time, batch []*stream.Element) error {
 	if err := g.applyBucket(g.back, now, batch, true, rec); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	g.stats.ElementsIngested += int64(len(batch))
 	g.stats.Buckets++
-	g.stats.UpdateTime += time.Since(start)
+	g.stats.UpdateTime += elapsed
+	obsElements.Add(uint64(len(batch)))
+	obsBuckets.Inc()
+	obsUpdateTime.AddDuration(elapsed)
 	g.unpublished = append(g.unpublished, &pendingBucket{now: now, batch: batch, delta: rec})
 	if g.batching {
 		// Deferred publish: the bucket is applied to the back buffer but
@@ -403,7 +407,9 @@ func (g *Engine) recycle() error {
 			return fmt.Errorf("core: replaying bucket on recycled buffer: %w", err)
 		}
 	}
-	g.stats.ReplayTime += time.Since(start)
+	elapsed := time.Since(start)
+	g.stats.ReplayTime += elapsed
+	obsReplayTime.AddDuration(elapsed)
 	return nil
 }
 

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"github.com/social-streams/ksir/internal/metrics"
+)
+
+// Engine observability (DESIGN.md §12). All instruments are process-global
+// aggregates over every engine in the process; per-stream breakdowns come
+// from scrape-time collectors over StreamStats, not from hot-path labels.
+var (
+	obsElements = metrics.NewCounter("ksir_engine_elements_ingested_total",
+		"Stream elements applied to engine back buffers.")
+	obsBuckets = metrics.NewCounter("ksir_engine_buckets_total",
+		"Bucket boundaries applied (window advances).")
+	obsUpdateTime = metrics.NewDurationCounter("ksir_engine_update_seconds_total",
+		"Wall time spent in primary bucket application (the Figure-14 maintenance cost).")
+	obsReplayTime = metrics.NewDurationCounter("ksir_engine_replay_seconds_total",
+		"Wall time spent catching recycled buffers up (delta replay or full re-apply).")
+	obsQueryDuration = metrics.NewDurationHistogramVec("ksir_engine_query_duration_seconds",
+		"k-SIR query latency (snapshot pin to result) by algorithm.",
+		"algorithm", []string{MTTS.String(), MTTD.String(), TopkRep.String()},
+		metrics.DefBuckets...)
+	obsSnapshotPins = metrics.NewGauge("ksir_engine_snapshot_pins",
+		"Readers currently pinning a published engine snapshot.")
+
+	// obsQueryByAlg pre-resolves the vec children so the query path indexes
+	// an array instead of hashing a label string per query.
+	obsQueryByAlg = [...]*metrics.Histogram{
+		MTTS:    obsQueryDuration.With(MTTS.String()),
+		MTTD:    obsQueryDuration.With(MTTD.String()),
+		TopkRep: obsQueryDuration.With(TopkRep.String()),
+	}
+)

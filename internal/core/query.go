@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/social-streams/ksir/internal/stream"
 	"github.com/social-streams/ksir/internal/topicmodel"
@@ -130,19 +131,25 @@ func (g *Engine) QueryContext(ctx context.Context, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if q.Algorithm < MTTS || q.Algorithm > TopkRep {
+		return Result{}, fmt.Errorf("core: unknown algorithm %d", int(q.Algorithm))
+	}
+	start := time.Now()
 	snap := g.acquire()
 	defer snap.release()
 	v := snap.view()
+	var res Result
+	var err error
 	switch q.Algorithm {
-	case MTTS:
-		return v.mtts(ctx, q)
 	case MTTD:
-		return v.mttd(ctx, q)
+		res, err = v.mttd(ctx, q)
 	case TopkRep:
-		return v.topkRep(ctx, q)
+		res, err = v.topkRep(ctx, q)
 	default:
-		return Result{}, fmt.Errorf("core: unknown algorithm %d", int(q.Algorithm))
+		res, err = v.mtts(ctx, q)
 	}
+	obsQueryByAlg[q.Algorithm].ObserveSince(start)
+	return res, err
 }
 
 // checkEvery is how many ranked-list retrievals the streaming loops process

@@ -54,6 +54,7 @@ func (g *Engine) acquire() *snapshot {
 		s := g.front.Load()
 		s.pins.RLock()
 		if g.front.Load() == s {
+			obsSnapshotPins.Inc()
 			return s
 		}
 		s.pins.RUnlock()
@@ -61,7 +62,10 @@ func (g *Engine) acquire() *snapshot {
 }
 
 // release unpins the snapshot.
-func (s *snapshot) release() { s.pins.RUnlock() }
+func (s *snapshot) release() {
+	obsSnapshotPins.Dec()
+	s.pins.RUnlock()
+}
 
 // waitDrained blocks until every reader that pinned the snapshot has
 // released it. Only the writer calls it, after the snapshot has been

@@ -1,4 +1,4 @@
-package metrics
+package evalmetrics
 
 import "fmt"
 
@@ -8,10 +8,10 @@ import "fmt"
 // rating slices must have equal length; ratings must lie in [1, levels].
 func WeightedKappa(a, b []int, levels int) (float64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("metrics: rating slices differ in length: %d vs %d", len(a), len(b))
+		return 0, fmt.Errorf("evalmetrics: rating slices differ in length: %d vs %d", len(a), len(b))
 	}
 	if len(a) == 0 {
-		return 0, fmt.Errorf("metrics: no ratings")
+		return 0, fmt.Errorf("evalmetrics: no ratings")
 	}
 	n := float64(len(a))
 	// Observed and marginal distributions.
@@ -23,7 +23,7 @@ func WeightedKappa(a, b []int, levels int) (float64, error) {
 	margB := make([]float64, levels)
 	for i := range a {
 		if a[i] < 1 || a[i] > levels || b[i] < 1 || b[i] > levels {
-			return 0, fmt.Errorf("metrics: rating out of range at %d: (%d, %d)", i, a[i], b[i])
+			return 0, fmt.Errorf("evalmetrics: rating out of range at %d: (%d, %d)", i, a[i], b[i])
 		}
 		obs[a[i]-1][b[i]-1]++
 		margA[a[i]-1]++
@@ -55,7 +55,7 @@ func abs(x int) float64 {
 // the paper reports agreement across its 3 evaluators per query.
 func MeanPairwiseKappa(ratings [][]int, levels int) (float64, error) {
 	if len(ratings) < 2 {
-		return 0, fmt.Errorf("metrics: need at least two raters, got %d", len(ratings))
+		return 0, fmt.Errorf("evalmetrics: need at least two raters, got %d", len(ratings))
 	}
 	var sum float64
 	var pairs int

@@ -1,0 +1,122 @@
+// Package evalmetrics implements the quantitative effectiveness measures of
+// §5.2 (Table 6): the information-coverage score and the normalized
+// influence score, plus Cohen's linearly weighted kappa used to report
+// inter-judge agreement in the user study (Table 5).
+package evalmetrics
+
+import (
+	"sort"
+
+	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/topicmodel"
+)
+
+// Coverage computes the coverage score of result set S w.r.t. query x over
+// the active elements (following [2, 20] as §5.2 does):
+//
+//	Σ_{e ∈ A_t \ S} max_{e' ∈ S} rel(e, x) · sim(e, e')
+//
+// rel is the topic-space cosine relevance of e to the query; sim is the
+// content similarity between elements. The score is normalized by the total
+// relevance mass Σ rel(e, x) so values are comparable across queries and
+// bounded by 1.
+func Coverage(actives []*stream.Element, s []*stream.Element, x topicmodel.TopicVec,
+	sim func(a, b *stream.Element) float64) float64 {
+	if len(s) == 0 || len(actives) == 0 {
+		return 0
+	}
+	inS := make(map[stream.ElemID]struct{}, len(s))
+	for _, e := range s {
+		inS[e.ID] = struct{}{}
+	}
+	var covered, total float64
+	for _, e := range actives {
+		rel := e.Topics.Cosine(x)
+		if rel == 0 {
+			continue
+		}
+		total += rel
+		if _, ok := inS[e.ID]; ok {
+			covered += rel // a selected element covers itself fully
+			continue
+		}
+		var best float64
+		for _, r := range s {
+			if v := sim(e, r); v > best {
+				best = v
+			}
+		}
+		covered += rel * best
+	}
+	if total == 0 {
+		return 0
+	}
+	return covered / total
+}
+
+// TopicSim is the default element-similarity function for Coverage: the
+// cosine of the elements' topic vectors.
+func TopicSim(a, b *stream.Element) float64 { return a.Topics.Cosine(b.Topics) }
+
+// WordSim measures content similarity as the Jaccard overlap of the
+// elements' distinct word sets — stricter than TopicSim, it rewards result
+// sets that cover distinct words (what the k-SIR semantic score optimizes).
+func WordSim(a, b *stream.Element) float64 { return a.Doc.Jaccard(b.Doc) }
+
+// Influence computes the influence score of §5.2: the number of in-window
+// elements referring to at least one element of S, linearly scaled by the
+// influence of the top-k most-referred elements (so 1.0 means "as influential
+// as the k most popular elements combined").
+func Influence(win *stream.ActiveWindow, s []*stream.Element, k int) float64 {
+	raw := referrerCount(win, s)
+	if raw == 0 {
+		return 0
+	}
+	// Top-k influential elements by |I_t(e)|.
+	type deg struct {
+		id stream.ElemID
+		n  int
+	}
+	var degs []deg
+	win.ForEachActive(func(e *stream.Element) {
+		if n := win.NumChildren(e.ID); n > 0 {
+			degs = append(degs, deg{e.ID, n})
+		}
+	})
+	sort.Slice(degs, func(i, j int) bool {
+		if degs[i].n != degs[j].n {
+			return degs[i].n > degs[j].n
+		}
+		return degs[i].id < degs[j].id
+	})
+	if k > len(degs) {
+		k = len(degs)
+	}
+	topk := make([]*stream.Element, 0, k)
+	for _, d := range degs[:k] {
+		if e, ok := win.Get(d.id); ok {
+			topk = append(topk, e)
+		}
+	}
+	denom := referrerCount(win, topk)
+	if denom == 0 {
+		return 0
+	}
+	v := float64(raw) / float64(denom)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// referrerCount counts distinct in-window elements referring to ≥1 member
+// of s.
+func referrerCount(win *stream.ActiveWindow, s []*stream.Element) int {
+	refs := make(map[stream.ElemID]struct{})
+	for _, e := range s {
+		win.ForEachChild(e.ID, func(c *stream.Element) {
+			refs[c.ID] = struct{}{}
+		})
+	}
+	return len(refs)
+}

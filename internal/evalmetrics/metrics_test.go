@@ -1,0 +1,161 @@
+package evalmetrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/papertest"
+	"github.com/social-streams/ksir/internal/stream"
+)
+
+func paperActives(t *testing.T) (*stream.ActiveWindow, []*stream.Element) {
+	t.Helper()
+	win, elems := papertest.Window()
+	var actives []*stream.Element
+	for _, e := range elems {
+		if _, ok := win.Get(e.ID); ok {
+			actives = append(actives, e)
+		}
+	}
+	return win, actives
+}
+
+func TestCoverageBounds(t *testing.T) {
+	_, actives := paperActives(t)
+	x := papertest.QueryUniform()
+	// Empty set covers nothing.
+	if got := Coverage(actives, nil, x, TopicSim); got != 0 {
+		t.Errorf("empty set coverage = %v", got)
+	}
+	// The whole active set covers everything.
+	if got := Coverage(actives, actives, x, TopicSim); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full set coverage = %v, want 1", got)
+	}
+	// Any subset covers within (0, 1].
+	got := Coverage(actives, actives[:2], x, TopicSim)
+	if got <= 0 || got > 1 {
+		t.Errorf("coverage = %v out of range", got)
+	}
+}
+
+func TestCoverageRewardsRepresentativeSets(t *testing.T) {
+	_, actives := paperActives(t)
+	x := papertest.QueryUniform()
+	// {e1, e3} (the k-SIR optimum: one per topic) should cover more than
+	// the near-duplicate pair {e2, e7} (both on θ2 with the same words).
+	var e1, e2, e3, e7 *stream.Element
+	for _, e := range actives {
+		switch e.ID {
+		case 1:
+			e1 = e
+		case 2:
+			e2 = e
+		case 3:
+			e3 = e
+		case 7:
+			e7 = e
+		}
+	}
+	good := Coverage(actives, []*stream.Element{e1, e3}, x, TopicSim)
+	bad := Coverage(actives, []*stream.Element{e2, e7}, x, TopicSim)
+	if good <= bad {
+		t.Errorf("coverage({e1,e3})=%v should beat coverage({e2,e7})=%v", good, bad)
+	}
+}
+
+func TestWordSim(t *testing.T) {
+	_, actives := paperActives(t)
+	// e2 and e7 share {champion, pl}: Jaccard = 2/3.
+	var e2, e7 *stream.Element
+	for _, e := range actives {
+		if e.ID == 2 {
+			e2 = e
+		}
+		if e.ID == 7 {
+			e7 = e
+		}
+	}
+	if got := WordSim(e2, e7); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("WordSim(e2,e7) = %v, want 2/3", got)
+	}
+}
+
+func TestInfluence(t *testing.T) {
+	win, actives := paperActives(t)
+	byID := make(map[stream.ElemID]*stream.Element)
+	for _, e := range actives {
+		byID[e.ID] = e
+	}
+	// {e2, e3} is referred to by e6, e7, e8 → 3 referrers. Top-2 influential
+	// are e2 and e3 themselves (2 children each), so normalization = 1.
+	got := Influence(win, []*stream.Element{byID[2], byID[3]}, 2)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("Influence({e2,e3}) = %v, want 1", got)
+	}
+	// {e7} has no referrers.
+	if got := Influence(win, []*stream.Element{byID[7]}, 2); got != 0 {
+		t.Errorf("Influence({e7}) = %v, want 0", got)
+	}
+	// {e1} has one referrer (e5); top-2 have 3 → 1/3.
+	got = Influence(win, []*stream.Element{byID[1]}, 2)
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("Influence({e1}) = %v, want 1/3", got)
+	}
+}
+
+func TestWeightedKappa(t *testing.T) {
+	// Perfect agreement.
+	a := []int{1, 2, 3, 4, 5, 3}
+	k, err := WeightedKappa(a, a, 5)
+	if err != nil || math.Abs(k-1) > 1e-9 {
+		t.Errorf("perfect agreement kappa = %v, %v", k, err)
+	}
+	// Constant disagreement worse than chance yields kappa < 0.
+	b := []int{5, 4, 3, 2, 1, 3}
+	k, err = WeightedKappa(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k >= 0 {
+		t.Errorf("reversed ratings kappa = %v, want negative", k)
+	}
+	// Near agreement (off by one) scores between 0 and 1.
+	c := []int{2, 3, 4, 5, 4, 3}
+	k, err = WeightedKappa(a, c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= -1 || k >= 1 {
+		t.Errorf("near agreement kappa = %v", k)
+	}
+}
+
+func TestWeightedKappaErrors(t *testing.T) {
+	if _, err := WeightedKappa([]int{1}, []int{1, 2}, 5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedKappa(nil, nil, 5); err == nil {
+		t.Error("empty ratings accepted")
+	}
+	if _, err := WeightedKappa([]int{9}, []int{1}, 5); err == nil {
+		t.Error("out-of-range rating accepted")
+	}
+}
+
+func TestMeanPairwiseKappa(t *testing.T) {
+	ratings := [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5},
+		{2, 2, 3, 4, 4},
+	}
+	k, err := MeanPairwiseKappa(ratings, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 || k > 1 {
+		t.Errorf("mean kappa = %v", k)
+	}
+	if _, err := MeanPairwiseKappa(ratings[:1], 5); err == nil {
+		t.Error("single rater accepted")
+	}
+}

@@ -6,8 +6,8 @@ import (
 	"github.com/social-streams/ksir/internal/baselines"
 	"github.com/social-streams/ksir/internal/core"
 	"github.com/social-streams/ksir/internal/dataset"
+	"github.com/social-streams/ksir/internal/evalmetrics"
 	"github.com/social-streams/ksir/internal/judge"
-	"github.com/social-streams/ksir/internal/metrics"
 	"github.com/social-streams/ksir/internal/textproc"
 	"github.com/social-streams/ksir/internal/topicmodel"
 )
@@ -149,8 +149,8 @@ func (l *Lab) Table6() (*Table, error) {
 			}
 			actives := Actives(g)
 			for _, rs := range sets {
-				cov[rs.Method] += metrics.Coverage(actives, rs.Elements, q.X, metrics.TopicSim)
-				infl[rs.Method] += metrics.Influence(g.Window(), rs.Elements, k)
+				cov[rs.Method] += evalmetrics.Coverage(actives, rs.Elements, q.X, evalmetrics.TopicSim)
+				infl[rs.Method] += evalmetrics.Influence(g.Window(), rs.Elements, k)
 			}
 			count++
 			return nil

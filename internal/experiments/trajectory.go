@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Trajectory conversion: BENCH_*.json → the github-action-benchmark
+// `data.js` document (a `window.BENCHMARK_DATA = {...}` assignment, see
+// SNIPPETS.md snippets 2–3 for the soci-snapshotter exemplar). The bench
+// files are already customSmallerIsBetter-shaped entry arrays; this layer
+// stamps them with commit metadata and appends them to the rolling
+// per-suite history that the action (or any static chart page) plots, so
+// each PR extends the perf trajectory instead of only tripping the 3×
+// regression gates.
+
+// TrajectoryCommit identifies the commit a trajectory point was measured
+// at, mirroring the `commit` block of the data.js format.
+type TrajectoryCommit struct {
+	Author    TrajectoryActor `json:"author"`
+	Committer TrajectoryActor `json:"committer"`
+	Distinct  bool            `json:"distinct"`
+	ID        string          `json:"id"`
+	Message   string          `json:"message"`
+	Timestamp string          `json:"timestamp"`
+	TreeID    string          `json:"tree_id,omitempty"`
+	URL       string          `json:"url"`
+}
+
+// TrajectoryActor is a commit author or committer.
+type TrajectoryActor struct {
+	Email    string `json:"email,omitempty"`
+	Name     string `json:"name"`
+	Username string `json:"username,omitempty"`
+}
+
+// TrajectoryPoint is one measured commit in a suite's history: the commit,
+// a millisecond timestamp, the chart direction, and the bench entries.
+type TrajectoryPoint struct {
+	Commit  TrajectoryCommit `json:"commit"`
+	Date    int64            `json:"date"`
+	Tool    string           `json:"tool"`
+	Benches []BenchEntry     `json:"benches"`
+}
+
+// TrajectoryData is the whole data.js document.
+type TrajectoryData struct {
+	LastUpdate int64                        `json:"lastUpdate"`
+	RepoURL    string                       `json:"repoUrl"`
+	Entries    map[string][]TrajectoryPoint `json:"entries"`
+}
+
+const trajectoryPrefix = "window.BENCHMARK_DATA = "
+
+// trajectoryTool matches the bench entries' orientation: every ksir metric
+// is a cost (µs/element, p99 ms, bytes, overhead %), so smaller is better.
+const trajectoryTool = "customSmallerIsBetter"
+
+// maxTrajectoryPoints bounds each suite's history so the artifact cannot
+// grow without limit; the oldest points fall off first.
+const maxTrajectoryPoints = 500
+
+// suiteNameFor maps a BENCH_*.json basename to its suite key in the
+// data.js entries map ("BENCH_engine.json" → "engine").
+func suiteNameFor(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	return base
+}
+
+// AppendTrajectory loads the trajectory document at path (starting fresh
+// when the file does not exist), appends one point per bench file under
+// that file's suite name, and writes the document back as a data.js
+// assignment. benchPaths entries must be BENCH_*.json files; now is the
+// point's timestamp in Unix milliseconds.
+func AppendTrajectory(path string, benchPaths []string, commit TrajectoryCommit, now int64) (*TrajectoryData, error) {
+	data, err := ReadTrajectory(path)
+	if os.IsNotExist(err) {
+		data = &TrajectoryData{Entries: make(map[string][]TrajectoryPoint)}
+	} else if err != nil {
+		return nil, err
+	}
+
+	// Deterministic suite order so reruns produce identical documents.
+	paths := append([]string(nil), benchPaths...)
+	sort.Strings(paths)
+	for _, bp := range paths {
+		entries, err := ReadBenchJSON(bp)
+		if err != nil {
+			return nil, err
+		}
+		suite := suiteNameFor(bp)
+		pts := append(data.Entries[suite], TrajectoryPoint{
+			Commit:  commit,
+			Date:    now,
+			Tool:    trajectoryTool,
+			Benches: entries,
+		})
+		if len(pts) > maxTrajectoryPoints {
+			pts = pts[len(pts)-maxTrajectoryPoints:]
+		}
+		data.Entries[suite] = pts
+	}
+	data.LastUpdate = now
+	if data.RepoURL == "" {
+		data.RepoURL = strings.TrimSuffix(commit.URL, "/commit/"+commit.ID)
+	}
+	return data, WriteTrajectory(path, data)
+}
+
+// ReadTrajectory parses a data.js document (with or without the
+// `window.BENCHMARK_DATA = ` prefix, so plain-JSON variants round-trip).
+func ReadTrajectory(path string) (*TrajectoryData, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw = bytes.TrimSpace(raw)
+	raw = bytes.TrimPrefix(raw, []byte(trajectoryPrefix))
+	var data TrajectoryData
+	if err := json.Unmarshal(raw, &data); err != nil {
+		return nil, fmt.Errorf("experiments: %s: malformed trajectory data: %w", path, err)
+	}
+	if data.Entries == nil {
+		data.Entries = make(map[string][]TrajectoryPoint)
+	}
+	return &data, nil
+}
+
+// WriteTrajectory writes the document as a data.js assignment.
+func WriteTrajectory(path string, data *TrajectoryData) error {
+	raw, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		return err
+	}
+	out := make([]byte, 0, len(trajectoryPrefix)+len(raw)+1)
+	out = append(out, trajectoryPrefix...)
+	out = append(out, raw...)
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("experiments: writing trajectory: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trajectoryFixture(t *testing.T) (dir string, benchPaths []string, commit TrajectoryCommit) {
+	t.Helper()
+	dir = t.TempDir()
+	benchPaths = []string{
+		filepath.Join(dir, "BENCH_engine.json"),
+		filepath.Join(dir, "BENCH_ingest.json"),
+	}
+	if err := WriteBenchJSON(benchPaths[0], []BenchEntry{
+		{Name: "engine-update-time-per-element-delta", Value: 4.9, Unit: "Microseconds"},
+		{Name: "engine-metrics-overhead-add-pct", Value: 0.3, Unit: "Percent"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(benchPaths[1], []BenchEntry{
+		{Name: "ingest-us-per-post-pipelined-always-p8", Value: 110, Unit: "Microseconds"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	commit = TrajectoryCommit{
+		Author:    TrajectoryActor{Name: "dev", Email: "dev@example.com"},
+		Committer: TrajectoryActor{Name: "dev", Email: "dev@example.com"},
+		Distinct:  true,
+		ID:        "184d1715fe4985936018f8013dd81c54019ae4e4",
+		Message:   "tune the delta path",
+		Timestamp: "2026-08-08T12:00:00Z",
+		URL:       "https://github.com/social-streams/ksir/commit/184d1715fe4985936018f8013dd81c54019ae4e4",
+	}
+	return dir, benchPaths, commit
+}
+
+// A fresh conversion produces the github-action-benchmark document shape:
+// a window.BENCHMARK_DATA assignment whose entries map each BENCH suite to
+// commit-stamped customSmallerIsBetter points.
+func TestTrajectoryConvertsBenchFiles(t *testing.T) {
+	dir, benchPaths, commit := trajectoryFixture(t)
+	out := filepath.Join(dir, "data.js")
+
+	data, err := AppendTrajectory(out, benchPaths, commit, 1754650000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Entries) != 2 {
+		t.Fatalf("suites = %d, want 2", len(data.Entries))
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "window.BENCHMARK_DATA = {") {
+		t.Fatalf("data.js does not open with the assignment prefix: %.40q", raw)
+	}
+	// The payload after the prefix is plain JSON in the action's schema.
+	var doc struct {
+		LastUpdate int64  `json:"lastUpdate"`
+		RepoURL    string `json:"repoUrl"`
+		Entries    map[string][]struct {
+			Commit struct {
+				ID        string `json:"id"`
+				Timestamp string `json:"timestamp"`
+			} `json:"commit"`
+			Date    int64        `json:"date"`
+			Tool    string       `json:"tool"`
+			Benches []BenchEntry `json:"benches"`
+		} `json:"entries"`
+	}
+	payload := strings.TrimPrefix(string(raw), "window.BENCHMARK_DATA = ")
+	if err := json.Unmarshal([]byte(payload), &doc); err != nil {
+		t.Fatalf("payload is not valid JSON: %v", err)
+	}
+	if doc.LastUpdate != 1754650000000 {
+		t.Errorf("lastUpdate = %d", doc.LastUpdate)
+	}
+	if doc.RepoURL != "https://github.com/social-streams/ksir" {
+		t.Errorf("repoUrl = %q (want derived from the commit URL)", doc.RepoURL)
+	}
+	eng := doc.Entries["engine"]
+	if len(eng) != 1 {
+		t.Fatalf("engine points = %d, want 1", len(eng))
+	}
+	if eng[0].Tool != "customSmallerIsBetter" {
+		t.Errorf("tool = %q", eng[0].Tool)
+	}
+	if eng[0].Commit.ID != commit.ID || eng[0].Commit.Timestamp != commit.Timestamp {
+		t.Errorf("commit block = %+v", eng[0].Commit)
+	}
+	if len(eng[0].Benches) != 2 || eng[0].Benches[0].Name != "engine-update-time-per-element-delta" {
+		t.Errorf("engine benches = %+v", eng[0].Benches)
+	}
+	if len(doc.Entries["ingest"]) != 1 {
+		t.Errorf("ingest points = %d, want 1", len(doc.Entries["ingest"]))
+	}
+}
+
+// Re-running against an existing data.js appends history rather than
+// overwriting it — the restored artifact accumulates one point per run.
+func TestTrajectoryAppendsHistory(t *testing.T) {
+	dir, benchPaths, commit := trajectoryFixture(t)
+	out := filepath.Join(dir, "data.js")
+
+	if _, err := AppendTrajectory(out, benchPaths, commit, 1754650000000); err != nil {
+		t.Fatal(err)
+	}
+	second := commit
+	second.ID = "ffff1715fe4985936018f8013dd81c54019ae4e4"
+	data, err := AppendTrajectory(out, benchPaths, second, 1754660000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := data.Entries["engine"]
+	if len(eng) != 2 {
+		t.Fatalf("engine points after second run = %d, want 2", len(eng))
+	}
+	if eng[0].Commit.ID != commit.ID || eng[1].Commit.ID != second.ID {
+		t.Errorf("history order wrong: %q then %q", eng[0].Commit.ID, eng[1].Commit.ID)
+	}
+	if data.LastUpdate != 1754660000000 {
+		t.Errorf("lastUpdate = %d", data.LastUpdate)
+	}
+
+	// Round-trip: the appended file still parses.
+	reread, err := ReadTrajectory(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reread.Entries["ingest"]) != 2 {
+		t.Errorf("reread ingest points = %d, want 2", len(reread.Entries["ingest"]))
+	}
+}
+
+// A malformed bench file fails the conversion loudly (the CI step must not
+// chart garbage), and suite names derive from the BENCH_*.json basename.
+func TestTrajectoryRejectsMalformedBench(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "BENCH_broken.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendTrajectory(filepath.Join(dir, "data.js"), []string{bad}, TrajectoryCommit{ID: "abc"}, 1); err == nil {
+		t.Fatal("malformed bench json accepted")
+	}
+
+	if got := suiteNameFor("/ci/BENCH_tenancy.json"); got != "tenancy" {
+		t.Errorf("suiteNameFor = %q, want tenancy", got)
+	}
+}

@@ -16,7 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"github.com/social-streams/ksir/internal/metrics"
+	"github.com/social-streams/ksir/internal/evalmetrics"
 	"github.com/social-streams/ksir/internal/stream"
 	"github.com/social-streams/ksir/internal/topicmodel"
 )
@@ -75,7 +75,7 @@ func representSignal(win *stream.ActiveWindow, actives []*stream.Element,
 		rel += e.Topics.Cosine(x)
 	}
 	rel /= float64(len(rs.Elements))
-	cov := metrics.Coverage(actives, rs.Elements, x, metrics.TopicSim)
+	cov := evalmetrics.Coverage(actives, rs.Elements, x, evalmetrics.TopicSim)
 	// Coverage dominates: it already weights every element by its query
 	// relevance, matching the paper's definition of representativeness
 	// ("relevance to query topic AND information coverage ... of its
@@ -175,11 +175,11 @@ func (p *Panel) RunStudy(win *stream.ActiveWindow, actives []*stream.Element,
 			}
 		}
 		count += len(repr)
-		if kr, err := metrics.MeanPairwiseKappa(repr, nm); err == nil {
+		if kr, err := evalmetrics.MeanPairwiseKappa(repr, nm); err == nil {
 			kappaRSum += kr
 			kappaN++
 		}
-		if ki, err := metrics.MeanPairwiseKappa(impact, nm); err == nil {
+		if ki, err := evalmetrics.MeanPairwiseKappa(impact, nm); err == nil {
 			kappaISum += ki
 		}
 	}

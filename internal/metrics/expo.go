@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name/value pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Collector emits extra samples at scrape time — this is how dynamic-label
+// series (per-stream roll-ups) join the exposition without any hot-path
+// label machinery. A collector must write complete families: Family header
+// first, then its samples, and must not reuse a registered family name.
+type Collector func(*Writer)
+
+// Writer assembles a Prometheus text-format exposition.
+type Writer struct {
+	b   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w for text-format output.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{b: bufio.NewWriter(w)}
+}
+
+// Family writes the # HELP and # TYPE header for a family.
+func (w *Writer) Family(name, help, typ string) {
+	w.str("# HELP ")
+	w.str(name)
+	w.str(" ")
+	w.str(escapeHelp(help))
+	w.str("\n# TYPE ")
+	w.str(name)
+	w.str(" ")
+	w.str(typ)
+	w.str("\n")
+}
+
+// Sample writes one sample line: name{labels} value.
+func (w *Writer) Sample(name string, value float64, labels ...Label) {
+	w.str(name)
+	w.labelSet(labels, "", "")
+	w.str(" ")
+	w.str(formatValue(value))
+	w.str("\n")
+}
+
+// Bucket writes one cumulative histogram bucket line:
+// name_bucket{labels,le="bound"} value.
+func (w *Writer) Bucket(name, le string, value float64, labels ...Label) {
+	w.str(name)
+	w.str("_bucket")
+	w.labelSet(labels, "le", le)
+	w.str(" ")
+	w.str(formatValue(value))
+	w.str("\n")
+}
+
+func (w *Writer) labelSet(labels []Label, extraName, extraValue string) {
+	if len(labels) == 0 && extraName == "" {
+		return
+	}
+	w.str("{")
+	for i, l := range labels {
+		if i > 0 {
+			w.str(",")
+		}
+		w.str(l.Name)
+		w.str(`="`)
+		w.str(escapeValue(l.Value))
+		w.str(`"`)
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			w.str(",")
+		}
+		w.str(extraName)
+		w.str(`="`)
+		w.str(escapeValue(extraValue))
+		w.str(`"`)
+	}
+	w.str("}")
+}
+
+func (w *Writer) str(s string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.b.WriteString(s)
+}
+
+// flush drains the buffer and returns the first write error.
+func (w *Writer) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.b.Flush()
+}
+
+// WriteText writes the registry's families plus any scrape-time collectors
+// as Prometheus text format 0.0.4.
+func (r *Registry) WriteText(out io.Writer, collectors ...Collector) error {
+	w := NewWriter(out)
+	for _, m := range r.families() {
+		m.expose(w)
+	}
+	for _, c := range collectors {
+		if c != nil {
+			c(w)
+		}
+	}
+	return w.flush()
+}
+
+// Handler serves the registry (plus collectors) over HTTP with the
+// Prometheus text content type.
+func (r *Registry) Handler(collectors ...Collector) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", ContentType)
+		_ = r.WriteText(rw, collectors...)
+	})
+}
+
+// formatValue renders a sample value: integers without a decimal point,
+// everything else in shortest-roundtrip form, +Inf/-Inf/NaN per the text
+// format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var valueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeValue escapes a label value (backslash, double quote, newline).
+func escapeValue(s string) string { return valueEscaper.Replace(s) }

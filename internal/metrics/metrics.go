@@ -1,122 +1,140 @@
-// Package metrics implements the quantitative effectiveness measures of
-// §5.2 (Table 6): the information-coverage score and the normalized
-// influence score, plus Cohen's linearly weighted kappa used to report
-// inter-judge agreement in the user study (Table 5).
+// Package metrics is the observability subsystem's instrument registry: a
+// stdlib-only implementation of counters, gauges and fixed-bucket
+// histograms with Prometheus text-format exposition (DESIGN.md §12).
+//
+// Design constraints, in order:
+//
+//   - Hot-path recording must be wait-free and allocation-free: every
+//     instrument is a fixed set of atomic.Uint64 cells allocated once at
+//     registration; Observe/Inc/Add are a bounds scan plus 1–3 atomic
+//     adds, with no locks, no maps and no time formatting.
+//   - Label cardinality is fixed at registration: a vec instrument
+//     (CounterVec, HistogramVec) declares its label values up front and
+//     hands out pre-built children, so the hot path never consults a
+//     label→child map. Dynamic labels (per-stream series) are emitted by
+//     scrape-time Collectors instead, where the cost lands on the scraper
+//     rather than the ingest path.
+//   - Exposition is Prometheus text format version 0.0.4: families sorted
+//     by name, HELP/TYPE headers, cumulative le buckets, +Inf, _sum and
+//     _count — scrapeable by a stock Prometheus server.
+//
+// Instruments register themselves in the package-default registry at
+// construction, which is why every call site declares them as package-level
+// vars: one process exposes one aggregate metric surface, however many hubs
+// or streams it runs (per-stream breakdowns are labeled collector series,
+// see internal/server). Disable/Enable flip recording globally — the
+// instrumented-vs-uninstrumented pair of the `engine` benchmark measures
+// the recording cost with exactly this switch.
 package metrics
 
 import (
+	"fmt"
 	"sort"
-
-	"github.com/social-streams/ksir/internal/stream"
-	"github.com/social-streams/ksir/internal/topicmodel"
+	"sync"
+	"sync/atomic"
 )
 
-// Coverage computes the coverage score of result set S w.r.t. query x over
-// the active elements (following [2, 20] as §5.2 does):
-//
-//	Σ_{e ∈ A_t \ S} max_{e' ∈ S} rel(e, x) · sim(e, e')
-//
-// rel is the topic-space cosine relevance of e to the query; sim is the
-// content similarity between elements. The score is normalized by the total
-// relevance mass Σ rel(e, x) so values are comparable across queries and
-// bounded by 1.
-func Coverage(actives []*stream.Element, s []*stream.Element, x topicmodel.TopicVec,
-	sim func(a, b *stream.Element) float64) float64 {
-	if len(s) == 0 || len(actives) == 0 {
-		return 0
-	}
-	inS := make(map[stream.ElemID]struct{}, len(s))
-	for _, e := range s {
-		inS[e.ID] = struct{}{}
-	}
-	var covered, total float64
-	for _, e := range actives {
-		rel := e.Topics.Cosine(x)
-		if rel == 0 {
-			continue
-		}
-		total += rel
-		if _, ok := inS[e.ID]; ok {
-			covered += rel // a selected element covers itself fully
-			continue
-		}
-		var best float64
-		for _, r := range s {
-			if v := sim(e, r); v > best {
-				best = v
-			}
-		}
-		covered += rel * best
-	}
-	if total == 0 {
-		return 0
-	}
-	return covered / total
+// enabled gates every recording call. Recording is on by default; Disable
+// exists for the hot-path overhead benchmark (and is process-global, like
+// the registry).
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enable turns metric recording on (the default).
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric recording off: every Inc/Add/Observe returns after
+// one atomic load, leaving all cells frozen. Exposition still works.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// on is the hot-path guard.
+func on() bool { return enabled.Load() }
+
+// Metric is one registered instrument family.
+type Metric interface {
+	// FamilyName is the Prometheus family name (unique per registry).
+	FamilyName() string
+	// expose writes the family's HELP/TYPE header and samples.
+	expose(w *Writer)
 }
 
-// TopicSim is the default element-similarity function for Coverage: the
-// cosine of the elements' topic vectors.
-func TopicSim(a, b *stream.Element) float64 { return a.Topics.Cosine(b.Topics) }
-
-// WordSim measures content similarity as the Jaccard overlap of the
-// elements' distinct word sets — stricter than TopicSim, it rewards result
-// sets that cover distinct words (what the k-SIR semantic score optimizes).
-func WordSim(a, b *stream.Element) float64 { return a.Doc.Jaccard(b.Doc) }
-
-// Influence computes the influence score of §5.2: the number of in-window
-// elements referring to at least one element of S, linearly scaled by the
-// influence of the top-k most-referred elements (so 1.0 means "as influential
-// as the k most popular elements combined").
-func Influence(win *stream.ActiveWindow, s []*stream.Element, k int) float64 {
-	raw := referrerCount(win, s)
-	if raw == 0 {
-		return 0
-	}
-	// Top-k influential elements by |I_t(e)|.
-	type deg struct {
-		id stream.ElemID
-		n  int
-	}
-	var degs []deg
-	win.ForEachActive(func(e *stream.Element) {
-		if n := win.NumChildren(e.ID); n > 0 {
-			degs = append(degs, deg{e.ID, n})
-		}
-	})
-	sort.Slice(degs, func(i, j int) bool {
-		if degs[i].n != degs[j].n {
-			return degs[i].n > degs[j].n
-		}
-		return degs[i].id < degs[j].id
-	})
-	if k > len(degs) {
-		k = len(degs)
-	}
-	topk := make([]*stream.Element, 0, k)
-	for _, d := range degs[:k] {
-		if e, ok := win.Get(d.id); ok {
-			topk = append(topk, e)
-		}
-	}
-	denom := referrerCount(win, topk)
-	if denom == 0 {
-		return 0
-	}
-	v := float64(raw) / float64(denom)
-	if v > 1 {
-		v = 1
-	}
-	return v
+// Registry holds instrument families and writes them out in text format.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []Metric
+	names   map[string]struct{}
 }
 
-// referrerCount counts distinct in-window elements referring to ≥1 member
-// of s.
-func referrerCount(win *stream.ActiveWindow, s []*stream.Element) int {
-	refs := make(map[stream.ElemID]struct{})
-	for _, e := range s {
-		win.ForEachChild(e.ID, func(c *stream.Element) {
-			refs[c.ID] = struct{}{}
-		})
+// NewRegistry returns an empty registry. Most callers use Default instead:
+// instruments constructed with the package New* helpers register there.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the New* constructors register
+// into.
+func Default() *Registry { return defaultRegistry }
+
+// Register adds a family, rejecting duplicate names.
+func (r *Registry) Register(m Metric) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := m.FamilyName()
+	if err := checkName(name); err != nil {
+		return err
 	}
-	return len(refs)
+	if _, dup := r.names[name]; dup {
+		return fmt.Errorf("metrics: duplicate family %q", name)
+	}
+	r.names[name] = struct{}{}
+	r.metrics = append(r.metrics, m)
+	return nil
+}
+
+// MustRegister is Register, panicking on error. Instrument construction
+// happens in package var initializers, where a duplicate or invalid name is
+// a programming error caught by any test that imports the package.
+func (r *Registry) MustRegister(m Metric) {
+	if err := r.Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// families snapshots the registered metrics sorted by family name, so the
+// exposition is deterministic regardless of package-init order.
+func (r *Registry) families() []Metric {
+	r.mu.Lock()
+	out := append([]Metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].FamilyName() < out[j].FamilyName() })
+	return out
+}
+
+// checkName validates a Prometheus metric or label name.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid name %q", name)
+		}
+	}
+	return nil
+}
+
+// mustCheckName panics on an invalid name (constructor-time validation).
+func mustCheckName(name string) {
+	if err := checkName(name); err != nil {
+		panic(err)
+	}
 }

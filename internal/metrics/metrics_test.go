@@ -1,161 +1,285 @@
 package metrics
 
 import (
-	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
-
-	"github.com/social-streams/ksir/internal/papertest"
-	"github.com/social-streams/ksir/internal/stream"
+	"time"
 )
 
-func paperActives(t *testing.T) (*stream.ActiveWindow, []*stream.Element) {
+func expoString(t *testing.T, r *Registry, collectors ...Collector) string {
 	t.Helper()
-	win, elems := papertest.Window()
-	var actives []*stream.Element
-	for _, e := range elems {
-		if _, ok := win.Get(e.ID); ok {
-			actives = append(actives, e)
+	var sb strings.Builder
+	if err := r.WriteText(&sb, collectors...); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := &Counter{name: "test_ops_total", help: "Ops applied.", scale: 1}
+	r.MustRegister(c)
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("value = %d, want 42", c.Value())
+	}
+	got := expoString(t, r)
+	want := "# HELP test_ops_total Ops applied.\n# TYPE test_ops_total counter\ntest_ops_total 42\n"
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestDurationCounterScaling(t *testing.T) {
+	r := NewRegistry()
+	c := &Counter{name: "test_busy_seconds_total", help: "Busy time.", scale: 1e-9}
+	r.MustRegister(c)
+	c.AddDuration(1500 * time.Millisecond)
+	got := expoString(t, r)
+	if !strings.Contains(got, "test_busy_seconds_total 1.5\n") {
+		t.Fatalf("want 1.5s sample, got:\n%s", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := &Gauge{name: "test_in_flight", help: "In flight."}
+	r.MustRegister(g)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if g.Value() != 11 {
+		t.Fatalf("value = %d, want 11", g.Value())
+	}
+	g.Set(-3)
+	got := expoString(t, r)
+	if !strings.Contains(got, "# TYPE test_in_flight gauge\ntest_in_flight -3\n") {
+		t.Fatalf("gauge exposition wrong:\n%s", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	g := &GaugeFunc{name: "test_resident", help: "Resident.", fn: func() float64 { return 7 }}
+	r.MustRegister(g)
+	if got := expoString(t, r); !strings.Contains(got, "test_resident 7\n") {
+		t.Fatalf("gauge func exposition wrong:\n%s", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := newHistogram("test_latency_seconds", "Latency.", 1e-9,
+		[]uint64{uint64(time.Millisecond), uint64(10 * time.Millisecond)})
+	r.MustRegister(h)
+	h.ObserveDuration(500 * time.Microsecond) // bucket 0
+	h.ObserveDuration(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.ObserveDuration(5 * time.Millisecond)   // bucket 1
+	h.ObserveDuration(time.Second)            // +Inf
+	got := expoString(t, r)
+	for _, line := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.001"} 2`,
+		`test_latency_seconds_bucket{le="0.01"} 3`,
+		`test_latency_seconds_bucket{le="+Inf"} 4`,
+		"test_latency_seconds_count 4",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, got)
 		}
 	}
-	return win, actives
-}
-
-func TestCoverageBounds(t *testing.T) {
-	_, actives := paperActives(t)
-	x := papertest.QueryUniform()
-	// Empty set covers nothing.
-	if got := Coverage(actives, nil, x, TopicSim); got != 0 {
-		t.Errorf("empty set coverage = %v", got)
+	// sum = 0.5ms + 1ms + 5ms + 1000ms = 1.0065s
+	if !strings.Contains(got, "test_latency_seconds_sum 1.0065") {
+		t.Fatalf("missing sum in:\n%s", got)
 	}
-	// The whole active set covers everything.
-	if got := Coverage(actives, actives, x, TopicSim); math.Abs(got-1) > 1e-9 {
-		t.Errorf("full set coverage = %v, want 1", got)
-	}
-	// Any subset covers within (0, 1].
-	got := Coverage(actives, actives[:2], x, TopicSim)
-	if got <= 0 || got > 1 {
-		t.Errorf("coverage = %v out of range", got)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
 	}
 }
 
-func TestCoverageRewardsRepresentativeSets(t *testing.T) {
-	_, actives := paperActives(t)
-	x := papertest.QueryUniform()
-	// {e1, e3} (the k-SIR optimum: one per topic) should cover more than
-	// the near-duplicate pair {e2, e7} (both on θ2 with the same words).
-	var e1, e2, e3, e7 *stream.Element
-	for _, e := range actives {
-		switch e.ID {
-		case 1:
-			e1 = e
-		case 2:
-			e2 = e
-		case 3:
-			e3 = e
-		case 7:
-			e7 = e
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bounds := range [][]uint64{{}, {10, 10}, {10, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v: want panic", bounds)
+				}
+			}()
+			newHistogram("test_bad", "x", 1, bounds)
+		}()
+	}
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := &CounterVec{name: "test_requests_total", help: "Requests.", label: "route",
+		index: map[string]*Counter{}}
+	for _, route := range []string{"query", "add"} {
+		c := &Counter{name: cv.name, help: cv.help, scale: 1, labels: []Label{{"route", route}}}
+		cv.children = append(cv.children, c)
+		cv.index[route] = c
+	}
+	r.MustRegister(cv)
+	cv.With("query").Add(3)
+	cv.With("add").Inc()
+	got := expoString(t, r)
+	if !strings.Contains(got, `test_requests_total{route="query"} 3`+"\n") ||
+		!strings.Contains(got, `test_requests_total{route="add"} 1`+"\n") {
+		t.Fatalf("vec exposition wrong:\n%s", got)
+	}
+	if n := strings.Count(got, "# TYPE test_requests_total"); n != 1 {
+		t.Fatalf("TYPE header written %d times, want 1:\n%s", n, got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With(unknown) should panic")
+		}
+	}()
+	cv.With("nope")
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	hv := &HistogramVec{name: "test_q_seconds", help: "Q.", label: "algorithm",
+		index: map[string]*Histogram{}}
+	for _, alg := range []string{"MTTS", "MTTD"} {
+		h := newHistogram(hv.name, hv.help, 1e-9, []uint64{uint64(time.Millisecond)})
+		h.labels = []Label{{"algorithm", alg}}
+		hv.children = append(hv.children, h)
+		hv.index[alg] = h
+	}
+	r.MustRegister(hv)
+	hv.With("MTTS").ObserveDuration(2 * time.Millisecond)
+	got := expoString(t, r)
+	for _, line := range []string{
+		`test_q_seconds_bucket{algorithm="MTTS",le="0.001"} 0`,
+		`test_q_seconds_bucket{algorithm="MTTS",le="+Inf"} 1`,
+		`test_q_seconds_count{algorithm="MTTS"} 1`,
+		`test_q_seconds_count{algorithm="MTTD"} 0`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, got)
 		}
 	}
-	good := Coverage(actives, []*stream.Element{e1, e3}, x, TopicSim)
-	bad := Coverage(actives, []*stream.Element{e2, e7}, x, TopicSim)
-	if good <= bad {
-		t.Errorf("coverage({e1,e3})=%v should beat coverage({e2,e7})=%v", good, bad)
+}
+
+func TestDisableFreezesRecording(t *testing.T) {
+	r := NewRegistry()
+	c := &Counter{name: "test_frozen_total", help: "x", scale: 1}
+	h := newHistogram("test_frozen_seconds", "x", 1e-9, []uint64{uint64(time.Millisecond)})
+	r.MustRegister(c)
+	r.MustRegister(h)
+	c.Inc()
+	Disable()
+	defer Enable()
+	if Enabled() {
+		t.Fatal("Enabled() after Disable()")
+	}
+	c.Inc()
+	c.Add(100)
+	h.ObserveDuration(time.Millisecond)
+	if c.Value() != 1 || h.Count() != 0 {
+		t.Fatalf("recording not frozen: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	Enable()
+	c.Inc()
+	if c.Value() != 2 {
+		t.Fatalf("recording not resumed: counter=%d", c.Value())
 	}
 }
 
-func TestWordSim(t *testing.T) {
-	_, actives := paperActives(t)
-	// e2 and e7 share {champion, pl}: Jaccard = 2/3.
-	var e2, e7 *stream.Element
-	for _, e := range actives {
-		if e.ID == 2 {
-			e2 = e
+func TestRegistryDuplicateAndInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Counter{name: "dup_total", scale: 1}); err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	if err := r.Register(&Counter{name: "dup_total", scale: 1}); err == nil {
+		t.Fatal("duplicate register should fail")
+	}
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed"} {
+		if err := r.Register(&Counter{name: bad, scale: 1}); err == nil {
+			t.Fatalf("invalid name %q accepted", bad)
 		}
-		if e.ID == 7 {
-			e7 = e
-		}
-	}
-	if got := WordSim(e2, e7); math.Abs(got-2.0/3.0) > 1e-9 {
-		t.Errorf("WordSim(e2,e7) = %v, want 2/3", got)
 	}
 }
 
-func TestInfluence(t *testing.T) {
-	win, actives := paperActives(t)
-	byID := make(map[stream.ElemID]*stream.Element)
-	for _, e := range actives {
-		byID[e.ID] = e
+func TestFamiliesSortedAndCollectorAppended(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Counter{name: "zz_total", help: "z", scale: 1})
+	r.MustRegister(&Counter{name: "aa_total", help: "a", scale: 1})
+	got := expoString(t, r, func(w *Writer) {
+		w.Family("dyn_bytes", "Dynamic.", "gauge")
+		w.Sample("dyn_bytes", 5, Label{"stream", `we"ird\name`})
+	})
+	if strings.Index(got, "aa_total") > strings.Index(got, "zz_total") {
+		t.Fatalf("families not sorted:\n%s", got)
 	}
-	// {e2, e3} is referred to by e6, e7, e8 → 3 referrers. Top-2 influential
-	// are e2 and e3 themselves (2 children each), so normalization = 1.
-	got := Influence(win, []*stream.Element{byID[2], byID[3]}, 2)
-	if math.Abs(got-1) > 1e-9 {
-		t.Errorf("Influence({e2,e3}) = %v, want 1", got)
+	if !strings.Contains(got, `dyn_bytes{stream="we\"ird\\name"} 5`+"\n") {
+		t.Fatalf("collector sample or escaping wrong:\n%s", got)
 	}
-	// {e7} has no referrers.
-	if got := Influence(win, []*stream.Element{byID[7]}, 2); got != 0 {
-		t.Errorf("Influence({e7}) = %v, want 0", got)
-	}
-	// {e1} has one referrer (e5); top-2 have 3 → 1/3.
-	got = Influence(win, []*stream.Element{byID[1]}, 2)
-	if math.Abs(got-1.0/3.0) > 1e-9 {
-		t.Errorf("Influence({e1}) = %v, want 1/3", got)
+	if strings.Index(got, "dyn_bytes") < strings.Index(got, "zz_total") {
+		t.Fatalf("collector families must come after registry families:\n%s", got)
 	}
 }
 
-func TestWeightedKappa(t *testing.T) {
-	// Perfect agreement.
-	a := []int{1, 2, 3, 4, 5, 3}
-	k, err := WeightedKappa(a, a, 5)
-	if err != nil || math.Abs(k-1) > 1e-9 {
-		t.Errorf("perfect agreement kappa = %v, %v", k, err)
-	}
-	// Constant disagreement worse than chance yields kappa < 0.
-	b := []int{5, 4, 3, 2, 1, 3}
-	k, err = WeightedKappa(a, b, 5)
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(&Counter{name: "test_h_total", help: "h", scale: 1})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("get: %v", err)
 	}
-	if k >= 0 {
-		t.Errorf("reversed ratings kappa = %v, want negative", k)
-	}
-	// Near agreement (off by one) scores between 0 and 1.
-	c := []int{2, 3, 4, 5, 4, 3}
-	k, err = WeightedKappa(a, c, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if k <= -1 || k >= 1 {
-		t.Errorf("near agreement kappa = %v", k)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
 	}
 }
 
-func TestWeightedKappaErrors(t *testing.T) {
-	if _, err := WeightedKappa([]int{1}, []int{1, 2}, 5); err == nil {
-		t.Error("length mismatch accepted")
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-3:      "-3",
+		1.5:     "1.5",
+		0.00005: "5e-05",
 	}
-	if _, err := WeightedKappa(nil, nil, 5); err == nil {
-		t.Error("empty ratings accepted")
-	}
-	if _, err := WeightedKappa([]int{9}, []int{1}, 5); err == nil {
-		t.Error("out-of-range rating accepted")
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
 	}
 }
 
-func TestMeanPairwiseKappa(t *testing.T) {
-	ratings := [][]int{
-		{1, 2, 3, 4, 5},
-		{1, 2, 3, 4, 5},
-		{2, 2, 3, 4, 4},
-	}
-	k, err := MeanPairwiseKappa(ratings, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if k <= 0 || k > 1 {
-		t.Errorf("mean kappa = %v", k)
-	}
-	if _, err := MeanPairwiseKappa(ratings[:1], 5); err == nil {
-		t.Error("single rater accepted")
+func TestDefaultRegistryConstructors(t *testing.T) {
+	// Constructors register into Default; just exercise each once with
+	// unique names and confirm they show up in the default exposition.
+	c := NewCounter("test_defreg_ops_total", "x")
+	d := NewDurationCounter("test_defreg_busy_seconds_total", "x")
+	g := NewGauge("test_defreg_gauge", "x")
+	NewGaugeFunc("test_defreg_fn", "x", func() float64 { return 1 })
+	h := NewDurationHistogram("test_defreg_seconds", "x", DefBuckets...)
+	cv := NewCounterVec("test_defreg_vec_total", "x", "kind", "a", "b")
+	hv := NewDurationHistogramVec("test_defreg_vec_seconds", "x", "kind", []string{"a"}, DefBuckets...)
+	c.Inc()
+	d.AddDuration(time.Millisecond)
+	g.Set(2)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	cv.With("a").Inc()
+	hv.With("a").ObserveDuration(time.Millisecond)
+	got := expoString(t, Default())
+	for _, name := range []string{
+		"test_defreg_ops_total 1", "test_defreg_gauge 2", "test_defreg_fn 1",
+		`test_defreg_vec_total{kind="a"} 1`, `test_defreg_vec_seconds_count{kind="a"} 1`,
+		"test_defreg_seconds_count 1",
+	} {
+		if !strings.Contains(got, name+"\n") {
+			t.Fatalf("missing %q in default exposition", name)
+		}
 	}
 }

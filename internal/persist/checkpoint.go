@@ -10,6 +10,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/social-streams/ksir/internal/core"
 )
@@ -174,6 +175,7 @@ func ReadMeta(dir string) (Meta, error) {
 // the WAL: every crash window leaves either the new checkpoint, or the
 // .bak plus the still-untruncated WAL.
 func WriteCheckpoint(dir string, ck *Checkpoint) error {
+	start := time.Now()
 	data, err := encodeFile(ckptMagic, ck)
 	if err != nil {
 		return err
@@ -203,7 +205,13 @@ func WriteCheckpoint(dir string, ck *Checkpoint) error {
 	if err := os.Rename(tmp, cur); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	obsCkpts.Inc()
+	obsCkptBytes.Add(uint64(len(data)))
+	obsCkptDuration.ObserveSince(start)
+	return nil
 }
 
 // LoadCheckpoint loads the stream's latest valid checkpoint: the current

@@ -1,0 +1,33 @@
+package persist
+
+import (
+	"github.com/social-streams/ksir/internal/metrics"
+)
+
+// Durability-layer observability (DESIGN.md §12): WAL append/fsync cost,
+// checkpoint cost, and recovery replay time, aggregated over every stream's
+// WAL in the process.
+var (
+	obsWALAppends = metrics.NewCounter("ksir_wal_appends_total",
+		"WAL append calls (each a group-commit batch of one or more records).")
+	obsWALAppendDuration = metrics.NewDurationHistogram("ksir_wal_append_duration_seconds",
+		"WAL append latency: encode, write, and any policy-inline fsync.",
+		metrics.DefBuckets...)
+	obsWALAppendedBytes = metrics.NewCounter("ksir_wal_appended_bytes_total",
+		"Bytes appended to WALs.")
+	obsWALFsyncs = metrics.NewCounter("ksir_wal_fsyncs_total",
+		"WAL fsyncs issued (inline, interval flusher, reset and close).")
+	obsWALFsyncDuration = metrics.NewDurationHistogram("ksir_wal_fsync_duration_seconds",
+		"WAL fsync latency.",
+		metrics.DefBuckets...)
+	obsWALReplay = metrics.NewDurationCounter("ksir_wal_replay_seconds_total",
+		"Wall time spent scanning and replaying WAL tails at open (recovery and reactivation).")
+
+	obsCkpts = metrics.NewCounter("ksir_checkpoints_total",
+		"Checkpoint snapshots written.")
+	obsCkptDuration = metrics.NewDurationHistogram("ksir_checkpoint_duration_seconds",
+		"Checkpoint write latency: encode, write, fsync, atomic replace.",
+		metrics.DefBuckets...)
+	obsCkptBytes = metrics.NewCounter("ksir_checkpoint_bytes_total",
+		"Bytes written to checkpoint snapshots.")
+)

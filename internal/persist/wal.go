@@ -52,6 +52,7 @@ func OpenWAL(path string, policy SyncPolicy, interval time.Duration, replay func
 		f.Close()
 		return nil, fmt.Errorf("persist: reading WAL: %w", err)
 	}
+	replayStart := time.Now()
 	valid, err := scan(data, func(r Record) error {
 		w.lastSeq = r.Seq
 		if replay != nil {
@@ -59,6 +60,7 @@ func OpenWAL(path string, policy SyncPolicy, interval time.Duration, replay func
 		}
 		return nil
 	})
+	obsWALReplay.AddDuration(time.Since(replayStart))
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -123,6 +125,7 @@ func (w *WAL) AppendBatch(recs []Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -148,15 +151,21 @@ func (w *WAL) AppendBatch(recs []Record) error {
 	w.size += int64(len(buf))
 	w.lastSeq = last
 	w.dirty = true
+	var err error
 	switch w.policy {
 	case SyncAlways:
-		return w.syncLocked()
+		err = w.syncLocked()
 	case SyncInterval:
 		if time.Since(w.lastSync) >= w.interval {
-			return w.syncLocked()
+			err = w.syncLocked()
 		}
 	}
-	return nil
+	if err == nil {
+		obsWALAppends.Inc()
+		obsWALAppendedBytes.Add(uint64(len(buf)))
+		obsWALAppendDuration.ObserveSince(start)
+	}
+	return err
 }
 
 // Sync flushes appended records to stable storage (a no-op when nothing
@@ -171,10 +180,13 @@ func (w *WAL) syncLocked() error {
 	if !w.dirty || w.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("persist: syncing WAL: %w", err)
 	}
 	w.syncs.Add(1)
+	obsWALFsyncs.Inc()
+	obsWALFsyncDuration.ObserveSince(start)
 	w.dirty = false
 	w.lastSync = time.Now()
 	return nil

@@ -62,6 +62,11 @@ type Server struct {
 	// Shutdown open until its deadline.
 	closing   chan struct{}
 	closeOnce sync.Once
+	// sse is the per-stream SSE accounting (metrics.go). Kept on the
+	// Server rather than the stream handle so the counters survive
+	// hibernation/reactivation cycles.
+	sseMu sync.Mutex
+	sse   map[string]*sseCounters
 }
 
 // New wraps a single stream, registered in a fresh Hub as "default" — the
@@ -82,24 +87,27 @@ func New(st *ksir.Stream) *Server {
 // the deployment's tuning, λ=0 included).
 func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ksir.StreamOption) *Server {
 	s := &Server{hub: hub, model: model, defaults: defaults, sopts: sopts,
-		h: http.NewServeMux(), closing: make(chan struct{})}
+		h: http.NewServeMux(), closing: make(chan struct{}),
+		sse: make(map[string]*sseCounters)}
 
 	// Versioned surface (method-qualified patterns; ServeMux answers 405
-	// for a known path with the wrong method).
-	s.h.HandleFunc("POST /v1/streams", s.handleCreateStream)
-	s.h.HandleFunc("GET /v1/streams", s.handleListStreams)
-	s.h.HandleFunc("DELETE /v1/streams/{name}", s.handleCloseStream)
-	s.h.HandleFunc("POST /v1/streams/{name}/posts", s.named(s.handlePosts))
-	s.h.HandleFunc("POST /v1/streams/{name}/flush", s.named(s.handleFlush))
-	s.h.HandleFunc("POST /v1/streams/{name}/query", s.named(s.handleQuery))
-	s.h.HandleFunc("GET /v1/streams/{name}/stats", s.named(s.handleStats))
-	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.named(s.handleSubscribe))
-	s.h.HandleFunc("POST /v1/streams/{name}/checkpoint", s.named(s.handleCheckpoint))
-	s.h.HandleFunc("POST /v1/streams/{name}/hibernate", s.named(s.handleHibernate))
+	// for a known path with the wrong method). Every route runs under the
+	// per-route request counter and latency histogram (metrics.go).
+	s.h.HandleFunc("POST /v1/streams", s.route("create_stream", s.handleCreateStream))
+	s.h.HandleFunc("GET /v1/streams", s.route("list_streams", s.handleListStreams))
+	s.h.HandleFunc("DELETE /v1/streams/{name}", s.route("close_stream", s.handleCloseStream))
+	s.h.HandleFunc("POST /v1/streams/{name}/posts", s.route("posts", s.named(s.handlePosts)))
+	s.h.HandleFunc("POST /v1/streams/{name}/flush", s.route("flush", s.named(s.handleFlush)))
+	s.h.HandleFunc("POST /v1/streams/{name}/query", s.route("query", s.named(s.handleQuery)))
+	s.h.HandleFunc("GET /v1/streams/{name}/stats", s.route("stats", s.named(s.handleStats)))
+	s.h.HandleFunc("GET /v1/streams/{name}/subscribe", s.route("subscribe", s.named(s.handleSubscribe)))
+	s.h.HandleFunc("POST /v1/streams/{name}/checkpoint", s.route("checkpoint", s.named(s.handleCheckpoint)))
+	s.h.HandleFunc("POST /v1/streams/{name}/hibernate", s.route("hibernate", s.named(s.handleHibernate)))
 
-	s.h.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.h.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.h.HandleFunc("/healthz", s.route("healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return s
 }
 
@@ -211,7 +219,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, hs *ksir.St
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
-	writeJSON(w, streamInfo(hs))
+	writeJSON(w, s.streamInfo(hs))
 }
 
 // handleHibernate checkpoints the stream and releases its in-memory state
@@ -223,7 +231,7 @@ func (s *Server) handleHibernate(w http.ResponseWriter, _ *http.Request, hs *ksi
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, streamInfo(hs))
+	writeJSON(w, s.streamInfo(hs))
 }
 
 // toQuery converts the wire query, folding parse failures into the typed
@@ -255,7 +263,7 @@ func toResponse(res ksir.Result) apiv1.QueryResponse {
 	}
 }
 
-func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
+func (s *Server) streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 	st := hs.Stats()
 	opts := hs.Options() // residency-independent: hs.Stream() is nil while hibernated
 	info := apiv1.StreamInfo{
@@ -295,6 +303,11 @@ func streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 		MeanBatchSize: st.Pipeline.MeanBatchSize(),
 		Fsyncs:        st.Pipeline.Fsyncs,
 		FsyncsPerOp:   st.Pipeline.FsyncsPerOp(),
+	}
+	info.SSE = &apiv1.SSEInfo{}
+	if c := s.sseLookup(hs.Name()); c != nil {
+		info.SSE.Subscribers = c.subscribers.Load()
+		info.SSE.Dropped = c.dropped.Load()
 	}
 	return info
 }

@@ -42,7 +42,7 @@ func (s *Server) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSONStatus(w, http.StatusCreated, streamInfo(hs))
+	writeJSONStatus(w, http.StatusCreated, s.streamInfo(hs))
 }
 
 func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
@@ -52,7 +52,7 @@ func (s *Server) handleListStreams(w http.ResponseWriter, _ *http.Request) {
 		if err != nil {
 			continue // closed between List and Get
 		}
-		resp.Streams = append(resp.Streams, streamInfo(hs))
+		resp.Streams = append(resp.Streams, s.streamInfo(hs))
 	}
 	writeJSON(w, resp)
 }
@@ -74,7 +74,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, hs *ks
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, streamInfo(hs))
+	writeJSON(w, s.streamInfo(hs))
 }
 
 // sseBuffer is how many refreshes an SSE connection may fall behind
@@ -121,21 +121,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 
 	// The subscription handler runs on the writer goroutine inside
 	// Add/Flush; it must never block, so refreshes are handed to the SSE
-	// loop through a bounded channel with drop-oldest overflow.
+	// loop through a bounded channel with drop-oldest overflow (deliverSSE,
+	// metrics.go — each shed refresh is counted per stream and globally).
 	events := make(chan apiv1.QueryResponse, sseBuffer)
+	c := s.sseFor(hs.Name())
 	deliver := func(res ksir.Result) {
-		ev := toResponse(res)
-		for {
-			select {
-			case events <- ev:
-				return
-			default:
-				select { // shed the oldest pending refresh
-				case <-events:
-				default:
-				}
-			}
-		}
+		s.deliverSSE(c, events, toResponse(res))
 	}
 	var subOpts []ksir.SubscribeOption
 	if onlyChanged {
@@ -150,6 +141,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 		return
 	}
 	defer hs.Unsubscribe(sub)
+	c.subscribers.Add(1)
+	obsSSESubscribers.Inc()
+	defer func() {
+		c.subscribers.Add(-1)
+		obsSSESubscribers.Dec()
+	}()
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")

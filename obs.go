@@ -1,0 +1,46 @@
+package ksir
+
+import (
+	"time"
+
+	"github.com/social-streams/ksir/internal/metrics"
+)
+
+// Writer-pipeline and residency observability (DESIGN.md §12). Aggregates
+// over every stream in the process; the /metrics collector in
+// internal/server adds the per-stream {stream=...} breakdowns from
+// StreamStats at scrape time.
+var (
+	obsPipeOps = metrics.NewCounter("ksir_pipeline_ops_total",
+		"Write operations committed through stream writer pipelines.")
+	obsPipeBatches = metrics.NewCounter("ksir_pipeline_commit_batches_total",
+		"Commit batches (each one engine apply pass and at most one WAL append + fsync).")
+	obsPipeBatchSize = metrics.NewHistogram("ksir_pipeline_batch_size",
+		"Operations coalesced per commit batch.", 1,
+		[]uint64{1, 2, 4, 8, 16, 32, 64, 128})
+	obsPipeCommitDuration = metrics.NewDurationHistogram("ksir_pipeline_commit_duration_seconds",
+		"Commit-batch latency: apply pass plus WAL append and shared fsync.",
+		metrics.DefBuckets...)
+	obsPipeWindowWaits = metrics.NewCounter("ksir_pipeline_commit_window_waits_total",
+		"Commit batches that held the opt-in group-commit window open for more ops.")
+
+	obsResHibernations = metrics.NewCounter("ksir_residency_hibernations_total",
+		"Hot-to-cold stream transitions (checkpoint, WAL release, memory drop).")
+	obsResActivations = metrics.NewCounter("ksir_residency_activations_total",
+		"Cold-to-hot stream transitions (checkpoint load + WAL tail replay).")
+	obsResActivationDuration = metrics.NewDurationHistogram("ksir_residency_activation_duration_seconds",
+		"Reactivation latency of hibernated streams.",
+		metrics.DefBuckets...)
+	obsResEvictions = metrics.NewCounter("ksir_residency_evictions_total",
+		"Policy evictions committed by the residency budget (makeRoom / sweep).")
+	obsResStaleEvictions = metrics.NewCounter("ksir_residency_stale_evictions_total",
+		"Policy evictions that no-opped at commit-time re-validation (stream re-warmed or budget already met).")
+)
+
+// observeCommit records one commit batch on the pipeline families.
+func observeCommit(n int, elapsed time.Duration) {
+	obsPipeOps.Add(uint64(n))
+	obsPipeBatches.Inc()
+	obsPipeBatchSize.Observe(uint64(n))
+	obsPipeCommitDuration.ObserveDuration(elapsed)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/internal/trace"
 )
 
 // Client speaks the /v1 API of one k-SIR server. It is safe for
@@ -57,6 +58,19 @@ func New(baseURL string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// WithTraceparent returns ctx carrying the given W3C traceparent header
+// value (e.g. one received from an upstream caller). SDK calls made with
+// the returned context forward it to the server, so the server-side trace
+// recorded at /debug/traces joins the caller's trace id. A malformed
+// header leaves ctx unchanged.
+func WithTraceparent(ctx context.Context, header string) context.Context {
+	sc, ok := trace.ParseTraceparent(header)
+	if !ok {
+		return ctx
+	}
+	return trace.ContextWithRemote(ctx, sc)
 }
 
 // APIError is a non-2xx response decoded from the server's structured
@@ -245,6 +259,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace: a span context on ctx (either a local
+	// op or one injected with WithTraceparent) rides out as the W3C
+	// traceparent header, so the server's recorded trace joins the
+	// caller's trace id.
+	if sc, ok := trace.SpanContextFromContext(ctx); ok {
+		req.Header.Set(trace.Header, trace.FormatTraceparent(sc))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

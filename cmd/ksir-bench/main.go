@@ -43,7 +43,7 @@ func main() {
 		ingestBaseline  = flag.String("ingest-baseline", "", "committed BENCH_ingest.json to regression-check the fresh ingest run against (requires -exp ingest and -json)")
 		tenancyBaseline = flag.String("tenancy-baseline", "", "committed BENCH_tenancy.json to regression-check the fresh tenancy run against (requires -exp tenancy and -json)")
 		regress         = flag.Float64("regress-factor", 3, "fail when the fresh gated metric exceeds baseline×factor")
-		overheadPct     = flag.Float64("metrics-overhead-pct", 0, "fail when metrics recording costs more than this percent on engine add or query p99 (0 = no gate; requires -exp engine and -json)")
+		overheadPct     = flag.Float64("metrics-overhead-pct", 0, "fail when metric+trace recording costs more than this percent on engine add or query p99 (0 = no gate; requires -exp engine and -json)")
 	)
 	flag.Parse()
 

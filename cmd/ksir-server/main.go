@@ -19,6 +19,13 @@
 //	curl -XPOST localhost:8080/v1/streams/feed/flush -d '{"now":120}'
 //	curl -XPOST localhost:8080/v1/streams/feed/query -d '{"k":10,"keywords":["soccer"],"explain":true}'
 //	curl -N  'localhost:8080/v1/streams/feed/subscribe?k=5&keywords=soccer&every=15m'
+//
+// Observability: logs are structured (log/slog; -log-level, -log-format),
+// request traces are recorded in-process and served at GET /debug/traces
+// (-trace-sample, -trace-buffer), ops slower than -slow-op-threshold are
+// always kept and logged with their span breakdown, and the -metrics-addr
+// sidecar additionally serves /debug/traces and net/http/pprof (-pprof
+// exposes pprof on the main listener too).
 package main
 
 import (
@@ -27,14 +34,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	ksir "github.com/social-streams/ksir"
 	"github.com/social-streams/ksir/internal/server"
+	"github.com/social-streams/ksir/internal/trace"
 )
 
 func main() {
@@ -52,7 +62,15 @@ func main() {
 		eta       = flag.Float64("eta", 20, "influence rescale")
 		shards    = flag.Int("shards", 0, "topic shards for list maintenance (0 = GOMAXPROCS)")
 
-		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics on this separate listener (Prometheus scrape sidecar); /metrics is always available on -addr")
+		metricsAddr = flag.String("metrics-addr", "", "also serve GET /metrics, GET /debug/traces and /debug/pprof/ on this separate listener (scrape/debug sidecar); /metrics and /debug/traces are always available on -addr")
+		pprofOn     = flag.Bool("pprof", false, "also expose /debug/pprof/ on the main -addr listener (the -metrics-addr sidecar always serves it)")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log encoding: text|json")
+
+		traceSample = flag.Float64("trace-sample", trace.DefaultSampleRate, "fraction of ops head-sampled into /debug/traces (0 disables sampling; slow ops are always kept)")
+		traceBuffer = flag.Int("trace-buffer", trace.DefaultCapacity, "max traces held in the in-process ring buffer")
+		slowOp      = flag.Duration("slow-op-threshold", trace.DefaultSlowThreshold, "ops at least this slow are always traced and logged with their span breakdown (0 disables)")
 
 		dataDir   = flag.String("data-dir", "", "enable durability: WAL + checkpoints per stream under this directory (recovered on startup)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always|interval|never")
@@ -62,15 +80,26 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
+
+	rec := trace.Default()
+	rec.SetSampleRate(*traceSample)
+	rec.SetCapacity(*traceBuffer)
+	rec.SetSlowThreshold(*slowOp)
+	rec.SetLogger(logger)
+
 	var model *ksir.Model
-	var err error
 	switch {
 	case *modelPath != "":
 		model, err = ksir.LoadModelFile(*modelPath)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded model: z=%d vocab=%d\n", model.Topics(), model.VocabSize())
+		logger.Info("loaded model", "topics", model.Topics(), "vocab", model.VocabSize())
 	case *corpus != "":
 		texts, err := readLines(*corpus)
 		if err != nil {
@@ -83,19 +112,20 @@ func main() {
 		if *btm {
 			opts = append(opts, ksir.WithBTM())
 		}
-		fmt.Fprintf(os.Stderr, "training on %d documents (z=%d)...\n", len(texts), *topics)
+		logger.Info("training model", "documents", len(texts), "topics", *topics)
 		start := time.Now()
 		model, err = ksir.TrainModel(texts, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "trained in %v (vocab=%d)\n",
-			time.Since(start).Round(time.Millisecond), model.VocabSize())
+		logger.Info("trained model",
+			"duration", time.Since(start).Round(time.Millisecond),
+			"vocab", model.VocabSize())
 		if *saveModel != "" {
 			if err := model.SaveFile(*saveModel); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "model saved to %s\n", *saveModel)
+			logger.Info("model saved", "path", *saveModel)
 		}
 	default:
 		fatal(fmt.Errorf("need -model or -corpus"))
@@ -117,15 +147,16 @@ func main() {
 			Fsync:           policy,
 			FsyncInterval:   *fsyncInt,
 			CheckpointEvery: *ckptEvery,
+			Logger:          logger,
 		}, sopts...)
 		if err != nil {
 			fatal(err)
 		}
 		if names := hub.List(); len(names) > 0 {
-			fmt.Fprintf(os.Stderr, "recovered %d stream(s) from %s: %v\n", len(names), *dataDir, names)
+			logger.Info("recovered streams", "count", len(names), "dir", *dataDir, "streams", names)
 		}
 	} else {
-		hub = ksir.NewHub()
+		hub = ksir.NewHub(ksir.WithLogger(logger))
 	}
 	if _, err := hub.Get(server.DefaultStream); err != nil {
 		if _, err := hub.Create(server.DefaultStream, model, defaults, sopts...); err != nil {
@@ -134,20 +165,30 @@ func main() {
 	}
 
 	handler := server.NewHub(hub, model, defaults, sopts...)
+	handler.SetLogger(logger)
+	if *pprofOn {
+		handler.EnablePprof()
+		logger.Info("pprof enabled on main listener", "addr", *addr)
+	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving /v1 on %s (default stream %q)\n", *addr, server.DefaultStream)
+	logger.Info("serving /v1", "addr", *addr, "default_stream", server.DefaultStream,
+		"trace_sample", *traceSample, "slow_op_threshold", *slowOp)
 
-	// Optional scrape sidecar: /metrics on its own listener, so operators
-	// can firewall the API port while Prometheus scrapes a private one.
+	// Optional scrape/debug sidecar: /metrics, /debug/traces and pprof on
+	// their own listener, so operators can firewall the API port while
+	// Prometheus and profilers talk to a private one.
 	var msrv *http.Server
 	if *metricsAddr != "" {
 		mmux := http.NewServeMux()
 		mmux.Handle("GET /metrics", handler.MetricsHandler())
+		mmux.Handle("GET /debug/traces", handler.TracesHandler())
+		server.RegisterPprof(mmux)
 		msrv = &http.Server{Addr: *metricsAddr, Handler: mmux}
 		go func() { errc <- msrv.ListenAndServe() }()
-		fmt.Fprintf(os.Stderr, "serving /metrics on %s\n", *metricsAddr)
+		logger.Info("serving metrics sidecar", "addr", *metricsAddr,
+			"routes", "/metrics /debug/traces /debug/pprof/")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -164,7 +205,7 @@ func main() {
 	// in-flight requests (ingests included) complete within the budget;
 	// (3) close every stream, whose final checkpoints make all accepted
 	// state durable.
-	fmt.Fprintln(os.Stderr, "shutting down: draining HTTP, checkpointing streams...")
+	logger.Info("shutting down: draining HTTP, checkpointing streams")
 	if msrv != nil {
 		_ = msrv.Close() // scrapes are stateless; no drain needed
 	}
@@ -172,12 +213,39 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "ksir-server: drain:", err)
+		logger.Error("drain failed", "error", err)
 	}
 	if err := hub.CloseAll(); err != nil {
-		fmt.Fprintln(os.Stderr, "ksir-server: final checkpoint:", err)
+		logger.Error("final checkpoint failed", "error", err)
 	}
-	fmt.Fprintln(os.Stderr, "ksir-server: shutdown complete")
+	logger.Info("shutdown complete")
+}
+
+// buildLogger constructs the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text|json)", format)
+	}
 }
 
 func readLines(path string) ([]string, error) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"github.com/social-streams/ksir/internal/persist"
+	"github.com/social-streams/ksir/internal/trace"
 )
 
 // Hub is a named, multi-tenant registry of streams — the deployment §2
@@ -49,6 +51,9 @@ type Hub struct {
 	// serialized selects the pre-pipeline writer path for every handle
 	// (see WithSerializedWriter).
 	serialized bool
+	// logger receives background warnings (residency sweep failures);
+	// nil means slog.Default() at call time.
+	logger *slog.Logger
 
 	// Background hibernator (only running when a residency budget is
 	// configured; see PersistOptions.MaxResidentStreams).
@@ -70,6 +75,22 @@ type HubOption func(*Hub)
 // For a durable hub, set PersistOptions.SerializedWriter instead.
 func WithSerializedWriter() HubOption {
 	return func(h *Hub) { h.serialized = true }
+}
+
+// WithLogger directs the hub's background warnings — residency sweep
+// failures, for now — to l instead of slog.Default(). For a durable hub,
+// set PersistOptions.Logger instead.
+func WithLogger(l *slog.Logger) HubOption {
+	return func(h *Hub) { h.logger = l }
+}
+
+// log returns the hub's logger, resolving nil to the process default so a
+// logger installed with slog.SetDefault after NewHub is still honored.
+func (h *Hub) log() *slog.Logger {
+	if h.logger != nil {
+		return h.logger
+	}
+	return slog.Default()
 }
 
 // NewHub creates an empty registry. Call CloseAll when done with it:
@@ -246,7 +267,9 @@ func (h *Hub) startHibernator() {
 		for {
 			select {
 			case <-t.C:
-				h.EnforceResidency()
+				if _, err := h.EnforceResidency(); err != nil {
+					h.log().Warn("residency sweep failed", "error", err)
+				}
 			case <-h.hibStop:
 				return
 			}
@@ -558,6 +581,18 @@ type writeOp struct {
 	// done is closed by the committing goroutine when the op's results are
 	// set; nil for fire-and-forget ops (tryHibernateAsync) nobody awaits.
 	done chan struct{}
+
+	// Tracing (all zero on untraced ops — the *Context methods populate tr
+	// from the caller's context). The writer goroutine appends child spans
+	// to tr only between the queue receive and the done-channel close, and
+	// the producer touches it only before the send and after the wake: the
+	// same happens-before edges that protect the result fields make the
+	// cross-goroutine span appends race-free without a lock.
+	tr         *trace.Op
+	enqueued   time.Time // queue entry (zero on the serialized path)
+	applyStart time.Time // this op's apply slice of the commit pass
+	applyDur   time.Duration
+	committed  time.Time // stamped by commit just before done closes
 }
 
 // PipelineStats reports a stream's writer-pipeline counters (zero-valued
@@ -736,6 +771,9 @@ func (hs *StreamHandle) do(op *writeOp) *writeOp {
 	op.done = make(chan struct{})
 	hs.inflight.Add(1)
 	defer hs.inflight.Add(-1)
+	if op.tr != nil {
+		op.enqueued = time.Now()
+	}
 	hs.qmu.Lock()
 	if hs.closed.Load() {
 		hs.qmu.Unlock()
@@ -745,6 +783,12 @@ func (hs *StreamHandle) do(op *writeOp) *writeOp {
 	hs.ops <- op // blocks when the queue is full: backpressure
 	hs.qmu.Unlock()
 	<-op.done
+	if op.tr != nil && !op.committed.IsZero() {
+		// The gap between the writer finishing the op and this producer
+		// waking with the result — scheduler latency the aggregate commit
+		// histogram can't see per op.
+		op.tr.Child("future.completion", op.committed, time.Since(op.committed))
+	}
 	return op
 }
 
@@ -853,7 +897,12 @@ func (hs *StreamHandle) writerLoop() {
 // reports per op.
 func (hs *StreamHandle) commit(batch []*writeOp) {
 	commitStart := time.Now()
+	batchSeq := hs.statBatches.Load() + 1
 	defer func() { observeCommit(len(batch), time.Since(commitStart)) }()
+	// actStart/actDur capture a reactivation performed on behalf of this
+	// batch, attributed to every traced op that rode it.
+	var actStart time.Time
+	var actDur time.Duration
 	st := hs.stp.Load()
 	if st == nil {
 		// Hibernated. Reactivate if any op in the batch needs the stream
@@ -869,6 +918,7 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 		}
 		if needs {
 			var err error
+			actStart = time.Now()
 			if st, err = hs.activate(); err != nil {
 				err = fmt.Errorf("reactivating %q: %w", hs.name, err)
 				for _, op := range batch {
@@ -879,6 +929,7 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 				}
 				return
 			}
+			actDur = time.Since(actStart)
 		}
 	}
 	if hs.pers != nil {
@@ -903,6 +954,9 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 		st.beginApply()
 	}
 	for _, op := range batch {
+		if op.tr != nil {
+			op.applyStart = time.Now()
+		}
 		switch op.kind {
 		case opAdd:
 			op.err = st.Add(op.post)
@@ -969,11 +1023,15 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 		case opActivate:
 			op.stOut = st
 		}
+		if op.tr != nil {
+			op.applyDur = time.Since(op.applyStart)
+		}
 	}
 	if bracket {
 		st.endApply()
 	}
 
+	var walT persist.BatchTimings
 	if hs.pers != nil && len(recs) > 0 {
 		// One append, one shared fsync, for the whole batch. The Bucket
 		// field is diagnostic (recovery keys off Seq alone); records are
@@ -982,7 +1040,7 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 		for i := range recs {
 			recs[i].Bucket = bucket
 		}
-		if err := hs.pers.appendBatch(recs); err != nil {
+		if err := hs.pers.appendBatchTimed(recs, &walT); err != nil {
 			for _, op := range batch {
 				if op.nrecs > 0 {
 					op.err = errors.Join(op.err, err)
@@ -1012,6 +1070,39 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 	}
 	hs.statOps.Add(int64(len(batch)))
 	hs.statBatches.Add(1)
+
+	// Span attribution for traced ops. Each traced op gets its own
+	// queue-wait and apply slice; the commit-batch span (and the WAL
+	// append/fsync spans under it) is shared by the whole batch, with
+	// batch.seq/batch.ops linking the coalesced ops' traces together.
+	for _, op := range batch {
+		t := op.tr
+		if t == nil {
+			continue
+		}
+		t.SetStream(hs.name)
+		if !op.enqueued.IsZero() {
+			t.Child("queue.wait", op.enqueued, commitStart.Sub(op.enqueued))
+		}
+		cb := t.Child("commit.batch", commitStart, time.Since(commitStart),
+			trace.Int("batch.ops", int64(len(batch))),
+			trace.Int("batch.seq", batchSeq))
+		if actDur > 0 {
+			t.ChildOf(cb, "stream.activate", actStart, actDur)
+		}
+		if !op.applyStart.IsZero() {
+			t.ChildOf(cb, "engine.apply", op.applyStart, op.applyDur)
+		}
+		if walT.AppendDur > 0 && op.nrecs > 0 {
+			t.ChildOf(cb, "wal.append", walT.AppendStart, walT.AppendDur,
+				trace.Int("wal.records", int64(op.nrecs)))
+			if walT.FsyncDur > 0 {
+				t.ChildOf(cb, "wal.fsync", walT.FsyncStart, walT.FsyncDur)
+			}
+		}
+		op.committed = time.Now()
+	}
+
 	for _, op := range batch {
 		if op.done != nil {
 			close(op.done)
@@ -1132,9 +1223,11 @@ func (hs *StreamHandle) tryHibernateAsync(touch int64) bool {
 // pipeline and returns the resident stream. The activate op is a commit
 // barrier, so exactly one activation runs no matter how many readers race
 // it; the returned pointer stays valid for this caller even if the stream
-// hibernates again immediately (snapshot pinning, see stp).
-func (hs *StreamHandle) ensureResident() (*Stream, error) {
-	op := hs.do(&writeOp{kind: opActivate})
+// hibernates again immediately (snapshot pinning, see stp). A trace op on
+// ctx receives the activation's pipeline spans (queue wait, commit batch,
+// stream.activate).
+func (hs *StreamHandle) ensureResident(ctx context.Context) (*Stream, error) {
+	op := hs.do(&writeOp{kind: opActivate, tr: trace.FromContext(ctx)})
 	if op.err != nil {
 		return nil, op.err
 	}
@@ -1181,7 +1274,17 @@ func (hs *StreamHandle) shutdown() error {
 // Add returns; a logging failure is reported (wrapping ErrPersist) with
 // the post already applied in memory.
 func (hs *StreamHandle) Add(p Post) error {
-	return hs.do(&writeOp{kind: opAdd, post: p}).err
+	return hs.AddContext(context.Background(), p)
+}
+
+// AddContext is Add with trace propagation: when ctx carries a trace op
+// (internal/trace, attached by the HTTP middleware or an embedding
+// caller), the operation's pipeline breakdown — queue wait, commit batch,
+// engine apply, WAL append, fsync, future completion — is recorded as
+// child spans on it. The context does not cancel the write: once
+// enqueued, an operation always commits.
+func (hs *StreamHandle) AddContext(ctx context.Context, p Post) error {
+	return hs.do(&writeOp{kind: opAdd, post: p, tr: trace.FromContext(ctx)}).err
 }
 
 // AddBatch appends posts in order, stopping at the first rejected post and
@@ -1191,14 +1294,24 @@ func (hs *StreamHandle) Add(p Post) error {
 // (errors.Is matches each), and on a logging failure the accepted prefix
 // is in memory but not durable.
 func (hs *StreamHandle) AddBatch(posts []Post) (accepted int, err error) {
-	op := hs.do(&writeOp{kind: opAddBatch, posts: posts})
+	return hs.AddBatchContext(context.Background(), posts)
+}
+
+// AddBatchContext is AddBatch with trace propagation (see AddContext).
+func (hs *StreamHandle) AddBatchContext(ctx context.Context, posts []Post) (accepted int, err error) {
+	op := hs.do(&writeOp{kind: opAddBatch, posts: posts, tr: trace.FromContext(ctx)})
 	return op.accepted, op.err
 }
 
 // Flush ingests everything buffered up to stream time now (WAL-logged as
 // an explicit boundary on a durable hub).
 func (hs *StreamHandle) Flush(now int64) error {
-	return hs.do(&writeOp{kind: opFlush, now: now}).err
+	return hs.FlushContext(context.Background(), now)
+}
+
+// FlushContext is Flush with trace propagation (see AddContext).
+func (hs *StreamHandle) FlushContext(ctx context.Context, now int64) error {
+	return hs.do(&writeOp{kind: opFlush, now: now, tr: trace.FromContext(ctx)}).err
 }
 
 // SwapModel replaces the topic model. It is a commit barrier: it runs
@@ -1217,7 +1330,12 @@ func (hs *StreamHandle) SwapModel(m *Model) error {
 // fully drained prefix. It fails with ErrPersistDisabled on an in-memory
 // hub. The returned stats reflect the stream just after the checkpoint.
 func (hs *StreamHandle) Checkpoint() (PersistStats, error) {
-	op := hs.do(&writeOp{kind: opCheckpoint})
+	return hs.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint with trace propagation (see AddContext).
+func (hs *StreamHandle) CheckpointContext(ctx context.Context) (PersistStats, error) {
+	op := hs.do(&writeOp{kind: opCheckpoint, tr: trace.FromContext(ctx)})
 	return op.ps, op.err
 }
 
@@ -1231,7 +1349,7 @@ func (hs *StreamHandle) Checkpoint() (PersistStats, error) {
 // own Subscribe/Unsubscribe — the handler is already on the writer
 // goroutine, and both are re-entrancy-safe there.
 func (hs *StreamHandle) Subscribe(ctx context.Context, q Query, every time.Duration, handler func(Result), opts ...SubscribeOption) (*Subscription, error) {
-	op := hs.do(&writeOp{kind: opSubscribe, ctx: ctx, q: q, every: every, handler: handler, sopts: opts})
+	op := hs.do(&writeOp{kind: opSubscribe, ctx: ctx, q: q, every: every, handler: handler, sopts: opts, tr: trace.FromContext(ctx)})
 	return op.sub, op.err
 }
 
@@ -1252,7 +1370,12 @@ func (hs *StreamHandle) Unsubscribe(sub *Subscription) {
 // call this automatically on the coldest streams; it is also useful
 // directly when the caller knows a stream is going idle.
 func (hs *StreamHandle) Hibernate() error {
-	return hs.do(&writeOp{kind: opHibernate}).err
+	return hs.HibernateContext(context.Background())
+}
+
+// HibernateContext is Hibernate with trace propagation (see AddContext).
+func (hs *StreamHandle) HibernateContext(ctx context.Context) error {
+	return hs.do(&writeOp{kind: opHibernate, tr: trace.FromContext(ctx)}).err
 }
 
 // Query answers a k-SIR query. Against a resident stream it never enters
@@ -1268,7 +1391,7 @@ func (hs *StreamHandle) Query(ctx context.Context, q Query) (Result, error) {
 	st := hs.stp.Load()
 	if st == nil {
 		var err error
-		if st, err = hs.ensureResident(); err != nil {
+		if st, err = hs.ensureResident(ctx); err != nil {
 			return Result{}, err
 		}
 	} else {
@@ -1287,7 +1410,7 @@ func (hs *StreamHandle) Explain(res Result, q Query) ([]Explanation, error) {
 	st := hs.stp.Load()
 	if st == nil {
 		var err error
-		if st, err = hs.ensureResident(); err != nil {
+		if st, err = hs.ensureResident(context.Background()); err != nil {
 			return nil, err
 		}
 	} else {

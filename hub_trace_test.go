@@ -1,0 +1,153 @@
+package ksir
+
+import (
+	"context"
+	"testing"
+
+	"github.com/social-streams/ksir/internal/trace"
+)
+
+// startedOp begins a certainly head-sampled parentless op on a private
+// recorder, so pipeline span assertions never touch the global recorder.
+func startedOp(t *testing.T, rec *trace.Recorder, name string) *trace.Op {
+	t.Helper()
+	rec.SetSampleRate(1)
+	rec.SetSlowThreshold(0)
+	op := rec.Start(name, "", trace.SpanContext{})
+	if op == nil {
+		t.Fatal("recorder refused to start an op")
+	}
+	return op
+}
+
+// spanIn returns the first span with the given name, failing if absent.
+func spanIn(t *testing.T, tr *trace.Trace, name string) trace.Span {
+	t.Helper()
+	for _, s := range tr.Spans {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("trace has no span %q (got %d spans)", name, len(tr.Spans))
+	return trace.Span{}
+}
+
+// The pipeline tracing contract: a write op carrying a trace op through
+// AddContext comes back with the full commit breakdown — queue wait,
+// commit batch, engine apply, WAL append, fsync and future completion —
+// correctly parented and with non-zero durations, and the trace is
+// attributed to the stream.
+func TestAddContextRecordsPipelineSpans(t *testing.T) {
+	m := trainTestModel(t)
+	h, err := OpenHub(t.TempDir(), m, PersistOptions{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.CloseAll()
+	hs, err := h.Create("feed", m, persistOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder(8)
+	op := startedOp(t, rec, "test.add")
+	ctx := trace.ContextWith(context.Background(), op)
+	if err := hs.AddContext(ctx, Post{ID: 1, Time: 30, Text: "late goal wins the derby"}); err != nil {
+		t.Fatal(err)
+	}
+	op.End()
+
+	traces := rec.Snapshot(trace.Filter{})
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Stream != "feed" {
+		t.Fatalf("trace stream = %q, want feed", tr.Stream)
+	}
+	root := tr.Spans[0]
+	qw := spanIn(t, tr, "queue.wait")
+	cb := spanIn(t, tr, "commit.batch")
+	apply := spanIn(t, tr, "engine.apply")
+	wal := spanIn(t, tr, "wal.append")
+	fsync := spanIn(t, tr, "wal.fsync")
+	fut := spanIn(t, tr, "future.completion")
+	for _, s := range []trace.Span{qw, cb, apply, wal, fsync, fut} {
+		if s.Duration <= 0 {
+			t.Errorf("span %s duration = %v, want > 0", s.Name, s.Duration)
+		}
+	}
+	if qw.Parent != root.SpanID || cb.Parent != root.SpanID || fut.Parent != root.SpanID {
+		t.Error("queue.wait/commit.batch/future.completion not parented to the op root")
+	}
+	if apply.Parent != cb.SpanID || wal.Parent != cb.SpanID || fsync.Parent != cb.SpanID {
+		t.Error("engine.apply/wal.append/wal.fsync not parented to commit.batch")
+	}
+}
+
+// An untraced write must not record anything: the nil-op path through the
+// pipeline is the production default and has to stay inert.
+func TestUntracedWriteRecordsNoSpans(t *testing.T) {
+	m := trainTestModel(t)
+	h := NewHub()
+	defer h.CloseAll()
+	hs, err := h.Create("feed", m, persistOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(8)
+	rec.SetSampleRate(1)
+	if err := hs.Add(Post{ID: 1, Time: 30, Text: "late goal wins the derby"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.FlushContext(context.Background(), 120); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Len(); n != 0 {
+		t.Fatalf("untraced writes recorded %d traces", n)
+	}
+}
+
+// A reactivating op's trace carries the stream.activate child under its
+// commit batch.
+func TestReactivationRecordsActivateSpan(t *testing.T) {
+	m := trainTestModel(t)
+	h, err := OpenHub(t.TempDir(), m, PersistOptions{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.CloseAll()
+	hs, err := h.Create("feed", m, persistOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Add(Post{ID: 1, Time: 30, Text: "late goal wins the derby"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Flush(120); err != nil {
+		t.Fatal(err)
+	}
+	if err := hs.Hibernate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder(8)
+	op := startedOp(t, rec, "test.query")
+	ctx := trace.ContextWith(context.Background(), op)
+	if _, err := hs.Query(ctx, Query{K: 3, Keywords: []string{"goal"}}); err != nil {
+		t.Fatal(err)
+	}
+	op.End()
+
+	tr := rec.Snapshot(trace.Filter{})[0]
+	act := spanIn(t, tr, "stream.activate")
+	cb := spanIn(t, tr, "commit.batch")
+	if act.Parent != cb.SpanID {
+		t.Error("stream.activate not parented to commit.batch")
+	}
+	if act.Duration <= 0 {
+		t.Errorf("stream.activate duration = %v, want > 0", act.Duration)
+	}
+	spanIn(t, tr, "snapshot.pin")
+	spanIn(t, tr, "query.descend")
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/social-streams/ksir/internal/stream"
 	"github.com/social-streams/ksir/internal/topicmodel"
+	"github.com/social-streams/ksir/internal/trace"
 )
 
 // Algorithm selects the k-SIR processing algorithm.
@@ -138,6 +139,7 @@ func (g *Engine) QueryContext(ctx context.Context, q Query) (Result, error) {
 	snap := g.acquire()
 	defer snap.release()
 	v := snap.view()
+	descStart := time.Now()
 	var res Result
 	var err error
 	switch q.Algorithm {
@@ -149,6 +151,14 @@ func (g *Engine) QueryContext(ctx context.Context, q Query) (Result, error) {
 		res, err = v.mtts(ctx, q)
 	}
 	obsQueryByAlg[q.Algorithm].ObserveSince(start)
+	if op := trace.FromContext(ctx); op != nil {
+		pin := op.Child("snapshot.pin", start, time.Since(start),
+			trace.Int("bucket", res.BucketSeq))
+		op.ChildOf(pin, "query.descend", descStart, time.Since(descStart),
+			trace.String("algorithm", q.Algorithm.String()),
+			trace.Int("evaluated", int64(res.Evaluated)),
+			trace.Int("retrieved", int64(res.Retrieved)))
+	}
 	return res, err
 }
 

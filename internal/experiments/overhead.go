@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -11,19 +12,23 @@ import (
 	"github.com/social-streams/ksir/internal/core"
 	"github.com/social-streams/ksir/internal/metrics"
 	"github.com/social-streams/ksir/internal/stream"
+	"github.com/social-streams/ksir/internal/trace"
 )
 
 // The metrics-overhead experiment is the observability subsystem's
 // admission test: recording must be cheap enough that the instrumented
 // engine is indistinguishable from the uninstrumented one on the paper's
 // hot paths. The true recording cost (a handful of uncontended atomic adds
-// per bucket or query) is far below the run-to-run noise of a whole
+// per bucket or query, plus the span recorder's per-op bookkeeping at the
+// default sample rate) is far below the run-to-run noise of a whole
 // benchmark pass on a shared machine, so whole-pass differencing cannot
 // resolve a 2% gate. Instead the measurement interleaves the two sides at
-// the finest grain the workload allows — metric recording is toggled
-// per-Ingest-call during replay and per-query during the query sweep, with
-// a second pass on the opposite parity so every bucket and every query spec
-// is measured once on each side. Scheduler drift, GC pacing and neighbor
+// the finest grain the workload allows — metric AND trace recording are
+// toggled together per-Ingest-call during replay and per-query during the
+// query sweep (the instrumented side starts a span-recording op around
+// each call, exactly as the hub pipeline does per write op), with a second
+// pass on the opposite parity so every bucket and every query spec is
+// measured once on each side. Scheduler drift, GC pacing and neighbor
 // interference then hit both sides identically, and only the recording
 // cost separates them. CI gates the result
 // (ksir-bench -metrics-overhead-pct).
@@ -76,14 +81,23 @@ func measureOverheadRound(env *Env, round, queries int) (with, without overheadS
 			on := assign[i] == (phase == 0)
 			if on {
 				metrics.Enable()
+				trace.Enable()
 			} else {
 				metrics.Disable()
+				trace.Disable()
 			}
 			qs := time.Now()
-			if _, err := g.Query(core.Query{K: 10, X: spec.X, Epsilon: 0.1, Algorithm: core.MTTD}); err != nil {
+			// The instrumented side pays the full production tracing path:
+			// head-sampling decision, context plumbing, and (for sampled
+			// ops) the query's snapshot.pin/query.descend span recording.
+			op := trace.Start("bench.query", "bench", trace.SpanContext{})
+			ctx := trace.ContextWith(context.Background(), op)
+			if _, err := g.QueryContext(ctx, core.Query{K: 10, X: spec.X, Epsilon: 0.1, Algorithm: core.MTTD}); err != nil {
 				metrics.Enable()
+				trace.Enable()
 				return with, without, nil, nil, err
 			}
+			op.End()
 			d := float64(time.Since(qs).Nanoseconds())
 			if on {
 				specOn[si] = append(specOn[si], d)
@@ -93,6 +107,7 @@ func measureOverheadRound(env *Env, round, queries int) (with, without overheadS
 		}
 	}
 	metrics.Enable()
+	trace.Enable()
 
 	with = overheadStats{AddPerElem: float64(wallOn.Nanoseconds()) / float64(elemsOn) / 1e3}
 	without = overheadStats{AddPerElem: float64(wallOff.Nanoseconds()) / float64(elemsOff) / 1e3}
@@ -116,14 +131,24 @@ func replayToggled(env *Env, g *core.Engine, call *int,
 		*call++
 		if on {
 			metrics.Enable()
+			trace.Enable()
 		} else {
 			metrics.Disable()
+			trace.Disable()
 		}
 		start := time.Now()
+		// Mirror the hub pipeline's per-op tracing: one op per ingest with
+		// an engine.apply child, recorded inside the timed window so the
+		// instrumented side pays the production span cost at the default
+		// sample rate (the disabled side pays only the nil-op checks).
+		op := trace.Start("bench.ingest", "bench", trace.SpanContext{})
 		if err := g.Ingest(b.End, b.Elems); err != nil {
 			metrics.Enable()
+			trace.Enable()
 			return err
 		}
+		op.Child("engine.apply", start, time.Since(start))
+		op.End()
 		d := time.Since(start)
 		if on {
 			*wallOn += d
@@ -225,7 +250,14 @@ func (l *Lab) MetricsOverhead(rounds, queries int) (*Table, []BenchEntry, error)
 		queries = 400
 	}
 	defer metrics.Enable()
+	defer trace.Enable()
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// Bench ops must measure recording cost, not trip the slow-op log (a
+	// replayed bucket can exceed the production threshold).
+	rec := trace.Default()
+	oldSlow := rec.SlowThreshold()
+	rec.SetSlowThreshold(0)
+	defer rec.SetSlowThreshold(oldSlow)
 
 	// Discarded warmup: the first replay pays one-time costs (page faults,
 	// branch/cache warmup, lazily grown runtime structures).
@@ -260,14 +292,14 @@ func (l *Lab) MetricsOverhead(rounds, queries int) (*Table, []BenchEntry, error)
 	queryPct := medianPct([]float64{signedPct(bestWith.QueryP99, bestWithout.QueryP99)})
 
 	t := &Table{
-		Title: fmt.Sprintf("Metrics recording overhead: instrumented vs uninstrumented engine (Twitter, z=50, %d interleaved rounds)",
+		Title: fmt.Sprintf("Metrics+tracing recording overhead: instrumented vs uninstrumented engine (Twitter, z=50, %d interleaved rounds)",
 			rounds),
 		Header: []string{"side", "add/elem (µs)", "query p99 (ms)"},
 	}
 	t.AddRow("uninstrumented", fmtF(bestWithout.AddPerElem, 2), fmtF(bestWithout.QueryP99, 2))
 	t.AddRow("instrumented", fmtF(bestWith.AddPerElem, 2), fmtF(bestWith.QueryP99, 2))
 	t.Notes = append(t.Notes, fmt.Sprintf(
-		"recording overhead: %.2f%% on add, %.2f%% on query p99 (CI gate: ksir-bench -metrics-overhead-pct)",
+		"metric+trace recording overhead: %.2f%% on add, %.2f%% on query p99 (CI gate: ksir-bench -metrics-overhead-pct)",
 		addPct, queryPct))
 
 	entries := []BenchEntry{
@@ -276,9 +308,9 @@ func (l *Lab) MetricsOverhead(rounds, queries int) (*Table, []BenchEntry, error)
 		{Name: "engine-query-p99-instrumented", Value: bestWith.QueryP99, Unit: "Milliseconds"},
 		{Name: "engine-query-p99-uninstrumented", Value: bestWithout.QueryP99, Unit: "Milliseconds"},
 		{Name: "engine-metrics-overhead-add-pct", Value: addPct, Unit: "Percent",
-			Extra: "ingest cost of metric recording, median of per-round interleaved deltas"},
+			Extra: "ingest cost of metric+trace recording (default sample rate), median of per-round interleaved deltas"},
 		{Name: "engine-metrics-overhead-query-p99-pct", Value: queryPct, Unit: "Percent",
-			Extra: "query tail cost of metric recording, weighted p99 over per-spec median latencies pooled across rounds"},
+			Extra: "query tail cost of metric+trace recording, weighted p99 over per-spec median latencies pooled across rounds"},
 	}
 	return t, entries, nil
 }

@@ -122,6 +122,27 @@ func (w *WAL) Append(r Record) error {
 // batch's frames may be on disk, but recovery still replays exactly the
 // longest valid record prefix.
 func (w *WAL) AppendBatch(recs []Record) error {
+	return w.AppendBatchTimed(recs, nil)
+}
+
+// BatchTimings reports where one AppendBatchTimed call spent its time —
+// the encode+write phase and the (possibly skipped) fsync — so the stream
+// commit path can attribute WAL-append and fsync spans to the ops whose
+// records rode the batch.
+type BatchTimings struct {
+	// AppendStart/AppendDur cover encoding and writing the frames,
+	// excluding the sync.
+	AppendStart time.Time
+	AppendDur   time.Duration
+	// FsyncStart/FsyncDur cover the fsync; FsyncDur is 0 when the sync
+	// policy skipped it (interval not yet elapsed, or SyncNever).
+	FsyncStart time.Time
+	FsyncDur   time.Duration
+}
+
+// AppendBatchTimed is AppendBatch, additionally filling t (when non-nil)
+// with the batch's append/fsync timing breakdown.
+func (w *WAL) AppendBatchTimed(recs []Record, t *BatchTimings) error {
 	if len(recs) == 0 {
 		return nil
 	}
@@ -151,6 +172,13 @@ func (w *WAL) AppendBatch(recs []Record) error {
 	w.size += int64(len(buf))
 	w.lastSeq = last
 	w.dirty = true
+	syncStart := time.Now()
+	if t != nil {
+		t.AppendStart = start
+		t.AppendDur = syncStart.Sub(start)
+		t.FsyncStart = syncStart
+	}
+	preSyncs := w.syncs.Load()
 	var err error
 	switch w.policy {
 	case SyncAlways:
@@ -159,6 +187,9 @@ func (w *WAL) AppendBatch(recs []Record) error {
 		if time.Since(w.lastSync) >= w.interval {
 			err = w.syncLocked()
 		}
+	}
+	if t != nil && w.syncs.Load() > preSyncs {
+		t.FsyncDur = time.Since(syncStart)
 	}
 	if err == nil {
 		obsWALAppends.Inc()

@@ -17,6 +17,7 @@ var routeNames = []string{
 	"create_stream", "list_streams", "close_stream",
 	"posts", "flush", "query", "stats", "subscribe",
 	"checkpoint", "hibernate", "healthz", "metrics",
+	"debug_traces",
 }
 
 // HTTP/SSE observability (DESIGN.md §12). Process-global like every other
@@ -37,14 +38,21 @@ var (
 )
 
 // route wraps a handler with the per-route request counter, latency
-// histogram and the in-flight gauge. name must be one of routeNames.
+// histogram and the in-flight gauge, plus — for the routes in
+// tracedRoutes — the traceparent-propagating span recorder middleware
+// (trace.go). name must be one of routeNames.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := obsHTTPRequests.With(name)
 	dur := obsHTTPDuration.With(name)
+	traced := tracedRoutes[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		obsHTTPInFlight.Inc()
-		h(w, r)
+		if traced {
+			s.serveTraced(name, h, w, r)
+		} else {
+			h(w, r)
+		}
 		obsHTTPInFlight.Dec()
 		reqs.Inc()
 		dur.ObserveSince(start)

@@ -16,6 +16,12 @@
 //	GET    /v1/streams/{name}/subscribe   standing query over SSE
 //	POST   /v1/streams/{name}/checkpoint  force a durability checkpoint
 //	GET    /healthz                        liveness
+//	GET    /debug/traces                   recorded op traces (trace.go)
+//
+// Most routes run under the tracing middleware: an incoming W3C
+// traceparent header is honored as the request's remote parent, the
+// response echoes this hop's traceparent, and the recorded span tree is
+// queryable at /debug/traces.
 //
 // Errors use the structured envelope {"error":{"code","message"}} with
 // the typed ksir errors mapped to stable codes and status codes.
@@ -32,6 +38,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -67,6 +74,9 @@ type Server struct {
 	// hibernation/reactivation cycles.
 	sseMu sync.Mutex
 	sse   map[string]*sseCounters
+	// logger receives per-request debug lines (trace.go); nil means
+	// slog.Default() at call time.
+	logger *slog.Logger
 }
 
 // New wraps a single stream, registered in a fresh Hub as "default" — the
@@ -105,6 +115,7 @@ func NewHub(hub *ksir.Hub, model *ksir.Model, defaults ksir.Options, sopts ...ks
 	s.h.HandleFunc("POST /v1/streams/{name}/hibernate", s.route("hibernate", s.named(s.handleHibernate)))
 
 	s.h.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	s.h.HandleFunc("GET /debug/traces", s.route("debug_traces", s.handleDebugTraces))
 	s.h.HandleFunc("/healthz", s.route("healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	}))
@@ -166,7 +177,7 @@ func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request, hs *ksir.St
 	for i, p := range posts {
 		batch[i] = ksir.Post{ID: p.ID, Time: p.Time, Text: p.Text, Refs: p.Refs}
 	}
-	if accepted, err := hs.AddBatch(batch); err != nil {
+	if accepted, err := hs.AddBatchContext(r.Context(), batch); err != nil {
 		// The accepted prefix stays in the stream; the envelope reports it
 		// so clients resend from the rejected post, not the whole batch.
 		code, status := apiv1.Classify(err)
@@ -185,7 +196,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request, hs *ksir.St
 		httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	if err := hs.Flush(req.Now); err != nil {
+	if err := hs.FlushContext(r.Context(), req.Now); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -226,8 +237,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, hs *ksir.St
 // (POST /v1/streams/{name}/hibernate). The stream stays registered and
 // reactivates on its next post/query/subscription; 409 persist_disabled
 // without -data-dir, 409 stream_busy while subscriptions are live.
-func (s *Server) handleHibernate(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
-	if err := hs.Hibernate(); err != nil {
+func (s *Server) handleHibernate(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	if err := hs.HibernateContext(r.Context()); err != nil {
 		writeError(w, err)
 		return
 	}

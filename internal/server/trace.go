@@ -1,0 +1,120 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/internal/trace"
+)
+
+// tracedRoutes selects which routes get a request root span. Excluded:
+// subscribe (a connection-lifetime SSE stream would always outlive the
+// slow-op threshold), and the scrape/liveness/introspection routes, whose
+// tracing would be self-referential noise.
+var tracedRoutes = map[string]bool{
+	"create_stream": true, "list_streams": true, "close_stream": true,
+	"posts": true, "flush": true, "query": true, "stats": true,
+	"checkpoint": true, "hibernate": true,
+}
+
+// serveTraced runs one traced route: the incoming W3C traceparent (if any)
+// becomes the root span's remote parent, the op rides the request context
+// through the stream pipeline, and the response carries this hop's
+// traceparent so callers can find the server-side trace.
+func (s *Server) serveTraced(name string, h http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	parent, _ := trace.ParseTraceparent(r.Header.Get(trace.Header))
+	op := trace.Start("http."+name, r.PathValue("name"), parent)
+	if op == nil { // tracing disabled
+		h(w, r)
+		return
+	}
+	// Capture the identity before End: the op is recycled afterwards.
+	sc := op.Context()
+	w.Header().Set(trace.Header, trace.FormatTraceparent(sc))
+	start := time.Now()
+	h(w, r.WithContext(trace.ContextWith(r.Context(), op)))
+	op.End()
+	s.log().Debug("http request",
+		"route", name,
+		"stream", r.PathValue("name"),
+		"trace_id", sc.TraceID.String(),
+		"duration", time.Since(start))
+}
+
+// SetLogger directs the server's request logging (Debug level, one line
+// per traced request) to l instead of slog.Default().
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+func (s *Server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.Default()
+}
+
+// handleDebugTraces serves GET /debug/traces: the in-process span
+// recorder's ring, newest first, as {"traces":[...]}. Query parameters:
+//
+//	stream        keep only traces attributed to this stream
+//	min_duration  keep only traces at least this long (Go duration)
+//	limit         keep at most this many traces
+//
+// The handler reads only the recorder's ring — it never touches the hub,
+// so scraping traces cannot reactivate a hibernated stream.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := trace.Filter{Stream: q.Get("stream")}
+	if md := q.Get("min_duration"); md != "" {
+		d, err := time.ParseDuration(md)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "bad min_duration %q: %v", md, err)
+			return
+		}
+		f.MinDuration = d
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, apiv1.CodeBadRequest, "bad limit %q", ls)
+			return
+		}
+		f.Limit = n
+	}
+	traces := trace.Default().Snapshot(f)
+	writeJSON(w, struct {
+		Traces []*trace.Trace `json:"traces"`
+	}{Traces: traces})
+}
+
+// TracesHandler returns the /debug/traces endpoint as a standalone
+// handler, for serving on a separate listener (ksir-server -metrics-addr)
+// alongside /metrics and pprof.
+func (s *Server) TracesHandler() http.Handler {
+	return http.HandlerFunc(s.route("debug_traces", s.handleDebugTraces))
+}
+
+// EnablePprof registers the net/http/pprof handlers on the server's main
+// mux under /debug/pprof/. Off by default (ksir-server gates it behind
+// -pprof); the metrics sidecar listener serves pprof unconditionally,
+// which is the recommended place to point profilers.
+func (s *Server) EnablePprof() {
+	s.h.HandleFunc("/debug/pprof/", pprof.Index)
+	s.h.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.h.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.h.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.h.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterPprof registers the pprof handlers on an arbitrary mux — the
+// sidecar listener path (ksir-server serves them on -metrics-addr).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -69,8 +69,8 @@ func (s *Server) handleCloseStream(w http.ResponseWriter, r *http.Request) {
 // state is made durable and its WAL truncated. 409/persist_disabled on a
 // server running without a data directory. The response is the stream's
 // info just after the checkpoint (persist.checkpoint_bucket reflects it).
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, hs *ksir.StreamHandle) {
-	if _, err := hs.Checkpoint(); err != nil {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
+	if _, err := hs.CheckpointContext(r.Context()); err != nil {
 		writeError(w, err)
 		return
 	}

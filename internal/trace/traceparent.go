@@ -1,0 +1,89 @@
+package trace
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) — the
+// cross-process half of the span model, and the distributed-Hub work's
+// wire contract: one `traceparent` header, version-00 form
+//
+//	00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>
+//
+// is all that crosses a process boundary. The HTTP middleware parses it
+// into the request root's parent, the Go SDK injects it from the caller's
+// context, and flag bit 0 (sampled) carries the upstream head-sampling
+// decision.
+
+// flagSampled is trace-flags bit 0.
+const flagSampled = 0x01
+
+// Header is the canonical traceparent header name (lowercase per spec;
+// Go's http.Header canonicalizes on set/get either way).
+const Header = "traceparent"
+
+// FormatTraceparent renders sc as a version-00 traceparent value.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// non-ff version with the version-00 field layout (per spec, unknown
+// versions are parsed as 00, tolerating a longer tail) and rejects
+// all-zero ids. ok is false for anything unusable.
+func ParseTraceparent(s string) (sc SpanContext, ok bool) {
+	// version "-" trace-id "-" parent-id "-" trace-flags
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok1 := hexByte(s[0], s[1])
+	flags, ok2 := hexByte(s[53], s[54])
+	if !ok1 || !ok2 || ver == 0xff {
+		return SpanContext{}, false
+	}
+	if ver == 0 && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	if ver != 0 && len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(s[3+2*i], s[4+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.TraceID[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(s[36+2*i], s[37+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.SpanID[i] = b
+	}
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags&flagSampled != 0
+	return sc, true
+}
+
+// hexByte decodes two lowercase hex digits (the spec forbids uppercase).
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	return h<<4 | l, ok1 && ok2
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

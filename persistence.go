@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"net/url"
 	"os"
@@ -116,6 +117,9 @@ type PersistOptions struct {
 	// Admission control additionally evicts the coldest streams inline
 	// whenever an activation would overshoot the budget.
 	ResidencySweep time.Duration
+	// Logger receives the hub's background warnings (residency sweep
+	// failures). Nil means slog.Default() resolved at log time.
+	Logger *slog.Logger
 }
 
 func (o PersistOptions) withDefaults() PersistOptions {
@@ -226,6 +230,7 @@ func OpenHub(dir string, m *Model, po PersistOptions, sopts ...StreamOption) (*H
 	}
 	h := NewHub()
 	h.serialized = po.SerializedWriter
+	h.logger = po.Logger
 	h.p = &hubPersist{dir: dir, opts: po.withDefaults(), modelHash: m.persistHash()}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -576,12 +581,19 @@ func (hp *hubPersist) initStream(name string, st *Stream) (*streamPersist, error
 // durable — callers surface the error on each contributing op so
 // producers know durability is degraded.
 func (p *streamPersist) appendBatch(recs []persist.Record) error {
+	return p.appendBatchTimed(recs, nil)
+}
+
+// appendBatchTimed is appendBatch, filling bt (when non-nil) with the
+// append/fsync timing split so the commit path can record WAL spans on
+// traced operations.
+func (p *streamPersist) appendBatchTimed(recs []persist.Record, bt *persist.BatchTimings) error {
 	wal := p.walp.Load() // non-nil: the commit path activates before ingest
 	for i := range recs {
 		p.opSeq++
 		recs[i].Seq = p.opSeq
 	}
-	if err := wal.AppendBatch(recs); err != nil {
+	if err := wal.AppendBatchTimed(recs, bt); err != nil {
 		return persistErr(err)
 	}
 	p.statSeq.Store(p.opSeq)

@@ -1,0 +1,305 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	apiv1 "github.com/social-streams/ksir/api/v1"
+	"github.com/social-streams/ksir/connector/backoff"
+	"github.com/social-streams/ksir/internal/server"
+)
+
+// killProxy is a TCP proxy the resume tests put between the SDK and the
+// server so they can sever live subscriptions (killLive) and hold the
+// consumer disconnected (setBlocked) while the stream keeps ingesting —
+// the failure geometry a real consumer sees when a load balancer restarts
+// underneath it.
+type killProxy struct {
+	ln     net.Listener
+	target string
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	blocked bool
+	dials   int
+}
+
+func newKillProxy(t *testing.T, targetURL string) *killProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &killProxy{
+		ln:     ln,
+		target: strings.TrimPrefix(targetURL, "http://"),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.accept()
+	t.Cleanup(func() {
+		ln.Close()
+		p.killLive()
+	})
+	return p
+}
+
+func (p *killProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+func (p *killProxy) accept() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.blocked {
+			p.mu.Unlock()
+			down.Close() // consumer sees an immediate reset and backs off
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			p.mu.Unlock()
+			down.Close()
+			continue
+		}
+		p.dials++
+		p.conns[down] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go proxyHalf(up, down)
+		go proxyHalf(down, up)
+	}
+}
+
+func proxyHalf(dst, src net.Conn) {
+	io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+}
+
+// setBlocked controls whether new connections get through; while blocked
+// they are closed on accept.
+func (p *killProxy) setBlocked(b bool) {
+	p.mu.Lock()
+	p.blocked = b
+	p.mu.Unlock()
+}
+
+// killLive severs every proxied connection currently alive.
+func (p *killProxy) killLive() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+func (p *killProxy) dialCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials
+}
+
+// TestSubscribeResumeAcrossDisconnects drops the connection under a live
+// subscription and asserts the contract of SubscribeResume end to end:
+// the consumer resumes at the right bucket seq — a catch-up refresh for
+// buckets ingested while it was disconnected, no duplicate refresh for
+// buckets it already saw — across multiple kills.
+func TestSubscribeResumeAcrossDisconnects(t *testing.T) {
+	ctx := context.Background()
+	m := testClientModel(t)
+	hub := ksir.NewHub()
+	srv := httptest.NewServer(server.NewHub(hub, m,
+		ksir.Options{Window: time.Hour, Bucket: time.Minute, Eta: 2}))
+	t.Cleanup(srv.Close)
+	proxy := newKillProxy(t, srv.URL)
+
+	// Control plane goes straight to the server; only the subscription
+	// rides through the proxy, so kills hit exactly the event stream.
+	ctl := New(srv.URL).Stream("res")
+	if _, err := New(srv.URL).CreateStream(ctx, apiv1.CreateStreamRequest{Name: "res"}); err != nil {
+		t.Fatal(err)
+	}
+
+	events := make(chan Event, 16)
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan error, 1)
+	pol := backoff.Policy{Initial: time.Millisecond, Max: 20 * time.Millisecond, Exact: true}
+	go func() {
+		done <- New(proxy.URL()).Stream("res").SubscribeResume(subCtx,
+			SubscribeRequest{K: 1, Keywords: []string{"goal"}}, pol,
+			func(ev Event) error {
+				events <- ev
+				return nil
+			})
+	}()
+	waitSubscribers(t, ctl, 1)
+
+	next := func(want int64) Event {
+		t.Helper()
+		select {
+		case ev := <-events:
+			if ev.Type != "refresh" || ev.Bucket != want || ev.Result.Bucket != want {
+				t.Fatalf("event = {type %q bucket %d result.bucket %d}, want refresh of bucket %d",
+					ev.Type, ev.Bucket, ev.Result.Bucket, want)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for bucket %d", want)
+		}
+		panic("unreachable")
+	}
+	quiet := func(during time.Duration) {
+		t.Helper()
+		select {
+		case ev := <-events:
+			t.Fatalf("unexpected event: type %q bucket %d (duplicate refresh after resume?)", ev.Type, ev.Bucket)
+		case <-time.After(during):
+		}
+	}
+	ingestBucket := func(id, at int64) {
+		t.Helper()
+		if _, err := ctl.Add(ctx, apiv1.Post{ID: id, Time: at, Text: "goal striker league"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.Flush(ctx, at+30); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bucket 1 arrives on the live connection.
+	ingestBucket(1, 30)
+	ev := next(1)
+	if len(ev.Result.Posts) == 0 || ev.Result.Posts[0].ID != 1 {
+		t.Fatalf("bucket 1 result = %+v", ev.Result)
+	}
+
+	// Kill the connection and ingest while the consumer is down: on
+	// reconnect the server must replay the current answer immediately as
+	// a catch-up refresh (no bucket boundary fires after reconnect, so
+	// nothing else could deliver it).
+	proxy.setBlocked(true)
+	proxy.killLive()
+	ingestBucket(2, 90)
+	proxy.setBlocked(false)
+	next(2)
+
+	// Kill again with nothing ingested: resuming with Last-Event-ID=2
+	// must not replay bucket 2 — that is the duplicate-refresh guard.
+	proxy.setBlocked(true)
+	proxy.killLive()
+	proxy.setBlocked(false)
+	waitSubscribers(t, ctl, 1) // resubscribed before we listen for silence
+	quiet(300 * time.Millisecond)
+
+	// The resumed subscription is live: the next bucket arrives once.
+	ingestBucket(3, 150)
+	next(3)
+	quiet(200 * time.Millisecond)
+
+	if d := proxy.dialCount(); d < 3 {
+		t.Errorf("proxy dials = %d, want ≥ 3 (initial + two resumes)", d)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("SubscribeResume = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubscribeResume did not return after cancel")
+	}
+}
+
+// TestSubscribeResumePermanentErrors asserts SubscribeResume gives up
+// without retrying on errors reconnecting cannot fix: a 4xx from the
+// server and a handler-returned error.
+func TestSubscribeResumePermanentErrors(t *testing.T) {
+	ctx := context.Background()
+	c := newServer(t)
+	if _, err := c.CreateStream(ctx, apiv1.CreateStreamRequest{Name: "perm"}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stream("perm")
+	pol := backoff.Policy{Initial: time.Millisecond, Exact: true}
+
+	// Unanswerable query: the pre-flight 400 must come straight back.
+	err := st.SubscribeResume(ctx, SubscribeRequest{K: 1, Keywords: []string{"zzztypo"}}, pol,
+		func(Event) error { return nil })
+	if !errors.Is(err, ksir.ErrBadQuery) {
+		t.Errorf("bad-query err = %v, want ErrBadQuery", err)
+	}
+
+	// A handler error is permanent even though the connection was
+	// healthy; ErrStopSubscription still maps to a clean nil. Both need a
+	// live refresh to hand the handler, so subscribe first, ingest after.
+	boom := errors.New("boom")
+	at := int64(30)
+	for _, tc := range []struct {
+		name    string
+		ret     error // what the handler returns
+		want    error // what SubscribeResume must return (nil for clean stop)
+		wantNil bool
+	}{
+		{name: "handler error", ret: boom, want: boom},
+		{name: "handler stop", ret: ErrStopSubscription, wantNil: true},
+	} {
+		done := make(chan error, 1)
+		go func() {
+			done <- st.SubscribeResume(ctx, SubscribeRequest{K: 1, Keywords: []string{"goal"}}, pol,
+				func(Event) error { return tc.ret })
+		}()
+		waitSubscribers(t, st, 1)
+		if _, err := st.Add(ctx, apiv1.Post{ID: at, Time: at, Text: "goal striker"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Flush(ctx, at+30); err != nil {
+			t.Fatal(err)
+		}
+		at += 60
+		select {
+		case err := <-done:
+			if tc.wantNil && err != nil {
+				t.Errorf("%s: SubscribeResume = %v, want nil", tc.name, err)
+			}
+			if !tc.wantNil && !errors.Is(err, tc.want) {
+				t.Errorf("%s: SubscribeResume = %v, want %v", tc.name, err, tc.want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: SubscribeResume did not return", tc.name)
+		}
+		waitSubscribers(t, st, 0) // the dead subscription unregisters before the next round
+	}
+}
+
+// waitSubscribers polls the control-plane stats until the server reports
+// n live subscriptions (the standing query is registered server-side).
+func waitSubscribers(t *testing.T, st *Stream, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := st.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Subscriptions == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriptions = %d, want %d", stats.Subscriptions, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,113 @@
+// Package backoff implements the jittered exponential retry policy the
+// firehose connector (package connector) uses between reconnect attempts,
+// factored out so other long-lived consumers — the client SDK's resuming
+// SSE subscription, custom ingestion daemons — share one tested policy
+// instead of hand-rolling sleeps.
+//
+// A Policy is a value, not a state machine: Delay(attempt) is a pure
+// function of the attempt number (plus jitter), so callers own the attempt
+// counter and decide when progress resets it.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default policy constants.
+const (
+	DefaultInitial    = 100 * time.Millisecond
+	DefaultMax        = 30 * time.Second
+	DefaultMultiplier = 2.0
+	DefaultJitter     = 0.25
+)
+
+// Policy is a jittered exponential backoff: attempt n (0-based) waits
+// Initial×Multiplier^n, capped at Max, with a uniformly random ±Jitter
+// fraction applied so a herd of consumers reconnecting after one upstream
+// outage spreads out instead of stampeding in lockstep.
+//
+// The zero value is usable and means the Default* constants.
+type Policy struct {
+	// Initial is the delay before the first retry (attempt 0).
+	Initial time.Duration
+	// Max caps the exponential growth.
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor (values ≤ 1 mean the
+	// default).
+	Multiplier float64
+	// Jitter is the ± fraction of randomization applied to each delay, in
+	// [0,1). Negative means the default; 0 is valid (no jitter) when set
+	// alongside a non-zero Initial — use Exact for that.
+	Jitter float64
+	// Exact disables jitter entirely (deterministic delays, for tests).
+	Exact bool
+}
+
+// rngMu guards the package rng: Delay may be called from any number of
+// consumer goroutines.
+var (
+	rngMu sync.Mutex
+	rng   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = DefaultInitial
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = DefaultJitter
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	return p
+}
+
+// Delay returns the wait before retry number attempt (0-based). Negative
+// attempts are treated as 0.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(p.Initial)
+	cap := float64(p.Max)
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= p.Multiplier
+	}
+	if d > cap {
+		d = cap
+	}
+	if !p.Exact && p.Jitter > 0 {
+		rngMu.Lock()
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		rngMu.Unlock()
+		d *= f
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits Delay(attempt) or until ctx is done, whichever comes first,
+// returning ctx.Err() in the latter case.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

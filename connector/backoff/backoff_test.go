@@ -1,0 +1,75 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2, Exact: true}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := p.Delay(-3); got != 10*time.Millisecond {
+		t.Errorf("Delay(-3) = %v, want clamp to attempt 0", got)
+	}
+}
+
+func TestJitterStaysWithinFraction(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.25}
+	lo := time.Duration(float64(100*time.Millisecond) * 0.75)
+	hi := time.Duration(float64(100*time.Millisecond) * 1.25)
+	varied := false
+	first := p.Delay(0)
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0)
+		if d < lo || d > hi {
+			t.Fatalf("jittered Delay(0) = %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("200 jittered delays were all identical; jitter not applied")
+	}
+}
+
+func TestZeroValueUsesDefaults(t *testing.T) {
+	var p Policy
+	d0 := p.Delay(0)
+	if d0 < time.Duration(float64(DefaultInitial)*(1-DefaultJitter)) ||
+		d0 > time.Duration(float64(DefaultInitial)*(1+DefaultJitter)) {
+		t.Errorf("zero-value Delay(0) = %v, want ~%v", d0, DefaultInitial)
+	}
+	if d := p.Delay(1000); d > time.Duration(float64(DefaultMax)*(1+DefaultJitter)) {
+		t.Errorf("zero-value Delay(1000) = %v exceeds jittered max", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	p := Policy{Initial: 10 * time.Second, Exact: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := p.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep did not return promptly on cancelled context")
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	p := Policy{Initial: time.Millisecond, Exact: true}
+	if err := p.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package connector_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// faultServer is a scriptable SSE firehose for fault-injection tests. It
+// owns a fixed log of posts (ids 1..total, one shared timestamp) and
+// serves each accepted connection according to the next connPlan in the
+// script: stall mid-event, truncate a frame, inject malformed or
+// oversized frames, replay across the Last-Event-ID cursor, or skip
+// events to fake an upstream resume gap. When the script runs out, every
+// further connection gets the default plan: replay the remainder of the
+// log from the client's cursor, then hold the connection open.
+type faultServer struct {
+	t        *testing.T
+	total    int64
+	overSize int // oversized payload bytes (set above the connector's cap)
+
+	mu      sync.Mutex
+	plans   []connPlan
+	conns   int
+	resumes []int64 // Last-Event-ID per accepted connection
+
+	release chan struct{}
+	srv     *httptest.Server
+}
+
+// connPlan scripts one connection.
+type connPlan struct {
+	send       int  // complete events to send; -1 = rest of the log
+	replayBack int  // re-send this many events before the resume point
+	skip       int  // skip this many events after the resume point (gap)
+	malformed  int  // garbage frames before the events
+	oversized  int  // oversized frames before the events
+	truncate   bool // end by writing a partial frame, then close
+	stall      bool // end by writing a partial frame, then hold until release
+	hold       bool // after sending, hold the connection open until release
+}
+
+func newFaultServer(t *testing.T, total int, plans ...connPlan) *faultServer {
+	fs := &faultServer{
+		t:        t,
+		total:    int64(total),
+		overSize: 64 << 10,
+		plans:    plans,
+		release:  make(chan struct{}),
+	}
+	fs.srv = httptest.NewServer(http.HandlerFunc(fs.handle))
+	t.Cleanup(fs.srv.Close)
+	return fs
+}
+
+func (fs *faultServer) url() string { return fs.srv.URL }
+
+// releaseAll unblocks every stalled or held connection, once.
+func (fs *faultServer) releaseAll() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	select {
+	case <-fs.release:
+	default:
+		close(fs.release)
+	}
+}
+
+func (fs *faultServer) connCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.conns
+}
+
+func (fs *faultServer) resumeCursors() []int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]int64(nil), fs.resumes...)
+}
+
+// postJSON is the wire form DecodePost expects; every post shares one
+// timestamp so ingestion order never trips the stream's in-order check.
+const faultPostTime = 1000
+
+func postJSON(id int64) string {
+	return fmt.Sprintf(`{"id":%d,"time":%d,"text":"goal striker keeper league"}`, id, faultPostTime)
+}
+
+func (fs *faultServer) handle(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		v, err := strconv.ParseInt(lei, 10, 64)
+		if err != nil {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+
+	fs.mu.Lock()
+	plan := connPlan{send: -1, hold: true}
+	if len(fs.plans) > 0 {
+		plan = fs.plans[0]
+		fs.plans = fs.plans[1:]
+	}
+	fs.conns++
+	fs.resumes = append(fs.resumes, since)
+	release := fs.release
+	fs.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	fl := w.(http.Flusher)
+	fl.Flush()
+
+	for i := 0; i < plan.malformed; i++ {
+		fmt.Fprintf(w, "this line has no colon and is not a field %d\n\n", i)
+	}
+	for i := 0; i < plan.oversized; i++ {
+		fmt.Fprintf(w, "event: post\ndata: %s\n\n", strings.Repeat("x", fs.overSize))
+	}
+	if plan.malformed > 0 || plan.oversized > 0 {
+		fl.Flush()
+	}
+
+	start := since + 1 - int64(plan.replayBack)
+	if start < 1 {
+		start = 1
+	}
+	start += int64(plan.skip)
+	sent := 0
+	for id := start; id <= fs.total; id++ {
+		if plan.send >= 0 && sent >= plan.send {
+			break
+		}
+		fmt.Fprintf(w, "id: %d\ndata: %s\n\n", id, postJSON(id))
+		fl.Flush()
+		sent++
+	}
+
+	if plan.truncate || plan.stall {
+		next := start + int64(sent)
+		// A complete id line, then a data line cut mid-JSON with no
+		// dispatch boundary: the classic killed-upstream frame.
+		fmt.Fprintf(w, "id: %d\ndata: {\"id\":%d,\"ti", next, next)
+		fl.Flush()
+		if plan.stall {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+		}
+		return
+	}
+	if plan.hold {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package connector
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	ksir "github.com/social-streams/ksir"
+	"github.com/social-streams/ksir/internal/trace"
+)
+
+// wirePost is the JSON shape DecodePost accepts — the api/v1 Post wire
+// form, decoded strictly so frames with the wrong shape count as
+// malformed instead of silently producing zero-valued posts.
+type wirePost struct {
+	ID   int64   `json:"id"`
+	Time int64   `json:"time"`
+	Text string  `json:"text"`
+	Refs []int64 `json:"refs"`
+}
+
+func (p *wirePost) unmarshal(data []byte) error {
+	if err := json.Unmarshal(data, p); err != nil {
+		return err
+	}
+	if p.ID == 0 && p.Text == "" {
+		return fmt.Errorf("connector: event is not a post: %.64s", data)
+	}
+	return nil
+}
+
+// ingestLoop drains the bounded buffer into the stream: map each event to
+// a post, suppress replayed duplicates, and accumulate a batch that is
+// flushed when it reaches MaxBatch, when BatchWindow elapses, or when the
+// next post crosses a stream bucket boundary — so one AddBatch call never
+// straddles buckets and each batch rides one commit (one WAL append, one
+// shared fsync). Exits when the buffer channel closes, flushing the tail.
+func (c *Connector) ingestLoop() {
+	var pending []ksir.Post
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+
+	bucket := int64(c.hs.Options().Bucket / time.Second)
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		c.flushBatch(pending)
+		pending = pending[:0]
+	}
+
+	for {
+		select {
+		case ev, ok := <-c.buf:
+			if !ok {
+				flush()
+				return
+			}
+			post, err := c.cfg.Map(ev)
+			if err != nil {
+				if err != ErrSkip {
+					c.noteMalformed()
+					c.log().Debug("connector: dropping malformed event", "error", err)
+				}
+				continue
+			}
+			if c.seenBefore(post.ID) {
+				c.duplicates.Add(1)
+				obsDuplicates.Inc()
+				continue
+			}
+			if len(pending) > 0 && bucket > 0 && post.Time/bucket != pending[0].Time/bucket {
+				flush()
+			}
+			pending = append(pending, post)
+			if len(pending) >= c.cfg.MaxBatch {
+				flush()
+			} else if len(pending) == 1 {
+				timer.Reset(c.cfg.BatchWindow)
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+// flushBatch pushes one batch through AddBatchContext under a trace op.
+// AddBatch applies the accepted prefix and stops at the first rejected
+// post; the connector skips that single post (counted) and continues with
+// the remainder, so one out-of-order or in-window-duplicate post never
+// discards the events behind it.
+func (c *Connector) flushBatch(batch []ksir.Post) {
+	op := trace.Start("connector.ingest", c.hs.Name(), trace.SpanContext{})
+	ctx := trace.ContextWith(context.Background(), op)
+	start := time.Now()
+	total := len(batch)
+	for len(batch) > 0 {
+		accepted, err := c.hs.AddBatchContext(ctx, batch)
+		c.batches.Add(1)
+		if accepted > 0 {
+			c.ingested.Add(int64(accepted))
+			obsIngested.Add(uint64(accepted))
+		}
+		if err == nil {
+			break
+		}
+		if accepted < len(batch) {
+			c.rejected.Add(1)
+			obsRejected.Inc()
+			c.log().Debug("connector: stream rejected post",
+				"stream", c.hs.Name(), "post", batch[accepted].ID, "error", err)
+			batch = batch[accepted+1:]
+			continue
+		}
+		// All posts applied but the commit itself failed (persistence):
+		// nothing left to retry at this layer.
+		c.log().Warn("connector: batch commit error", "stream", c.hs.Name(), "error", err)
+		break
+	}
+	obsBatchSize.Observe(uint64(total))
+	obsIngestDur.ObserveDuration(time.Since(start))
+	op.Annotate(trace.Int("connector.batch", int64(total)))
+	op.End()
+}

@@ -1,0 +1,33 @@
+package connector
+
+import "io"
+
+// jsonlReader parses newline-delimited JSON: each non-empty line is one
+// event's payload. There is no protocol-level event id or type; the
+// mapper derives identity from the decoded post. Oversized lines are
+// counted and skipped without losing frame sync (the newline resyncs).
+type jsonlReader struct {
+	lr          *lineReader
+	onOversized func()
+}
+
+func newJSONLReader(r io.Reader, maxBytes int, onOversized func()) *jsonlReader {
+	return &jsonlReader{lr: newLineReader(r, maxBytes), onOversized: onOversized}
+}
+
+func (jr *jsonlReader) Next() (Event, error) {
+	for {
+		line, truncated, err := jr.lr.next()
+		if err != nil {
+			return Event{}, err
+		}
+		if truncated {
+			jr.onOversized()
+			continue
+		}
+		if len(line) == 0 {
+			continue
+		}
+		return Event{Data: append([]byte(nil), line...)}, nil
+	}
+}

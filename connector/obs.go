@@ -1,0 +1,35 @@
+package connector
+
+import "github.com/social-streams/ksir/internal/metrics"
+
+// Connector observability (DESIGN.md §14). Families aggregate over every
+// connector in the process; per-connector breakdowns come from
+// Connector.Stats.
+var (
+	obsEvents = metrics.NewCounter("ksir_connector_events_total",
+		"Complete frames received from firehose upstreams.")
+	obsIngested = metrics.NewCounter("ksir_connector_posts_ingested_total",
+		"Posts accepted into streams by connectors.")
+	obsReconnects = metrics.NewCounter("ksir_connector_reconnects_total",
+		"Connection attempts after the first (including failed dials).")
+	obsDropped = metrics.NewCounter("ksir_connector_dropped_total",
+		"Events shed from full bounded buffers (oldest-first).")
+	obsDuplicates = metrics.NewCounter("ksir_connector_duplicates_total",
+		"Replayed events suppressed by the resume dedupe window.")
+	obsRejected = metrics.NewCounter("ksir_connector_posts_rejected_total",
+		"Posts the stream refused (out-of-order or duplicate in window).")
+	obsMalformed = metrics.NewCounter("ksir_connector_malformed_total",
+		"Undecodable frames and mapper failures, skipped in-stream.")
+	obsOversized = metrics.NewCounter("ksir_connector_oversized_total",
+		"Frames over MaxEventBytes, skipped without reconnecting.")
+	obsResumeGaps = metrics.NewCounter("ksir_connector_resume_gaps_total",
+		"Reconnects whose first event id skipped past the resume cursor.")
+	obsResumeMissed = metrics.NewCounter("ksir_connector_resume_missed_events_total",
+		"Event ids skipped across resume gaps (events lost upstream).")
+	obsBatchSize = metrics.NewHistogram("ksir_connector_batch_size",
+		"Posts per connector ingest batch.", 1,
+		[]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	obsIngestDur = metrics.NewDurationHistogram("ksir_connector_ingest_duration_seconds",
+		"Latency of one connector batch through AddBatch (queue + commit).",
+		metrics.DefBuckets...)
+)

@@ -1,0 +1,98 @@
+package connector
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func collectEvents(t *testing.T, input string, max int) (evs []Event, oversized, malformed int) {
+	t.Helper()
+	sr := newSSEReader(strings.NewReader(input), max,
+		func() { oversized++ }, func() { malformed++ })
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return evs, oversized, malformed
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestSSEReaderFrames(t *testing.T) {
+	input := "retry: 1000\n\n" + // ignored field
+		": heartbeat comment\n\n" + // comment frame, no event
+		"event: post\r\nid: 7\r\ndata: hello\ndata: world\n\n" + // CRLF + multi-line data
+		"data: solo\n\n" + // id is sticky: still 7
+		"not a known field line\n\n" + // malformed frame
+		"id: bad\x00nul\ndata: x\n\n" // NUL in id: id ignored, event kept
+
+	evs, oversized, malformed := collectEvents(t, input, 4096)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d (%+v), want 3", len(evs), evs)
+	}
+	if evs[0].ID != "7" || evs[0].Type != "post" || string(evs[0].Data) != "hello\nworld" {
+		t.Errorf("ev0 = %+v", evs[0])
+	}
+	if evs[1].ID != "7" || evs[1].Type != "" || string(evs[1].Data) != "solo" {
+		t.Errorf("ev1 = %+v: id must be sticky across events", evs[1])
+	}
+	if evs[2].ID != "7" || string(evs[2].Data) != "x" {
+		t.Errorf("ev2 = %+v: NUL id must be ignored", evs[2])
+	}
+	if oversized != 0 || malformed != 1 {
+		t.Errorf("oversized = %d malformed = %d, want 0 and 1", oversized, malformed)
+	}
+}
+
+func TestSSEReaderOversizedResynchronizes(t *testing.T) {
+	input := "data: " + strings.Repeat("a", 500) + "\n\n" + // oversized line
+		"data: ok\n\n" +
+		"data: b\ndata: " + strings.Repeat("c", 200) + "\ndata: d\n\n" + // accumulated > max
+		"data: fine\n\n"
+	evs, oversized, _ := collectEvents(t, input, 128)
+	if len(evs) != 2 || string(evs[0].Data) != "ok" || string(evs[1].Data) != "fine" {
+		t.Fatalf("events = %+v, want exactly the two small ones", evs)
+	}
+	if oversized != 2 {
+		t.Errorf("oversized = %d, want 2", oversized)
+	}
+}
+
+func TestSSEReaderTruncatedTailDiscarded(t *testing.T) {
+	sr := newSSEReader(strings.NewReader("id: 3\ndata: full\n\nid: 4\ndata: par"), 4096,
+		func() {}, func() {})
+	ev, err := sr.Next()
+	if err != nil || ev.ID != "3" {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+	if _, err := sr.Next(); err == nil {
+		t.Fatal("partial tail frame delivered; must error without dispatching")
+	}
+}
+
+func TestJSONLReaderSkipsOversized(t *testing.T) {
+	input := strings.Repeat("z", 300) + "\n{\"id\":1}\n\n{\"id\":2}\n"
+	oversized := 0
+	jr := newJSONLReader(strings.NewReader(input), 128, func() { oversized++ })
+	var got []string
+	for {
+		ev, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(ev.Data))
+	}
+	if len(got) != 2 || got[0] != `{"id":1}` || got[1] != `{"id":2}` {
+		t.Fatalf("lines = %v", got)
+	}
+	if oversized != 1 {
+		t.Errorf("oversized = %d, want 1", oversized)
+	}
+}

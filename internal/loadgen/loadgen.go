@@ -1,0 +1,221 @@
+// Package loadgen is an open-loop load generator: operations are
+// dispatched on a precomputed arrival schedule, never gated on the
+// completion of earlier operations, and latency is measured from each
+// operation's *scheduled* send time. A closed-loop harness (send, await,
+// send) silently stretches its arrival process whenever the system stalls
+// — the coordinated-omission trap — so its percentiles miss exactly the
+// intervals that matter. Here a stall leaves the schedule untouched:
+// every operation scheduled during it observes the queueing delay, and
+// the percentiles include it.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shape selects the arrival process.
+type Shape int
+
+const (
+	// Poisson arrivals: exponential inter-arrival times with mean 1/rate —
+	// the memoryless baseline for independent producers.
+	Poisson Shape = iota
+	// Bursty arrivals: on/off bursts — runs of closely spaced arrivals
+	// (10× the nominal rate inside a burst) separated by idle gaps sized
+	// to preserve the overall mean rate. Stresses queueing and group
+	// commit far harder than Poisson at the same average load.
+	Bursty
+	// Uniform arrivals: a fixed gap of exactly 1/rate — the easiest shape,
+	// useful as a debugging floor.
+	Uniform
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Uniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// ParseShape maps "poisson", "bursty" or "uniform" to a Shape.
+func ParseShape(s string) (Shape, error) {
+	switch strings.ToLower(s) {
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	case "uniform":
+		return Uniform, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival shape %q (want poisson, bursty or uniform)", s)
+}
+
+// Bursty-shape constants: bursts average burstMean arrivals at burstSpeed×
+// the nominal rate, with exponentially distributed idle gaps sized so the
+// long-run mean rate is preserved.
+const (
+	burstMean  = 16
+	burstSpeed = 10.0
+)
+
+// Offsets precomputes a deterministic arrival schedule: n offsets from
+// the run's start, non-decreasing, with mean rate `rate` per second.
+// Precomputing (rather than drawing inter-arrivals live) is what makes
+// the schedule immune to back-pressure: dispatch can fall behind, the
+// schedule never moves.
+func Offsets(shape Shape, n int, rate float64, seed int64) []time.Duration {
+	if n <= 0 || rate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	offs := make([]time.Duration, n)
+	var at float64 // seconds
+	switch shape {
+	case Uniform:
+		for i := range offs {
+			offs[i] = time.Duration(float64(i) / rate * float64(time.Second))
+		}
+	case Poisson:
+		for i := range offs {
+			at += rng.ExpFloat64() / rate
+			offs[i] = time.Duration(at * float64(time.Second))
+		}
+	case Bursty:
+		inBurst := 0
+		burstLen := 1 + rng.Intn(2*burstMean-1) // mean ≈ burstMean
+		for i := range offs {
+			if inBurst >= burstLen {
+				// Idle gap: the burst of burstLen arrivals used
+				// burstLen/(burstSpeed·rate) seconds; the gap restores the
+				// long-run mean to `rate`.
+				mean := float64(burstLen) / rate * (1 - 1/burstSpeed)
+				at += rng.ExpFloat64() * mean
+				inBurst = 0
+				burstLen = 1 + rng.Intn(2*burstMean-1)
+			}
+			at += rng.ExpFloat64() / (burstSpeed * rate)
+			offs[i] = time.Duration(at * float64(time.Second))
+			inBurst++
+		}
+	}
+	return offs
+}
+
+// Op is one operation: i is its schedule index. Errors are counted, not
+// retried — an open-loop generator never converts failures into rate
+// reduction.
+type Op func(ctx context.Context, i int) error
+
+// Result is one run's measurements.
+type Result struct {
+	// Latency[k] is completion time minus *scheduled* send time for the
+	// k-th dispatched op — queueing delay included, coordinated-omission
+	// free.
+	Latency []time.Duration
+	// Service[k] is completion minus actual send: what a closed-loop
+	// harness would have reported. The gap between the two distributions
+	// is the omission a closed loop hides.
+	Service []time.Duration
+	// Errors counts failed ops.
+	Errors int64
+	// Elapsed is dispatch start to last completion.
+	Elapsed time.Duration
+	// MaxLag is the worst dispatch lag behind schedule (scheduler + op
+	// spawn overhead; large values mean the generator itself saturated).
+	MaxLag time.Duration
+}
+
+// Run dispatches one op per schedule offset and waits for all of them.
+// A single dispatcher goroutine sleeps to each offset and spawns the op;
+// if it falls behind, it dispatches immediately but never re-anchors the
+// schedule. Cancelling ctx stops dispatch; already-started ops finish
+// (they receive the same ctx) and the Result covers the dispatched
+// prefix.
+func Run(ctx context.Context, offsets []time.Duration, op Op) Result {
+	res := Result{
+		Latency: make([]time.Duration, len(offsets)),
+		Service: make([]time.Duration, len(offsets)),
+	}
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	dispatched := 0
+	for i, off := range offsets {
+		sched := t0.Add(off)
+		if d := time.Until(sched); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+			case <-timer.C:
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if lag := time.Since(sched); lag > res.MaxLag {
+			res.MaxLag = lag
+		}
+		dispatched++
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			start := time.Now()
+			err := op(ctx, i)
+			end := time.Now()
+			res.Latency[i] = end.Sub(sched)
+			res.Service[i] = end.Sub(start)
+			if err != nil {
+				errs.Add(1)
+			}
+		}(i, sched)
+	}
+	wg.Wait()
+	res.Latency = res.Latency[:dispatched]
+	res.Service = res.Service[:dispatched]
+	res.Errors = errs.Load()
+	res.Elapsed = time.Since(t0)
+	return res
+}
+
+// Percentile returns the p-th percentile (0–100) of durs, interpolation-
+// free (nearest-rank on a sorted copy). Zero for an empty slice.
+func Percentile(durs []time.Duration, p float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), durs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	i := int(p / 100 * float64(len(cp)-1))
+	return cp[i]
+}
+
+// Mean returns the arithmetic mean of durs (zero for an empty slice).
+func Mean(durs []time.Duration) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	return sum / time.Duration(len(durs))
+}

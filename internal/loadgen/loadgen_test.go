@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseShape(t *testing.T) {
+	for in, want := range map[string]Shape{"poisson": Poisson, "Bursty": Bursty, "UNIFORM": Uniform} {
+		got, err := ParseShape(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShape(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseShape("sawtooth"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestOffsetsDeterministicOrderedAndRated(t *testing.T) {
+	const n, rate = 5000, 2000.0
+	for _, shape := range []Shape{Poisson, Bursty, Uniform} {
+		a := Offsets(shape, n, rate, 42)
+		b := Offsets(shape, n, rate, 42)
+		if len(a) != n {
+			t.Fatalf("%v: len = %d", shape, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: schedule not deterministic at %d", shape, i)
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%v: offsets decrease at %d: %v < %v", shape, i, a[i], a[i-1])
+			}
+		}
+		// Realized mean rate within 15% of target over 5000 arrivals.
+		got := float64(n-1) / a[n-1].Seconds()
+		if got < rate*0.85 || got > rate*1.15 {
+			t.Errorf("%v: realized rate %.0f/s, want ~%.0f/s", shape, got, rate)
+		}
+	}
+	if Offsets(Poisson, 100, rate, 1)[99] == Offsets(Poisson, 100, rate, 2)[99] {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestBurstyIsBurstier(t *testing.T) {
+	const n, rate = 4000, 1000.0
+	shortGaps := func(offs []time.Duration) int {
+		// Inter-arrivals under a tenth of the nominal 1/rate gap.
+		cut := time.Duration(float64(time.Second) / rate / 10)
+		k := 0
+		for i := 1; i < len(offs); i++ {
+			if offs[i]-offs[i-1] < cut {
+				k++
+			}
+		}
+		return k
+	}
+	p := shortGaps(Offsets(Poisson, n, rate, 7))
+	b := shortGaps(Offsets(Bursty, n, rate, 7))
+	if b < 2*p {
+		t.Errorf("bursty short gaps = %d, poisson = %d; bursty should cluster far more", b, p)
+	}
+}
+
+// stalledSink models a server that serializes requests and stalls once
+// for the given duration on its first request.
+func stalledSink(stall time.Duration) func() {
+	var mu sync.Mutex
+	first := true
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if first {
+			first = false
+			time.Sleep(stall)
+		}
+	}
+}
+
+// TestStalledSinkShowsUpInPercentiles is the coordinated-omission
+// regression guard: against a server that stalls once, the open-loop
+// (from-scheduled) percentiles must carry the stall for every op
+// scheduled during it, while a closed-loop send-await harness over the
+// *same* server hides it — the stall stretches its arrival process, so
+// only the single stalled op measures slow and the percentiles look
+// healthy. If Run ever re-anchors its schedule when behind, the open-loop
+// columns collapse to the closed-loop ones and this test fails.
+func TestStalledSinkShowsUpInPercentiles(t *testing.T) {
+	const n = 200
+	const gap = time.Millisecond
+	const stall = 300 * time.Millisecond
+	offsets := make([]time.Duration, n)
+	for i := range offsets {
+		offsets[i] = time.Duration(i) * gap // 200ms of uniform schedule
+	}
+
+	sink := stalledSink(stall)
+	res := Run(context.Background(), offsets, func(ctx context.Context, i int) error {
+		sink()
+		return nil
+	})
+	if len(res.Latency) != n || res.Errors != 0 {
+		t.Fatalf("dispatched %d errors %d", len(res.Latency), res.Errors)
+	}
+	// Most of the schedule lands inside the stall, so even the median
+	// carries queueing delay and the tail approaches the full stall.
+	if p50 := Percentile(res.Latency, 50); p50 < 20*time.Millisecond {
+		t.Errorf("open-loop p50 = %v: stall-induced queueing missing (coordinated omission)", p50)
+	}
+	if p99 := Percentile(res.Latency, 99); p99 < 100*time.Millisecond {
+		t.Errorf("open-loop p99 = %v, want ≥ 100ms of stall visible", p99)
+	}
+
+	// The closed-loop comparator: send, await, sleep the gap. Same
+	// server, same stall — but only op 0 measures slow, so p99 over the
+	// remaining 199 stays small. This is the measurement error the
+	// open-loop harness exists to avoid.
+	sink = stalledSink(stall)
+	closed := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		sink()
+		closed = append(closed, time.Since(start))
+		time.Sleep(gap)
+	}
+	if p99 := Percentile(closed, 99); p99 > 100*time.Millisecond {
+		t.Errorf("closed-loop p99 = %v: comparator unexpectedly saw the stall", p99)
+	}
+}
+
+func TestRunHonorsCancel(t *testing.T) {
+	offsets := make([]time.Duration, 1000)
+	for i := range offsets {
+		offsets[i] = time.Duration(i) * 10 * time.Millisecond // 10s schedule
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := Run(ctx, offsets, func(ctx context.Context, i int) error { return nil })
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Run did not stop promptly on cancel")
+	}
+	if len(res.Latency) == 0 || len(res.Latency) >= 1000 {
+		t.Errorf("dispatched = %d, want a strict prefix", len(res.Latency))
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	durs := []time.Duration{4, 1, 3, 2, 5}
+	if p := Percentile(durs, 0); p != 1 {
+		t.Errorf("p0 = %v", p)
+	}
+	if p := Percentile(durs, 50); p != 3 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := Percentile(durs, 100); p != 5 {
+		t.Errorf("p100 = %v", p)
+	}
+	if m := Mean(durs); m != 3 {
+		t.Errorf("mean = %v", m)
+	}
+	if Percentile(nil, 50) != 0 || Mean(nil) != 0 {
+		t.Error("empty slices must yield zero")
+	}
+}

@@ -95,6 +95,15 @@ const sseBuffer = 32
 //
 // Each event is `event: refresh` with `id:` and the body's "bucket" field
 // carrying the bucket sequence the refresh observed.
+//
+// Resume: a reconnecting consumer presents the last bucket seq it saw via
+// the standard SSE `Last-Event-ID` header (or a `last_event_id` query
+// parameter for clients that cannot set headers). The server then (a)
+// replays the current answer immediately as a catch-up refresh when
+// buckets were ingested while the consumer was away, and (b) suppresses
+// refreshes for buckets at or below the presented cursor, so a consumer
+// that reconnects with the id of its last received event never sees a
+// bucket twice.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksir.StreamHandle) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -111,10 +120,27 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 		writeError(w, err)
 		return
 	}
+	// Resume cursor: -1 means a fresh subscription (bucket seqs start at
+	// 1, so -1 never suppresses anything).
+	sinceBucket := int64(-1)
+	lei := r.Header.Get("Last-Event-ID")
+	if lei == "" {
+		lei = r.URL.Query().Get("last_event_id")
+	}
+	if lei != "" {
+		v, perr := strconv.ParseInt(lei, 10, 64)
+		if perr != nil || v < 0 {
+			writeError(w, fmt.Errorf("%w: bad Last-Event-ID %q", ksir.ErrBadSubscription, lei))
+			return
+		}
+		sinceBucket = v
+	}
 	// Pre-flight the standing query once: an unanswerable query (e.g.
 	// keywords outside the model vocabulary) gets an immediate 400 here
-	// instead of a 200 event stream that only ever heartbeats.
-	if _, err := hs.Query(r.Context(), q); err != nil {
+	// instead of a 200 event stream that only ever heartbeats. On resume
+	// the answer doubles as the catch-up refresh below.
+	pre, err := hs.Query(r.Context(), q)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -158,6 +184,24 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 	fmt.Fprintf(w, ": subscribed stream=%s k=%d every=%s\n\n", hs.Name(), q.K, every)
 	flusher.Flush()
 
+	// lastSent is the resume/duplicate filter: refreshes observe strictly
+	// increasing bucket seqs (they fire at bucket boundaries), so anything
+	// at or below it was already delivered — on this connection or the one
+	// this consumer is resuming from.
+	lastSent := sinceBucket
+	if resp := toResponse(pre); sinceBucket >= 0 && resp.Bucket > sinceBucket {
+		// Catch-up refresh: buckets were ingested while the consumer was
+		// disconnected. Replay the current answer now instead of leaving
+		// it stale until the next boundary fires.
+		if data, merr := json.Marshal(resp); merr == nil {
+			if _, err := fmt.Fprintf(w, "event: refresh\nid: %d\ndata: %s\n\n", resp.Bucket, data); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastSent = resp.Bucket
+		}
+	}
+
 	heartbeat := time.NewTicker(15 * time.Second)
 	defer heartbeat.Stop()
 	for {
@@ -183,6 +227,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 			}
 			flusher.Flush()
 		case ev := <-events:
+			if ev.Bucket <= lastSent {
+				// Already delivered (the catch-up refresh, or an event the
+				// consumer received before reconnecting): a resume must
+				// not duplicate refreshes.
+				continue
+			}
 			data, err := json.Marshal(ev)
 			if err != nil {
 				continue
@@ -191,6 +241,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, hs *ksi
 				return
 			}
 			flusher.Flush()
+			lastSent = ev.Bucket
 		}
 	}
 }

@@ -400,16 +400,17 @@ func checkIngestBaseline(w io.Writer, jsonDir, baseline string, factor float64) 
 	return nil
 }
 
-// checkTenancyBaseline gates the hibernation trajectory on its two
-// budgets: the lazy-reactivation tail (p99 activation latency) and the
-// hot-tier footprint (resident bytes per stream). Either exceeding the
-// committed baseline by more than the regression factor fails the run.
+// checkTenancyBaseline gates the hibernation trajectory on its budgets:
+// the lazy-reactivation median and tail (p50/p99 activation latency) and
+// the hot-tier footprint (resident bytes per stream). Any of them
+// exceeding the committed baseline by more than the regression factor
+// fails the run.
 func checkTenancyBaseline(w io.Writer, jsonDir, baseline string, factor float64) error {
 	if jsonDir == "" {
 		return fmt.Errorf("-tenancy-baseline requires -json <dir>")
 	}
 	freshPath := filepath.Join(jsonDir, "BENCH_tenancy.json")
-	for _, metric := range []string{"tenancy-activation-p99-ms", "tenancy-resident-bytes-per-stream"} {
+	for _, metric := range []string{"tenancy-activation-p50-ms", "tenancy-activation-p99-ms", "tenancy-resident-bytes-per-stream"} {
 		fresh, base, err := experiments.CompareBenchJSON(freshPath, baseline, metric, factor)
 		if err != nil {
 			return err

@@ -60,6 +60,33 @@ type Hub struct {
 	hibStop chan struct{}
 	hibDone chan struct{}
 	hibOnce sync.Once
+
+	// Ghost list (EvictClock only): names of recently hibernated streams,
+	// keyed to an eviction sequence so the oldest entries age out. A
+	// reactivation that finds its name here was evicted too eagerly — it
+	// re-admits protected (second-chance bit set) and counts a ghost hit.
+	ghostMu  sync.Mutex
+	ghost    map[string]uint64
+	ghostSeq uint64
+
+	// Background predictive prefetcher (PersistOptions.PrefetchSweep > 0).
+	pfStop chan struct{}
+	pfDone chan struct{}
+	pfOnce sync.Once
+
+	// Background back-buffer materializer (every durable hub): freshly
+	// activated streams are queued here so their lazily deferred back
+	// buffer is built off both the activation and the first-write path. A
+	// full queue just drops the handoff — the first write pays the build.
+	matq    chan matReq
+	matStop chan struct{}
+	matDone chan struct{}
+	matOnce sync.Once
+
+	// lastActivateNs is the hub-wide activation clock (UnixNano of the
+	// most recent stream activation); the materializer defers builds
+	// until it has been quiet for materializeDebounce.
+	lastActivateNs atomic.Int64
 }
 
 // HubOption tunes a Hub created with NewHub.
@@ -96,7 +123,10 @@ func (h *Hub) log() *slog.Logger {
 // NewHub creates an empty registry. Call CloseAll when done with it:
 // each stream's writer goroutine runs until its stream is closed.
 func NewHub(opts ...HubOption) *Hub {
-	h := &Hub{streams: make(map[string]*StreamHandle)}
+	h := &Hub{
+		streams: make(map[string]*StreamHandle),
+		ghost:   make(map[string]uint64),
+	}
 	for _, o := range opts {
 		o(h)
 	}
@@ -287,6 +317,198 @@ func (h *Hub) stopHibernator() {
 	<-h.hibDone
 }
 
+// evictionPolicy resolves the hub's victim policy (EvictClock on
+// in-memory hubs, which never evict anyway).
+func (h *Hub) evictionPolicy() EvictionPolicy {
+	if h.p == nil {
+		return EvictClock
+	}
+	return h.p.opts.Eviction
+}
+
+// ghostRecord remembers a hibernated stream's name on the ghost list
+// (EvictClock under a residency budget only). The list is bounded at
+// max(32, 2×MaxResidentStreams); the oldest entry ages out first.
+func (h *Hub) ghostRecord(name string) {
+	if !h.residencyBudgeted() || h.evictionPolicy() != EvictClock {
+		return
+	}
+	limit := 2 * h.p.opts.MaxResidentStreams
+	if limit < 32 {
+		limit = 32
+	}
+	h.ghostMu.Lock()
+	defer h.ghostMu.Unlock()
+	h.ghostSeq++
+	h.ghost[name] = h.ghostSeq
+	for len(h.ghost) > limit {
+		oldName, oldSeq := "", uint64(0)
+		for n, s := range h.ghost {
+			if oldName == "" || s < oldSeq {
+				oldName, oldSeq = n, s
+			}
+		}
+		delete(h.ghost, oldName)
+	}
+}
+
+// ghostTake consumes a ghost-list entry for name, reporting whether one
+// existed — the activation path's "evicted too eagerly" signal.
+func (h *Hub) ghostTake(name string) bool {
+	if h.p == nil || h.evictionPolicy() != EvictClock {
+		return false
+	}
+	h.ghostMu.Lock()
+	defer h.ghostMu.Unlock()
+	if _, ok := h.ghost[name]; !ok {
+		return false
+	}
+	delete(h.ghost, name)
+	return true
+}
+
+// startPrefetcher launches the background predictive prefetcher (no-op
+// unless PrefetchSweep is set). Called once, from OpenHub.
+func (h *Hub) startPrefetcher() {
+	if h.p == nil || h.p.opts.PrefetchSweep <= 0 {
+		return
+	}
+	h.pfStop = make(chan struct{})
+	h.pfDone = make(chan struct{})
+	sweep := h.p.opts.PrefetchSweep
+	go func() {
+		defer close(h.pfDone)
+		t := time.NewTicker(sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.prefetchSweep()
+			case <-h.pfStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopPrefetcher ends the prefetch sweep and waits for it to exit.
+func (h *Hub) stopPrefetcher() {
+	if h.pfStop == nil {
+		return
+	}
+	h.pfOnce.Do(func() { close(h.pfStop) })
+	<-h.pfDone
+}
+
+// prefetchSweep scans the hibernated streams once and enqueues a
+// fire-and-forget activation for each one that is due — by standing hint
+// (StreamHandle.Prefetch) or by its predicted next touch falling within
+// the lookahead. Everything is best-effort and non-blocking: a stream
+// whose queue is busy is simply picked up by a later sweep or by the
+// demand operation it was predicted for.
+func (h *Hub) prefetchSweep() {
+	look := int64(h.p.opts.PrefetchLookahead)
+	now := time.Now().UnixNano()
+	h.mu.RLock()
+	var due []*StreamHandle
+	for _, hs := range h.streams {
+		if hs.stp.Load() != nil || hs.pers == nil {
+			continue
+		}
+		if hs.prefetchDue(now, look) {
+			due = append(due, hs)
+		}
+	}
+	h.mu.RUnlock()
+	for _, hs := range due {
+		hs.tryActivateAsync()
+	}
+}
+
+// matReq is one queued background build; at is the activation time the
+// debounce counts from.
+type matReq struct {
+	hs *StreamHandle
+	at time.Time
+}
+
+// startMaterializer launches the background back-buffer builder (every
+// durable hub: activations are lazy by default). Builds are debounced
+// against the hub's activation clock: a queued build waits until no
+// stream anywhere on the hub has activated for materializeDebounce. That
+// buys two things. A stream churned straight back out of the hot tier
+// (activated by one read, evicted by the next admission) never pays for a
+// back buffer nobody will write to — materializeNow skips streams
+// hibernated in the meantime. And during an activation storm (tenant
+// churn, cold restart) the builder stays silent instead of stealing CPU
+// from demand activations — a ~1ms build scheduled between two cold
+// touches shows up directly in their queue-wait tail on small hosts.
+// Streams that stay resident get their buffer built once the storm
+// subsides, well before a typical first write; if a write lands sooner,
+// it builds inline exactly as if there were no background task. Called
+// once, from OpenHub.
+func (h *Hub) startMaterializer() {
+	if h.p == nil {
+		return
+	}
+	h.matq = make(chan matReq, materializeQueueCap)
+	h.matStop = make(chan struct{})
+	h.matDone = make(chan struct{})
+	go func() {
+		defer close(h.matDone)
+		timer := time.NewTimer(materializeDebounce)
+		defer timer.Stop()
+		for {
+			select {
+			case req := <-h.matq:
+				for {
+					due := req.at
+					if last := time.Unix(0, h.lastActivateNs.Load()); last.After(due) {
+						due = last
+					}
+					d := materializeDebounce - time.Since(due)
+					if d <= 0 {
+						break
+					}
+					timer.Reset(d)
+					select {
+					case <-timer.C:
+					case <-h.matStop:
+						return
+					}
+				}
+				req.hs.materializeNow()
+			case <-h.matStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopMaterializer ends the background materializer and waits for it to
+// exit (any in-progress build completes first — it holds only the
+// engine's writer lock, never a hub lock).
+func (h *Hub) stopMaterializer() {
+	if h.matStop == nil {
+		return
+	}
+	h.matOnce.Do(func() { close(h.matStop) })
+	<-h.matDone
+}
+
+// queueMaterialize hands a freshly activated stream to the background
+// materializer, non-blocking: on a full queue the first write pays the
+// build instead, exactly as if there were no background task.
+func (h *Hub) queueMaterialize(hs *StreamHandle) {
+	if h.matq == nil {
+		return
+	}
+	select {
+	case h.matq <- matReq{hs: hs, at: time.Now()}:
+	default:
+	}
+}
+
 // residencyCandidate is one resident stream considered for eviction.
 type residencyCandidate struct {
 	hs           *StreamHandle
@@ -312,12 +534,18 @@ func (h *Hub) residentByCold(exclude *StreamHandle) ([]residencyCandidate, int64
 	return cands, total
 }
 
-// EnforceResidency applies the residency budget once, synchronously: the
-// coldest resident streams by last touch are hibernated until the
+// EnforceResidency applies the residency budget once, synchronously:
+// resident streams are hibernated, coldest first by last touch, until the
 // resident count and summed approximate bytes fit the configured budget,
-// and the number hibernated is returned. Streams that are busy (standing
-// queries) or closing are skipped; other hibernation failures are joined
-// into the returned error. The background hibernator calls this every
+// and the number hibernated is returned. Under EvictClock (the default) a
+// first pass skips protected streams — second-chance bit set (touched
+// again since admission) or prefetched-and-unconsumed — counting a save
+// per skip; if the protected set alone still overflows the budget, a
+// second pass demotes every remaining stream's bit (the clock hand has
+// swept full circle) and falls back to coldest-first LRU, still sparing
+// in-flight prefetches. Streams that are busy (standing queries) or
+// closing are skipped; other hibernation failures are joined into the
+// returned error. The background hibernator calls this every
 // ResidencySweep; callers may also invoke it directly (e.g. before a
 // measurement that wants a settled hot tier). Without a budget it does
 // nothing.
@@ -327,22 +555,56 @@ func (h *Hub) EnforceResidency() (int, error) {
 	}
 	maxN, maxB := h.p.opts.MaxResidentStreams, h.p.opts.MaxResidentBytes
 	cands, totalB := h.residentByCold(nil)
+	clock := h.evictionPolicy() == EvictClock
 	var (
 		n    int
 		errs []error
 	)
-	for _, c := range cands {
-		if !(maxN > 0 && len(cands)-n > maxN) && !(maxB > 0 && totalB > maxB) {
-			break
-		}
+	over := func() bool {
+		return (maxN > 0 && len(cands)-n > maxN) || (maxB > 0 && totalB > maxB)
+	}
+	gone := make(map[*StreamHandle]bool)
+	evict := func(c residencyCandidate) {
 		switch err := c.hs.Hibernate(); {
 		case err == nil:
 			n++
 			totalB -= c.bytes
+			gone[c.hs] = true
 		case errors.Is(err, ErrStreamBusy) || errors.Is(err, ErrStreamClosed):
 			// Busy or closing streams stay resident; try the next-coldest.
 		default:
 			errs = append(errs, fmt.Errorf("hibernating %q: %w", c.hs.name, err))
+		}
+	}
+	for _, c := range cands {
+		if !over() {
+			break
+		}
+		if clock && (c.hs.refBit.Load() || c.hs.prefetched.Load()) {
+			c.hs.secondChanceSaves.Add(1)
+			obsResSecondChanceSaves.Inc()
+			continue
+		}
+		evict(c)
+	}
+	if clock && over() {
+		// The hand swept full circle without finding enough unprotected
+		// victims: demote every survivor's bit (it must be re-earned by
+		// another touch) and evict coldest-first, sparing only streams a
+		// prefetch is mid-flight on.
+		for _, c := range cands {
+			if !gone[c.hs] {
+				c.hs.refBit.Store(false)
+			}
+		}
+		for _, c := range cands {
+			if !over() {
+				break
+			}
+			if gone[c.hs] || c.hs.prefetched.Load() {
+				continue
+			}
+			evict(c)
 		}
 	}
 	return n, errors.Join(errs...)
@@ -354,6 +616,12 @@ func (h *Hub) EnforceResidency() (int, error) {
 // the package; it exists so a skipped eviction is distinguishable from a
 // completed one in the serialized tryHibernateAsync path.
 var errStaleEviction = errors.New("ksir: stale eviction")
+
+// errStalePrefetch is its prefetch twin: a predictive activation that was
+// no longer admissible (hub full of warmer streams) or no longer needed
+// (demand got there first) when it drained. Fire-and-forget; never
+// escapes the package.
+var errStalePrefetch = errors.New("ksir: stale prefetch")
 
 // evictionWarranted reports whether a policy eviction still serves its
 // purpose, re-checked at eviction-commit time against the live resident
@@ -386,8 +654,17 @@ func (h *Hub) evictionWarranted() bool {
 // could each be waiting behind the other's backlog (deadlock). Eviction
 // is therefore best-effort TryLock + non-blocking send: a victim too busy
 // to take the op is skipped, the budget transiently overshoots, and the
-// background sweep settles it.
-func (h *Hub) makeRoom(hs *StreamHandle) {
+// background sweep settles it. Under EvictClock, protected victims —
+// second-chance bit or pending prefetch — are likewise skipped (counted
+// as saves) rather than demoted: admission alone never strips a hot
+// stream's protection, so a burst of one-shot admissions churns through
+// its own probationary streams and leaves the bit-carrying regulars
+// alone. Only the full-circle sweep (EnforceResidency) demotes bits.
+//
+// A positive ceiling bounds the eviction to victims strictly colder than
+// it — the prefetch guarantee that an admission never evicts a stream
+// warmer than the one it admits.
+func (h *Hub) makeRoom(hs *StreamHandle, ceiling int64) {
 	if !h.residencyBudgeted() {
 		return
 	}
@@ -401,10 +678,19 @@ func (h *Hub) makeRoom(hs *StreamHandle) {
 	if need == 0 && !(maxB > 0 && totalB > maxB) {
 		return
 	}
+	clock := h.evictionPolicy() == EvictClock
 	queued := false
 	for _, c := range cands {
 		if need <= 0 && !(maxB > 0 && totalB > maxB) {
 			break
+		}
+		if ceiling > 0 && c.touch >= ceiling {
+			break // sorted coldest-first: only warmer victims remain
+		}
+		if clock && (c.hs.refBit.Load() || c.hs.prefetched.Load()) {
+			c.hs.secondChanceSaves.Add(1)
+			obsResSecondChanceSaves.Inc()
+			continue
 		}
 		if c.hs.tryHibernateAsync(c.touch) {
 			queued = true
@@ -420,6 +706,36 @@ func (h *Hub) makeRoom(hs *StreamHandle) {
 	if queued {
 		runtime.Gosched()
 	}
+}
+
+// prefetchAdmissible re-validates a prefetch decision at commit time: the
+// prefetch op may have sat behind a writer backlog, and activating now
+// must still not displace anything warmer than the stream it admits.
+// Admissible when the budget has room, or when at least one resident
+// victim is strictly colder than the prefetched stream's own last touch
+// and unprotected. Inadmissible prefetches quietly no-op — the demand
+// operation they anticipated will activate on its own terms.
+func (h *Hub) prefetchAdmissible(hs *StreamHandle) bool {
+	if !h.residencyBudgeted() {
+		return true
+	}
+	maxN, maxB := h.p.opts.MaxResidentStreams, h.p.opts.MaxResidentBytes
+	cands, totalB := h.residentByCold(hs)
+	if !(maxN > 0 && len(cands)+1 > maxN) && !(maxB > 0 && totalB > maxB) {
+		return true
+	}
+	ceiling := hs.lastTouch.Load()
+	clock := h.evictionPolicy() == EvictClock
+	for _, c := range cands {
+		if c.touch >= ceiling {
+			return false // sorted coldest-first: only warmer victims remain
+		}
+		if clock && (c.hs.refBit.Load() || c.hs.prefetched.Load()) {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // Get returns the handle registered under name, or ErrUnknownStream.
@@ -478,6 +794,8 @@ func (h *Hub) Close(name string) error {
 // regardless.
 func (h *Hub) CloseAll() error {
 	h.stopHibernator()
+	h.stopPrefetcher()
+	h.stopMaterializer()
 	var errs []error
 	for _, name := range h.List() {
 		if err := h.Close(name); err != nil && !errors.Is(err, ErrUnknownStream) {
@@ -497,7 +815,27 @@ const (
 	// maxCommitOps is the most queued operations one commit batch
 	// coalesces (one engine application pass, one WAL append, one fsync).
 	maxCommitOps = 128
+	// materializeQueueCap bounds the background materializer's handoff
+	// queue; a full queue drops the handoff (the first write builds the
+	// buffer instead).
+	materializeQueueCap = 64
+	// materializeDebounce is how long the hub must go without any stream
+	// activation before the background materializer runs a queued build:
+	// long enough that churned-out streams are hibernated again (and
+	// skipped) and that builds never contend with an activation storm,
+	// short enough that a stream which settles in has its back buffer
+	// ready before a typical first write.
+	materializeDebounce = 100 * time.Millisecond
 )
+
+// minTouchGapNs is the smallest inter-touch gap fed into the recurrence
+// EWMA: sub-millisecond gaps are one logical burst (a query fan-out, a
+// batch of adds), not a recurrence period worth predicting.
+const minTouchGapNs = int64(time.Millisecond)
+
+// prefetchHintTTL is how long a standing-signal hint (StreamHandle.
+// Prefetch) keeps a hibernated stream prefetch-eligible.
+const prefetchHintTTL = 30 * time.Second
 
 // opKind discriminates queued write operations.
 type opKind uint8
@@ -567,6 +905,11 @@ type writeOp struct {
 	// under budget — a stale eviction is a no-op (see commit).
 	evict      bool
 	evictTouch int64
+
+	// prefetch marks an opActivate queued fire-and-forget by the
+	// predictive prefetcher; its admissibility is re-validated at commit
+	// time (see Hub.prefetchAdmissible) and nobody awaits its result.
+	prefetch bool
 
 	// Results.
 	err      error
@@ -699,6 +1042,35 @@ type StreamHandle struct {
 	residentBytes    atomic.Int64
 	lastStats        atomic.Pointer[StreamStats]
 
+	// Clock-eviction state (EvictClock). refBit is the second-chance bit:
+	// set by every touch while resident, cleared at activation (a fresh
+	// admission is probationary until touched again) and by the
+	// full-circle demotion pass of EnforceResidency. An eviction pass
+	// skips bit-carrying streams, so a one-shot scan over cold streams —
+	// each admitted probationary, none touched twice — churns through its
+	// own admissions and leaves the established hot set resident.
+	refBit atomic.Bool
+
+	// Prefetch state. prefetched is set when the prefetcher queues an
+	// activation (doubling as the one-pending-per-stream dedupe) and
+	// consumed by the first demand touch while resident (a hit) or by
+	// hibernation / a late arrival (a miss); while set it also protects
+	// the stream from eviction, so a prefetch is never undone before the
+	// touch it anticipated. prefetchHintNs is the expiry of a standing
+	// hint (Prefetch); touchGapEWMA tracks the stream's inter-touch
+	// recurrence for the predictive sweep.
+	prefetched     atomic.Bool
+	prefetchHintNs atomic.Int64
+	touchGapEWMA   atomic.Int64
+
+	// Residency observability counters (see ResidencyStats).
+	prefetchActivations  atomic.Int64
+	prefetchHits         atomic.Int64
+	prefetchMisses       atomic.Int64
+	ghostHits            atomic.Int64
+	secondChanceSaves    atomic.Int64
+	lazyMaterializations atomic.Int64
+
 	// serialized selects the pre-pipeline writer path: ops execute
 	// synchronously under smu, one commit batch each (the Hub's
 	// WithSerializedWriter / PersistOptions.SerializedWriter baseline).
@@ -748,8 +1120,134 @@ func (hs *StreamHandle) Model() *Model { return hs.model.Load() }
 // hibernated stream.
 func (hs *StreamHandle) Resident() bool { return hs.stp.Load() != nil }
 
-// touch refreshes the handle's eviction clock.
-func (hs *StreamHandle) touch() { hs.lastTouch.Store(time.Now().UnixNano()) }
+// touch refreshes the handle's eviction clock; it is also where the
+// residency machinery observes demand. The inter-touch gap feeds the
+// recurrence EWMA the prefetcher predicts from (α=¼; sub-millisecond
+// gaps are one logical burst and are not folded in), a touch on a
+// resident stream earns the second-chance bit, and the first demand
+// touch on a prefetched stream consumes the prefetch as a hit.
+func (hs *StreamHandle) touch() {
+	now := time.Now().UnixNano()
+	prev := hs.lastTouch.Swap(now)
+	if gap := now - prev; prev > 0 && gap >= minTouchGapNs {
+		// Lost updates between racing touches are fine: the EWMA is a
+		// prediction signal, not an exact counter.
+		if old := hs.touchGapEWMA.Load(); old == 0 {
+			hs.touchGapEWMA.Store(gap)
+		} else {
+			hs.touchGapEWMA.Store(old + (gap-old)/4)
+		}
+	}
+	if hs.stp.Load() != nil {
+		hs.refBit.Store(true)
+		if hs.prefetched.CompareAndSwap(true, false) {
+			hs.prefetchHits.Add(1)
+			obsResPrefetchHits.Inc()
+		}
+	}
+}
+
+// prefetchDue reports whether a hibernated stream should be reactivated
+// by this sweep: a standing hint is live, or the predicted next touch
+// (last touch + recurrence EWMA) falls within ±look of now. A prediction
+// already more than look stale means the recurrence broke — no prefetch
+// until the pattern re-establishes.
+func (hs *StreamHandle) prefetchDue(now, look int64) bool {
+	if hint := hs.prefetchHintNs.Load(); hint > 0 {
+		if now <= hint {
+			return true
+		}
+		hs.prefetchHintNs.CompareAndSwap(hint, 0) // expired: drop it
+	}
+	ewma := hs.touchGapEWMA.Load()
+	if ewma <= 0 {
+		return false
+	}
+	next := hs.lastTouch.Load() + ewma
+	return next-look <= now && now <= next+look
+}
+
+// Prefetch records a standing signal that this stream is expected to be
+// needed shortly — a reconnecting SubscribeResume cursor, a query
+// pattern, an application-level hint — keeping it prefetch-eligible for
+// the next ~30s even without EWMA evidence. Advisory and non-blocking;
+// it does nothing unless the hub runs a predictive prefetcher
+// (PersistOptions.PrefetchSweep) and never counts as a touch.
+func (hs *StreamHandle) Prefetch() {
+	hs.prefetchHintNs.Store(time.Now().Add(prefetchHintTTL).UnixNano())
+}
+
+// tryActivateAsync enqueues a fire-and-forget prefetch activation without
+// ever blocking, mirroring tryHibernateAsync: the prefetched flag dedupes
+// (one pending prefetch per stream), the enqueue is TryLock + non-blocking
+// send, and the committed op re-validates admissibility (the hub may have
+// filled up, or a demand op may have activated the stream first).
+func (hs *StreamHandle) tryActivateAsync() bool {
+	if hs.serialized {
+		if !hs.smu.TryLock() {
+			return false
+		}
+		defer hs.smu.Unlock()
+		if hs.closed.Load() || hs.stp.Load() != nil {
+			return false
+		}
+		if !hs.prefetched.CompareAndSwap(false, true) {
+			return false
+		}
+		op := &writeOp{kind: opActivate, prefetch: true}
+		hs.commit([]*writeOp{op})
+		if op.err != nil {
+			hs.prefetched.Store(false)
+			return false
+		}
+		return true
+	}
+	if !hs.prefetched.CompareAndSwap(false, true) {
+		return true // one already pending — that is this sweep's progress
+	}
+	queued := false
+	defer func() {
+		if !queued {
+			hs.prefetched.Store(false)
+		}
+	}()
+	if !hs.qmu.TryLock() {
+		return false
+	}
+	defer hs.qmu.Unlock()
+	if hs.closed.Load() || hs.stp.Load() != nil {
+		return false
+	}
+	select {
+	case hs.ops <- &writeOp{kind: opActivate, prefetch: true}:
+		queued = true
+		return true
+	default:
+		return false // queue full: demand is already heading there
+	}
+}
+
+// materializeNow runs on the hub's background materializer goroutine:
+// build the freshly activated stream's deferred back buffer before the
+// first write has to. A stream that hibernated again in the meantime is
+// skipped; a write racing the build benignly loses the engine-lock race
+// and finds the buffer ready.
+func (hs *StreamHandle) materializeNow() {
+	st := hs.stp.Load()
+	if st == nil {
+		return
+	}
+	did, _, err := st.materializeBack()
+	if err != nil {
+		hs.hub.log().Warn("background back-buffer materialization failed",
+			"stream", hs.name, "error", err)
+		return
+	}
+	if did {
+		hs.lazyMaterializations.Add(1)
+		obsResLazyMaterialize.Inc()
+	}
+}
 
 // do executes op through the writer pipeline (or inline under smu on a
 // serialized-writer hub) and returns it with its result fields set.
@@ -900,9 +1398,11 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 	batchSeq := hs.statBatches.Load() + 1
 	defer func() { observeCommit(len(batch), time.Since(commitStart)) }()
 	// actStart/actDur capture a reactivation performed on behalf of this
-	// batch, attributed to every traced op that rode it.
+	// batch, attributed to every traced op that rode it; actPh carries its
+	// phase breakdown for the stream.activate child spans.
 	var actStart time.Time
 	var actDur time.Duration
+	var actPh *activationPhases
 	st := hs.stp.Load()
 	if st == nil {
 		// Hibernated. Reactivate if any op in the batch needs the stream
@@ -916,13 +1416,28 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 				break
 			}
 		}
+		// An opActivate is a commit barrier, so a prefetch is always alone
+		// in its batch: re-validate its admission before paying the load
+		// (see prefetchAdmissible). A stale prefetch quietly no-ops.
+		prefetch := len(batch) == 1 && batch[0].prefetch
+		if prefetch && !hs.hub.prefetchAdmissible(hs) {
+			hs.prefetched.Store(false)
+			batch[0].err = errStalePrefetch
+			if batch[0].done != nil {
+				close(batch[0].done)
+			}
+			return
+		}
 		if needs {
 			var err error
 			actStart = time.Now()
-			if st, err = hs.activate(); err != nil {
+			if st, actPh, err = hs.activate(prefetch); err != nil {
 				err = fmt.Errorf("reactivating %q: %w", hs.name, err)
 				for _, op := range batch {
 					op.err = err
+					if op.prefetch {
+						hs.prefetched.Store(false)
+					}
 					if op.done != nil {
 						close(op.done)
 					}
@@ -1021,6 +1536,15 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 				st = nil // barrier: alone in its batch, nothing else uses it
 			}
 		case opActivate:
+			if op.prefetch && actDur == 0 {
+				// The stream was already resident when the prefetch
+				// drained: demand beat the prediction there. Count the
+				// wasted prefetch and release its protection.
+				if hs.prefetched.CompareAndSwap(true, false) {
+					hs.prefetchMisses.Add(1)
+					obsResPrefetchMisses.Inc()
+				}
+			}
 			op.stOut = st
 		}
 		if op.tr != nil {
@@ -1029,6 +1553,18 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 	}
 	if bracket {
 		st.endApply()
+	}
+
+	// A write in this batch may have been the one that paid a deferred
+	// back-buffer build (lazy restore, first post-activation ingest);
+	// collect its timing for the span and the lazy-materialize counter.
+	var matStart time.Time
+	var matDur time.Duration
+	if st != nil {
+		if matStart, matDur = st.takeMaterialize(); matDur > 0 {
+			hs.lazyMaterializations.Add(1)
+			obsResLazyMaterialize.Inc()
+		}
 	}
 
 	var walT persist.BatchTimings
@@ -1088,10 +1624,27 @@ func (hs *StreamHandle) commit(batch []*writeOp) {
 			trace.Int("batch.ops", int64(len(batch))),
 			trace.Int("batch.seq", batchSeq))
 		if actDur > 0 {
-			t.ChildOf(cb, "stream.activate", actStart, actDur)
+			act := t.ChildOf(cb, "stream.activate", actStart, actDur)
+			if ph := actPh; ph != nil {
+				if ph.ckptDur > 0 {
+					t.ChildOf(act, "checkpoint.load", ph.ckptStart, ph.ckptDur)
+				}
+				if ph.restoreDur > 0 {
+					t.ChildOf(act, "state.restore", ph.restoreStart, ph.restoreDur)
+				}
+				if ph.replayDur > 0 {
+					t.ChildOf(act, "wal.replay", ph.replayStart, ph.replayDur)
+				}
+				if ph.matDur > 0 {
+					t.ChildOf(act, "backbuffer.materialize", ph.matStart, ph.matDur)
+				}
+			}
 		}
 		if !op.applyStart.IsZero() {
 			t.ChildOf(cb, "engine.apply", op.applyStart, op.applyDur)
+		}
+		if matDur > 0 {
+			t.ChildOf(cb, "backbuffer.materialize", matStart, matDur)
 		}
 		if walT.AppendDur > 0 && op.nrecs > 0 {
 			t.ChildOf(cb, "wal.append", walT.AppendStart, walT.AppendDur,
@@ -1143,30 +1696,70 @@ func (hs *StreamHandle) hibernate(st *Stream) error {
 	hs.residentBytes.Store(0)
 	hs.hibernations.Add(1)
 	obsResHibernations.Inc()
+	hs.hub.ghostRecord(hs.name)
+	if hs.prefetched.CompareAndSwap(true, false) {
+		// Prefetched but never demand-touched: the prediction overshot.
+		hs.prefetchMisses.Add(1)
+		obsResPrefetchMisses.Inc()
+	}
 	return err
 }
 
 // activate executes the cold→hot transition on the commit path: evict
 // colder streams first when a budget is configured (best-effort, see
-// Hub.makeRoom), then load checkpoint + WAL tail back into memory.
-func (hs *StreamHandle) activate() (*Stream, error) {
+// Hub.makeRoom), then load checkpoint + WAL tail back into memory — the
+// front buffer only, by default; the deferred back buffer is handed to
+// the hub's background materializer so neither the activation nor the
+// first write pays for it. A prefetch activation bounds its evictions to
+// victims colder than this stream's own last touch, and the returned
+// phase breakdown feeds the stream.activate child spans.
+func (hs *StreamHandle) activate(prefetch bool) (*Stream, *activationPhases, error) {
 	if hs.pers == nil {
-		return nil, fmt.Errorf("%w: stream %q has no durable state to reactivate", ErrPersistDisabled, hs.name)
+		return nil, nil, fmt.Errorf("%w: stream %q has no durable state to reactivate", ErrPersistDisabled, hs.name)
 	}
 	start := time.Now()
-	hs.hub.makeRoom(hs)
-	st, err := hs.pers.resume(hs.model.Load(), hs.opts, hs.cfg)
+	ceiling := int64(0)
+	if prefetch {
+		ceiling = hs.lastTouch.Load()
+	}
+	hs.hub.makeRoom(hs, ceiling)
+	ph := &activationPhases{}
+	st, err := hs.pers.resume(hs.model.Load(), hs.opts, hs.cfg, ph)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// A non-empty WAL tail replays through the ingest path, whose first
+	// write materializes the back buffer — that build belongs to this
+	// activation's breakdown, not to a later commit batch.
+	if ph.matStart, ph.matDur = st.takeMaterialize(); ph.matDur > 0 {
+		hs.lazyMaterializations.Add(1)
+		obsResLazyMaterialize.Inc()
+	}
+	// Admission state, settled before the stream publishes so a racing
+	// touch can only add protection, never lose it: a ghost hit (evicted
+	// recently, wanted again) re-admits protected, everything else starts
+	// probationary.
+	if hs.hub.ghostTake(hs.name) {
+		hs.ghostHits.Add(1)
+		obsResGhostHits.Inc()
+		hs.refBit.Store(true)
+	} else {
+		hs.refBit.Store(false)
 	}
 	elapsed := time.Since(start)
+	hs.hub.lastActivateNs.Store(time.Now().UnixNano())
 	hs.stp.Store(st)
 	hs.residentBytes.Store(st.approxResidentBytes())
 	hs.activations.Add(1)
 	hs.lastActivationNs.Store(elapsed.Nanoseconds())
 	obsResActivations.Inc()
 	obsResActivationDuration.ObserveDuration(elapsed)
-	return st, nil
+	if prefetch {
+		hs.prefetchActivations.Add(1)
+		obsResPrefetchActivations.Inc()
+	}
+	hs.hub.queueMaterialize(hs)
+	return st, ph, nil
 }
 
 // tryHibernateAsync enqueues a fire-and-forget hibernate op without ever
@@ -1449,11 +2042,17 @@ func (hs *StreamHandle) Stats() StreamStats {
 		s.Pipeline.Fsyncs = hs.pers.fsyncs()
 	}
 	s.Residency = ResidencyStats{
-		Resident:       st != nil,
-		Hibernations:   hs.hibernations.Load(),
-		Activations:    hs.activations.Load(),
-		LastActivation: time.Duration(hs.lastActivationNs.Load()),
-		ResidentBytes:  hs.residentBytes.Load(),
+		Resident:             st != nil,
+		Hibernations:         hs.hibernations.Load(),
+		Activations:          hs.activations.Load(),
+		LastActivation:       time.Duration(hs.lastActivationNs.Load()),
+		ResidentBytes:        hs.residentBytes.Load(),
+		PrefetchActivations:  hs.prefetchActivations.Load(),
+		PrefetchHits:         hs.prefetchHits.Load(),
+		PrefetchMisses:       hs.prefetchMisses.Load(),
+		GhostHits:            hs.ghostHits.Load(),
+		SecondChanceSaves:    hs.secondChanceSaves.Load(),
+		LazyMaterializations: hs.lazyMaterializations.Load(),
 	}
 	return s
 }
@@ -1478,6 +2077,26 @@ type ResidencyStats struct {
 	// excluded from exported state, so it never perturbs checkpoint
 	// equality.
 	ResidentBytes int64
+	// PrefetchActivations counts activations initiated by the predictive
+	// prefetcher; PrefetchHits of those were demand-touched while still
+	// resident (the caller skipped the activation latency entirely),
+	// PrefetchMisses were hibernated again untouched or arrived after
+	// demand already had the stream hot.
+	PrefetchActivations int64
+	PrefetchHits        int64
+	PrefetchMisses      int64
+	// GhostHits counts reactivations that found the stream's name on the
+	// ghost list of recent evictions — each one a stream the policy let
+	// go just before it was wanted again (eviction regret).
+	GhostHits int64
+	// SecondChanceSaves counts eviction passes that skipped this stream
+	// because its second-chance bit (or an in-flight prefetch) protected
+	// it — the clock policy's scan resistance at work.
+	SecondChanceSaves int64
+	// LazyMaterializations counts deferred back-buffer builds paid off
+	// the activation critical path (background task, first write, or WAL
+	// tail replay).
+	LazyMaterializations int64
 }
 
 // Done returns a channel closed when the stream is closed out of the Hub

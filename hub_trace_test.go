@@ -3,6 +3,7 @@ package ksir
 import (
 	"context"
 	"testing"
+	"time"
 
 	"github.com/social-streams/ksir/internal/trace"
 )
@@ -148,6 +149,89 @@ func TestReactivationRecordsActivateSpan(t *testing.T) {
 	if act.Duration <= 0 {
 		t.Errorf("stream.activate duration = %v, want > 0", act.Duration)
 	}
+	// The activation breakdown: loading the checkpoint and rebuilding the
+	// engine are phases of every reactivation (the WAL tail is empty here —
+	// Hibernate checkpoints — so wal.replay may legitimately be absent).
+	for _, name := range []string{"checkpoint.load", "state.restore"} {
+		s := spanIn(t, tr, name)
+		if s.Parent != act.SpanID {
+			t.Errorf("%s not parented to stream.activate", name)
+		}
+		if s.Duration <= 0 {
+			t.Errorf("%s duration = %v, want > 0", name, s.Duration)
+		}
+	}
 	spanIn(t, tr, "snapshot.pin")
 	spanIn(t, tr, "query.descend")
+}
+
+// A crash-recovered activation shows the full phase breakdown: checkpoint
+// load, state restore, WAL tail replay, and the back-buffer
+// materialization the replayed buckets forced — all children of
+// stream.activate.
+func TestActivationPhaseSpansWithWALTail(t *testing.T) {
+	m := trainTestModel(t)
+	dir := t.TempDir()
+	h := openTestHub(t, dir, m, PersistOptions{})
+	hs, err := h.Create("feed", m, persistOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := genPosts(60, 57)
+	for _, p := range posts[:30] {
+		if err := hs.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := hs.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range posts[30:] {
+		if err := hs.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash snapshot: checkpoint plus a WAL tail spanning several buckets,
+	// so reactivation replays through the engine and the replay's first
+	// bucket pays the lazy back-buffer build.
+	crash := t.TempDir()
+	copyStreamTree(t, dir, crash)
+	if err := h.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A residency budget makes recovery cold: the traced query below is
+	// the first touch and pays (and records) the whole activation.
+	h2 := openTestHub(t, crash, m, PersistOptions{MaxResidentStreams: 4, ResidencySweep: time.Hour})
+	defer h2.CloseAll()
+	hs2, err := h2.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs2.Resident() {
+		t.Fatal("crash-recovered stream resident before first touch")
+	}
+	rec := trace.NewRecorder(8)
+	op := startedOp(t, rec, "test.query")
+	ctx := trace.ContextWith(context.Background(), op)
+	if _, err := hs2.Query(ctx, Query{K: 3, Keywords: []string{"goal"}}); err != nil {
+		t.Fatal(err)
+	}
+	op.End()
+
+	tr := rec.Snapshot(trace.Filter{})[0]
+	act := spanIn(t, tr, "stream.activate")
+	for _, name := range []string{"checkpoint.load", "state.restore", "wal.replay", "backbuffer.materialize"} {
+		s := spanIn(t, tr, name)
+		if s.Parent != act.SpanID {
+			t.Errorf("%s not parented to stream.activate", name)
+		}
+		if s.Duration <= 0 {
+			t.Errorf("%s duration = %v, want > 0", name, s.Duration)
+		}
+		if s.Start.Before(act.Start) || s.Start.Add(s.Duration).After(act.Start.Add(act.Duration)) {
+			t.Errorf("%s [%v +%v] outside stream.activate [%v +%v]",
+				name, s.Start, s.Duration, act.Start, act.Duration)
+		}
+	}
 }

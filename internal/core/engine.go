@@ -53,6 +53,13 @@ type Config struct {
 	// baseline, kept for the `engine` experiment). Results are identical
 	// under either mode.
 	CatchUp CatchUpMode
+	// EagerRestore forces Restore to materialize both buffers before it
+	// returns — the pre-lazy baseline, kept for the equivalence tests. By
+	// default Restore builds only the front (query-serving) buffer and
+	// defers the back buffer to the first write or an explicit
+	// MaterializeBack call, roughly halving restore cost on the
+	// activation critical path. Results are identical either way.
+	EagerRestore bool
 }
 
 // Stats aggregates maintenance counters for the scalability experiments
@@ -168,8 +175,20 @@ type Engine struct {
 	front atomic.Pointer[snapshot]
 
 	// Writer-owned state (guarded by mu):
-	back     *buffer   // working copy, one bucket behind until caught up
+	back     *buffer   // working copy; nil after a lazy Restore until materialized
 	backSnap *snapshot // retired snapshot whose buffer is back; drained before reuse
+	// lazy is the retained restore state of an unmaterialized back buffer
+	// (non-nil exactly while back is nil). It is safe to rebuild from
+	// later because materialization always runs before the first
+	// post-restore bucket application — the published front is still
+	// byte-identical to the state the buffer is rebuilt from.
+	lazy *State
+	// matStart/matDur hand the ingest-path materialization timing to the
+	// hub's commit path for span attribution (TakeMaterialize). Written
+	// only under mu on the ingest path; an explicit MaterializeBack (the
+	// background path) leaves them untouched — its caller owns the timing.
+	matStart time.Time
+	matDur   time.Duration
 	// replayQ holds the buckets applied to the published buffer but not
 	// yet replayed onto back — exactly one outside a deferred-publish
 	// batch, up to the whole batch inside one.
@@ -361,10 +380,20 @@ func (g *Engine) EndBatch() {
 // default CatchUpDelta the twin windows share one archive and the shared
 // copy is counted once; under CatchUpReapply the returned figure is one
 // buffer's copy (the element values themselves are shared between buffers
-// either way). Writer-side only, like Ingest — it feeds the hub's
-// residency accounting from the commit path and is never part of exported
-// state.
-func (g *Engine) WriterResidentBytes() int64 { return g.back.win.ApproxBytes() }
+// either way). It feeds the hub's residency accounting from the commit
+// path and is never part of exported state. Takes the writer lock: the
+// back buffer pointer can be swapped in by the background materializer
+// after a lazy restore, concurrently with the commit path.
+func (g *Engine) WriterResidentBytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.back == nil {
+		// Lazily restored and not yet written to: the front window owns
+		// all window state (sharing only begins at materialization).
+		return g.front.Load().buf.win.ApproxBytes()
+	}
+	return g.back.win.ApproxBytes()
+}
 
 // WriterNow returns the stream time as the writer sees it: the last
 // applied bucket boundary, including buckets deferred inside an open
@@ -385,6 +414,14 @@ func (g *Engine) WriterNow() stream.Time {
 // holds exactly one bucket; after one it holds the whole batch, replayed
 // in ingest order.
 func (g *Engine) recycle() error {
+	if g.back == nil {
+		// Lazy restore: the back buffer was deferred off the activation
+		// critical path and this is the first write since. No bucket has
+		// been applied yet (any earlier Ingest would have materialized),
+		// so the replay queue is empty and the front still equals the
+		// restored state the buffer is rebuilt from.
+		return g.materializeBack(true)
+	}
 	if g.backSnap != nil {
 		g.backSnap.waitDrained()
 		g.backSnap = nil
@@ -495,6 +532,76 @@ func (g *Engine) publish() {
 	g.back = old.buf
 	g.replayQ = g.unpublished
 	g.unpublished = nil
+}
+
+// materializeBack builds the deferred back buffer from the retained
+// restore state. Caller holds mu. Correctness rests on one invariant: no
+// bucket has been applied since Restore (back is nil exactly until the
+// first recycle or MaterializeBack, and both run before any post-restore
+// applyBucket), so the published front is still byte-identical to the
+// retained State — rebuilding from it, adopting the front scorer's
+// immutable cache entries, and sharing the front window's writer state
+// yields exactly the buffer an eager Restore would have built. With
+// record set the timing is parked for TakeMaterialize (the ingest path);
+// the explicit path reports its own timing and leaves the handoff alone.
+func (g *Engine) materializeBack(record bool) error {
+	start := time.Now()
+	front := g.front.Load().buf
+	back, err := restoreBuffer(g.cfg, *g.lazy, front.scorer)
+	if err != nil {
+		return fmt.Errorf("core: materializing back buffer: %w", err)
+	}
+	if g.cfg.CatchUp == CatchUpDelta {
+		stream.ShareWriterState(front.win, back.win) // see NewEngine
+	}
+	g.back = back
+	g.lazy = nil // free the retained window/list state
+	if record {
+		g.matStart, g.matDur = start, time.Since(start)
+	}
+	return nil
+}
+
+// MaterializeBack builds a lazily deferred back buffer now, off the write
+// path — the hub's background materializer calls it right after a lazy
+// activation returns, so the first write usually finds the buffer already
+// built. It reports whether it did the work (false when the buffer exists
+// — already materialized by a write, or an eager restore) and how long
+// the build took. Safe to call concurrently with Ingest and queries; a
+// write racing it simply loses the mu race and finds back non-nil.
+func (g *Engine) MaterializeBack() (bool, time.Duration, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.back != nil {
+		return false, 0, nil
+	}
+	start := time.Now()
+	if err := g.materializeBack(false); err != nil {
+		return false, 0, err
+	}
+	return true, time.Since(start), nil
+}
+
+// BackMaterialized reports whether the back buffer currently exists (it
+// does not on a lazily restored engine until the first write or an
+// explicit MaterializeBack). Diagnostic; races with a concurrent write's
+// materialization benignly.
+func (g *Engine) BackMaterialized() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.back != nil
+}
+
+// TakeMaterialize returns and clears the timing of an ingest-path back
+// buffer materialization (zero when none happened since the last call).
+// The hub's commit path polls it after each apply pass to attribute a
+// backbuffer.materialize span to the op that paid the build.
+func (g *Engine) TakeMaterialize() (time.Time, time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	start, dur := g.matStart, g.matDur
+	g.matStart, g.matDur = time.Time{}, 0
+	return start, dur
 }
 
 // ListLen returns the size of RL_i as of the last published bucket (for

@@ -56,6 +56,14 @@ func (g *Engine) ExportState() State {
 // counters and bucket sequence. Queries against the restored engine return
 // byte-identical results to the engine st was exported from, and
 // subsequent Ingests continue deterministically.
+//
+// By default only the front (query-serving) buffer is materialized before
+// Restore returns — the activation critical path pays for one buffer, not
+// two. The back buffer is deferred: built by the first write (recycle) or
+// an explicit MaterializeBack, from the retained state, at which point it
+// is byte-identical to what an eager restore would have built (the front
+// cannot have advanced — every write materializes first). Set
+// Config.EagerRestore to build both up front (the measured baseline).
 func Restore(cfg Config, st State) (*Engine, error) {
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("core: config needs a topic model")
@@ -79,23 +87,30 @@ func Restore(cfg Config, st State) (*Engine, error) {
 	if p < 1 {
 		p = 1
 	}
-	// Both buffers are rebuilt to the same state (they share the
-	// immutable *Element values, as they do in normal operation); the
-	// back buffer has no pending bucket to catch up on, and adopts the
-	// front's immutable scorer-cache entries by pointer instead of
-	// re-deriving every word weight a second time.
 	front, err := restoreBuffer(cfg, st, nil)
 	if err != nil {
 		return nil, err
 	}
-	back, err := restoreBuffer(cfg, st, front.scorer)
-	if err != nil {
-		return nil, err
+	g := &Engine{cfg: cfg, numShards: p, stats: st.Stats}
+	if cfg.EagerRestore {
+		// Both buffers rebuilt up front (they share the immutable
+		// *Element values, as in normal operation); the back buffer has
+		// no pending bucket to catch up on, and adopts the front's
+		// immutable scorer-cache entries by pointer instead of
+		// re-deriving every word weight a second time.
+		back, err := restoreBuffer(cfg, st, front.scorer)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.CatchUp == CatchUpDelta {
+			stream.ShareWriterState(front.win, back.win) // see NewEngine
+		}
+		g.back = back
+	} else {
+		// Lazy: retain the state; materializeBack rebuilds the back
+		// buffer from it before the first post-restore bucket applies.
+		g.lazy = &st
 	}
-	if cfg.CatchUp == CatchUpDelta {
-		stream.ShareWriterState(front.win, back.win) // see NewEngine
-	}
-	g := &Engine{cfg: cfg, numShards: p, back: back, stats: st.Stats}
 	g.shardStats = make([]ShardStats, p)
 	for s := range g.shardStats {
 		g.shardStats[s].Shard = s

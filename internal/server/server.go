@@ -294,10 +294,16 @@ func (s *Server) streamInfo(hs *ksir.StreamHandle) apiv1.StreamInfo {
 		info.State = apiv1.StateHibernated
 	}
 	info.Residency = &apiv1.ResidencyInfo{
-		Hibernations:     st.Residency.Hibernations,
-		Activations:      st.Residency.Activations,
-		LastActivationUs: st.Residency.LastActivation.Microseconds(),
-		ResidentBytes:    st.Residency.ResidentBytes,
+		Hibernations:         st.Residency.Hibernations,
+		Activations:          st.Residency.Activations,
+		LastActivationUs:     st.Residency.LastActivation.Microseconds(),
+		ResidentBytes:        st.Residency.ResidentBytes,
+		PrefetchActivations:  st.Residency.PrefetchActivations,
+		PrefetchHits:         st.Residency.PrefetchHits,
+		PrefetchMisses:       st.Residency.PrefetchMisses,
+		GhostHits:            st.Residency.GhostHits,
+		SecondChanceSaves:    st.Residency.SecondChanceSaves,
+		LazyMaterializations: st.Residency.LazyMaterializations,
 	}
 	if st.Persist.Enabled {
 		info.Persist = &apiv1.PersistInfo{

@@ -68,6 +68,26 @@ func (p FsyncPolicy) syncPolicy() persist.SyncPolicy {
 // String returns the flag-friendly name of the policy.
 func (p FsyncPolicy) String() string { return p.syncPolicy().String() }
 
+// EvictionPolicy selects how the residency budget picks hibernation
+// victims (see PersistOptions.Eviction and DESIGN.md §15).
+type EvictionPolicy int
+
+const (
+	// EvictClock (the default) is the scan-resistant policy: candidates
+	// are considered coldest-first by last touch, but a stream touched
+	// again since its admission carries a second-chance bit that saves it
+	// from one eviction pass, and recently evicted names sit on a ghost
+	// list whose hits re-admit the stream protected. A one-shot sweep
+	// touching many cold streams once cannot churn out the stable hot set:
+	// the scan's streams are admitted probationary (no bit until a second
+	// touch) and evict each other, not the bit-carrying regulars.
+	EvictClock EvictionPolicy = iota
+	// EvictLRU is pure last-touch LRU — the pre-clock baseline, kept for
+	// comparison and for the scan-churn regression test that demonstrates
+	// why it lost the default.
+	EvictLRU
+)
+
 // PersistOptions configures the durability subsystem of a Hub opened with
 // OpenHub. The zero value is a sensible production default: interval
 // fsync (1s), a checkpoint every 64 buckets.
@@ -117,6 +137,25 @@ type PersistOptions struct {
 	// Admission control additionally evicts the coldest streams inline
 	// whenever an activation would overshoot the budget.
 	ResidencySweep time.Duration
+	// Eviction selects the victim policy for the residency budget. The
+	// zero value is EvictClock (scan-resistant second-chance + ghost
+	// list); EvictLRU pins the pure last-touch baseline.
+	Eviction EvictionPolicy
+	// PrefetchSweep, when positive, runs the predictive prefetcher every
+	// PrefetchSweep: hibernated streams whose predicted next touch (from
+	// the per-stream inter-arrival EWMA) or standing hint
+	// (StreamHandle.Prefetch) falls within PrefetchLookahead are
+	// reactivated in the background, so the demand operation that was
+	// about to pay the activation finds the stream already hot. Prefetch
+	// is budget-aware: it never evicts a stream warmer than the one it
+	// admits, and it skips entirely when no colder victim exists. 0 (the
+	// default) disables prefetching.
+	PrefetchSweep time.Duration
+	// PrefetchLookahead is how far around the predicted next touch a
+	// stream counts as "due" (default 2×PrefetchSweep). Larger values
+	// prefetch earlier and tolerate sloppier periodicity; too large and
+	// prefetched streams idle in the hot tier before their touch arrives.
+	PrefetchLookahead time.Duration
 	// Logger receives the hub's background warnings (residency sweep
 	// failures). Nil means slog.Default() resolved at log time.
 	Logger *slog.Logger
@@ -131,6 +170,9 @@ func (o PersistOptions) withDefaults() PersistOptions {
 	}
 	if o.ResidencySweep <= 0 {
 		o.ResidencySweep = time.Second
+	}
+	if o.PrefetchSweep > 0 && o.PrefetchLookahead <= 0 {
+		o.PrefetchLookahead = 2 * o.PrefetchSweep
 	}
 	return o
 }
@@ -249,6 +291,8 @@ func OpenHub(dir string, m *Model, po PersistOptions, sopts ...StreamOption) (*H
 		}
 	}
 	h.startHibernator()
+	h.startPrefetcher()
+	h.startMaterializer()
 	return h, nil
 }
 
@@ -458,30 +502,51 @@ func newColdStreamPersist(hp *hubPersist, name, dir string) *streamPersist {
 	return p
 }
 
+// activationPhases is the wall-clock breakdown of one reactivation,
+// filled by resume and attributed as child spans of stream.activate by
+// the commit path (so /debug/traces shows where activation time goes).
+type activationPhases struct {
+	ckptStart    time.Time // checkpoint.load: read + decode the snapshot
+	ckptDur      time.Duration
+	restoreStart time.Time // state.restore: rebuild engine + pending posts
+	restoreDur   time.Duration
+	replayStart  time.Time // wal.replay: open the WAL, fold in the tail
+	replayDur    time.Duration
+	matStart     time.Time // backbuffer.materialize: lazy build paid here
+	matDur       time.Duration
+}
+
 // resume loads the stream back into memory — the load half of
 // reactivation: checkpoint load, WAL open with tail replay, counter
 // refresh. Commit-path only; the caller owns the residency transition.
-func (p *streamPersist) resume(m *Model, opts Options, cfg streamConfig) (*Stream, error) {
+// ph (non-nil) receives the phase timing breakdown.
+func (p *streamPersist) resume(m *Model, opts Options, cfg streamConfig, ph *activationPhases) (*Stream, error) {
+	ph.ckptStart = time.Now()
 	ck, err := persist.LoadCheckpoint(p.dir)
 	if err != nil {
 		return nil, persistErr(err)
 	}
+	ph.ckptDur = time.Since(ph.ckptStart)
 	if ck != nil && ck.Name != p.name {
 		return nil, persistErr(fmt.Errorf("%w: checkpoint names stream %q, manifest %q", persist.ErrCorrupt, ck.Name, p.name))
 	}
+	ph.restoreStart = time.Now()
 	st, err := buildStream(m, opts, cfg, ck)
 	if err != nil {
 		return nil, err
 	}
+	ph.restoreDur = time.Since(ph.restoreStart)
 	var opSeq uint64
 	if ck != nil {
 		opSeq = ck.OpSeq
 	}
+	ph.replayStart = time.Now()
 	wal, err := persist.OpenWAL(filepath.Join(p.dir, persist.WALFile),
 		p.hp.opts.Fsync.syncPolicy(), p.hp.opts.FsyncInterval, replayInto(st, opSeq))
 	if err != nil {
 		return nil, persistErr(err)
 	}
+	ph.replayDur = time.Since(ph.replayStart)
 	if wal.LastSeq() > opSeq {
 		opSeq = wal.LastSeq()
 	}
